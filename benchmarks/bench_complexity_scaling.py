@@ -1,0 +1,80 @@
+"""Section III-B4 — model-complexity verification.
+
+The paper derives O(ND + N log N) time for candidate selection and O(ND)
+for classifier training. This bench measures TargAD's wall-clock fit time
+while doubling N (rows) and D (features) independently on the synthetic
+population, and checks the growth is near-linear (well below quadratic).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.data.splits import TableISpec, build_split
+from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+from repro.eval import ResultTable
+
+FIT_KWARGS = dict(k=2, ae_epochs=5, clf_epochs=5, random_state=0)
+
+
+def make_split(n_unlabeled: int, n_numeric: int):
+    generator = SyntheticTabularGenerator(
+        n_numeric=n_numeric,
+        normal_groups=[
+            NormalGroupSpec("a", weight=0.5, signature_size=4),
+            NormalGroupSpec("b", weight=0.5, signature_size=4),
+        ],
+        anomaly_families=[
+            AnomalyFamilySpec("t", is_target=True, n_affected=4, shift=5.0),
+            AnomalyFamilySpec("o", is_target=False, n_affected=4, shift=5.0),
+        ],
+        random_state=0,
+    )
+    spec = TableISpec(
+        name="scaling", n_labeled=30, n_unlabeled=n_unlabeled,
+        val_counts=(50, 5, 5), test_counts=(50, 5, 5), contamination=0.05,
+    )
+    return build_split(generator, spec, scale=1.0, random_state=0)
+
+
+def time_fit(n_unlabeled: int, n_numeric: int) -> float:
+    split = make_split(n_unlabeled, n_numeric)
+    model = TargAD(TargADConfig(**FIT_KWARGS))
+    start = time.perf_counter()
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return time.perf_counter() - start
+
+
+def test_scaling_in_n(benchmark):
+    sizes = [1000, 2000, 4000]
+
+    def run():
+        return {n: time_fit(n, 16) for n in sizes}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ResultTable("Fit time vs N (D=16)", columns=["seconds"], row_header="N")
+    for n, t in times.items():
+        table.add_row(str(n), {"seconds": f"{t:.2f}"})
+    table.print()
+    # Doubling N twice (4x) should cost well under 16x (quadratic).
+    ratio = times[4000] / max(times[1000], 1e-9)
+    print(f"t(4N)/t(N) = {ratio:.1f} (linear=4, quadratic=16)")
+    assert ratio < 10.0
+
+
+def test_scaling_in_d(benchmark):
+    dims = [16, 64, 256]
+
+    def run():
+        return {d: time_fit(1500, d) for d in dims}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ResultTable("Fit time vs D (N=1500)", columns=["seconds"], row_header="D")
+    for d, t in times.items():
+        table.add_row(str(d), {"seconds": f"{t:.2f}"})
+    table.print()
+    ratio = times[256] / max(times[16], 1e-9)
+    print(f"t(16D)/t(D) = {ratio:.1f} (linear=16, quadratic=256)")
+    assert ratio < 60.0

@@ -1,0 +1,79 @@
+"""Fig. 5 — effect of the weight-updating strategy (Eqs. 4-5) on UNSW-NB15.
+
+(a) Mean weight per true instance type (inaccurately-reconstructed normal /
+    target / non-target) among the non-target anomaly candidates, per
+    epoch. Expected shape: normals start highest (Eq. 5 favours low
+    reconstruction error), then drop sharply once Eq. 4 kicks in; by the
+    later epochs non-target anomalies carry the highest mean weight.
+(b) Final-epoch weight distributions per type (printed as histograms).
+    Expected shape: non-targets concentrate in the high-weight region.
+"""
+
+import numpy as np
+import pytest
+
+from _common import BENCH_SCALE
+from repro.core import TargAD, TargADConfig
+from repro.data import load_dataset
+from repro.data.schema import KIND_NAMES
+from repro.eval import ResultTable
+from repro.eval.registry import DATASET_K
+
+SEED = 0
+
+
+def run_weights():
+    split = load_dataset("unsw_nb15", random_state=SEED, scale=BENCH_SCALE)
+    model = TargAD(TargADConfig(random_state=SEED, k=DATASET_K["unsw_nb15"]))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    candidate_kinds = split.unlabeled_kind[model.selection_.candidate_indices]
+    return model.weight_history, candidate_kinds
+
+
+def test_fig5_weight_dynamics(benchmark):
+    history, kinds = benchmark.pedantic(run_weights, rounds=1, iterations=1)
+    epochs = len(history)
+    picks = sorted({0, 1, 2, epochs // 4, epochs // 2, epochs - 1})
+
+    table = ResultTable(
+        f"Fig. 5(a) — mean candidate weight by true type (scale={BENCH_SCALE})",
+        columns=[f"ep{e}" for e in picks],
+        row_header="True type",
+    )
+    means = {}
+    for code, name in KIND_NAMES.items():
+        mask = kinds == code
+        if not mask.any():
+            continue
+        means[name] = [float(history[e][mask].mean()) for e in picks]
+        table.add_row(name, {f"ep{e}": f"{v:.3f}" for e, v in zip(picks, means[name])})
+    table.print()
+    print("Paper shape: normals start highest (Eq. 5) then collapse; "
+          "non-targets overtake and stay highest.")
+
+    print(f"\nFig. 5(b) — final-epoch weight distribution:")
+    from repro.viz import histogram
+
+    final = history[-1]
+    for code, name in KIND_NAMES.items():
+        mask = kinds == code
+        if not mask.any():
+            continue
+        print(histogram(final[mask], bins=10, value_range=(0.0, 1.0),
+                        title=f"  weight density — {name}", width=24))
+    print("Paper shape: the non-target density concentrates in the high-weight bins.")
+
+    # Shape assertions. (1) Eq. 5 initialization favours normals (low
+    # reconstruction error) over non-targets. (2) The Eq. 4 updates move
+    # weight onto non-targets and strip it from targets, which is the
+    # mechanism's purpose (protecting hidden targets from the OE pull).
+    # (3) Non-targets end above targets. Note: in the paper normals also
+    # end lowest; in our synthetic analog the few normals that leak into
+    # the candidate set are boundary instances the classifier stays
+    # uncertain about, so their weight falls more slowly — recorded as a
+    # partial-reproduction note in EXPERIMENTS.md.
+    assert means["normal"][0] >= means["non-target"][0] - 0.05
+    assert means["non-target"][-1] >= means["non-target"][0] - 0.2
+    if "target" in means:
+        assert means["target"][-1] < means["target"][0]
+        assert means["non-target"][-1] > means["target"][-1]

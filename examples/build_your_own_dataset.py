@@ -1,0 +1,87 @@
+"""Define a custom population and run the full TargAD workflow on it.
+
+Shows the lower-level API a downstream user needs to apply TargAD to their
+own domain: declare normal behaviour groups and anomaly families with the
+generator DSL, assemble a semi-supervised split, fit, and inspect every
+intermediate artifact (clusters, reconstruction errors, candidates,
+weights, tri-class output).
+
+The scenario: an IoT fleet with three device profiles; firmware-tampering
+events are the high-risk target; battery-drain misbehaviour is a known
+low-risk nuisance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, auprc
+from repro.data.splits import TableISpec, build_split
+from repro.data.synthetic import (
+    AnomalyFamilySpec,
+    NormalGroupSpec,
+    SyntheticTabularGenerator,
+)
+
+
+def main() -> None:
+    print("Declaring a custom IoT-fleet population...")
+    generator = SyntheticTabularGenerator(
+        n_numeric=24,
+        categorical_cardinalities=(4,),  # device hardware revision
+        normal_groups=[
+            NormalGroupSpec("sensor_node", weight=0.5, signature_size=6),
+            NormalGroupSpec("gateway", weight=0.3, signature_size=8),
+            NormalGroupSpec("camera", weight=0.2, signature_size=7),
+        ],
+        anomaly_families=[
+            AnomalyFamilySpec("firmware_tamper", is_target=True,
+                              n_affected=6, shift=5.0, shared_shift=3.0),
+            AnomalyFamilySpec("battery_drain", is_target=False,
+                              n_affected=5, shift=4.0, shared_shift=4.5),
+        ],
+        shared_anomaly_dims=4,
+        random_state=7,
+    )
+
+    spec = TableISpec(
+        name="iot-fleet",
+        n_labeled=30,
+        n_unlabeled=3000,
+        val_counts=(500, 25, 40),
+        test_counts=(1000, 50, 80),
+        contamination=0.05,
+    )
+    split = build_split(generator, spec, scale=1.0, random_state=7)
+    print(f"  split: {split.summary()}")
+
+    print("\nFitting TargAD with elbow-selected k...")
+    model = TargAD(TargADConfig(random_state=7))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    selection = model.selection_
+    print(f"  elbow chose k={model.k_} clusters "
+          f"(true behaviour-group count: 3)")
+    print(f"  cluster sizes: {np.bincount(selection.cluster_labels)}")
+
+    cand_kinds = split.unlabeled_kind[selection.candidate_indices]
+    print(f"  candidates: {selection.candidate_mask.sum()} "
+          f"({(cand_kinds > 0).mean():.0%} true anomalies — vs "
+          f"{(split.unlabeled_kind > 0).mean():.0%} base rate)")
+
+    weights = model.weight_history[-1]
+    for kind, name in ((0, "leaked normals"), (1, "hidden targets"), (2, "non-targets")):
+        mask = cand_kinds == kind
+        if mask.any():
+            print(f"  final mean OE weight on {name}: {weights[mask].mean():.2f}")
+
+    scores = model.decision_function(split.X_test)
+    print(f"\nTest AUPRC for firmware tampering: "
+          f"{auprc(split.y_test_binary, scores):.3f}")
+
+    tri = model.predict_triclass(split.X_test, strategy="ed")
+    agreement = (tri == split.test_kind).mean()
+    print(f"Tri-class agreement with ground truth: {agreement:.1%}")
+
+
+if __name__ == "__main__":
+    main()

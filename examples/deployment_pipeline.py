@@ -1,0 +1,73 @@
+"""Operate TargAD as a continuously-running detection service.
+
+The paper's scenarios (payment platform, enterprise SOC) run around the
+clock. This example shows the serving layer:
+
+1. fit TargAD, save it, reload it (deployment artifact round-trip),
+2. calibrate an operating threshold on the validation split under a
+   recall guarantee ("catch 90% of high-risk anomalies"),
+3. process live batches — alerts ranked for the analyst queue, non-target
+   anomalies deferred, covariate drift monitored,
+4. demonstrate the drift alarm when the traffic distribution shifts.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, load_dataset
+from repro.core import load_model, save_model
+from repro.data.schema import KIND_TARGET
+from repro.serving import ScoringPipeline
+
+
+def main() -> None:
+    print("Training TargAD on the UNSW-NB15 analog...")
+    split = load_dataset("unsw_nb15", random_state=0, scale=0.05)
+    model = TargAD(TargADConfig(k=4, random_state=0))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "targad.npz"
+        save_model(model, artifact)
+        print(f"Saved deployment artifact ({artifact.stat().st_size // 1024} KiB); reloading...")
+        model = load_model(artifact)
+
+    print("\nCalibrating: recall policy (catch >= 90% of target anomalies "
+          "on validation)...")
+    pipeline = ScoringPipeline(model, policy="recall", target_recall=0.9)
+    pipeline.calibrate(split.X_val, split.y_val_binary,
+                       X_reference=split.X_unlabeled)
+    print(f"  operating threshold: {pipeline.threshold_:.3f}")
+
+    print("\nProcessing live batches...")
+    rng = np.random.default_rng(7)
+    batch_size = 400
+    order = rng.permutation(len(split.X_test))
+    caught, total_targets = 0, 0
+    for batch_no in range(3):
+        idx = order[batch_no * batch_size : (batch_no + 1) * batch_size]
+        batch = pipeline.process(split.X_test[idx])
+        true_kinds = split.test_kind[idx]
+        true_targets = int((true_kinds == KIND_TARGET).sum())
+        hit = int((true_kinds[batch.alerts] == KIND_TARGET).sum())
+        caught += hit
+        total_targets += true_targets
+        print(f"  batch {batch_no + 1}: {batch.summary()}")
+        print(f"            {hit}/{true_targets} true high-risk in the alert queue")
+    if total_targets:
+        print(f"  running catch rate: {caught / total_targets:.0%}")
+
+    print("\nSimulating traffic drift (feature block shifts upward)...")
+    drifted_batch = split.X_test[order[:batch_size]].copy()
+    drifted_batch[:, :20] = np.clip(drifted_batch[:, :20] + 0.5, 0.0, 1.5)
+    result = pipeline.process(drifted_batch)
+    print(f"  {result.drift.summary()}")
+    print("  -> retraining/triage should be triggered before trusting these scores.")
+
+
+if __name__ == "__main__":
+    main()

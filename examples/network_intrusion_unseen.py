@@ -1,0 +1,80 @@
+"""Network intrusion with *unseen* low-risk attack families (Fig. 4(a)).
+
+A SOC team cares about Generic/Backdoor/DoS attacks. Their training data
+only ever contained Reconnaissance as a low-risk family — but at test time
+Fuzzers, Analysis, and Exploits traffic appears too. This example shows
+TargAD's robustness to those novel non-target families compared to a
+conventional semi-supervised detector.
+
+The mechanism: TargAD's OE pseudo-labels calibrate *any* instance that
+resembles the mined non-target candidates toward a uniform predictive
+distribution, so novel anomaly families that are neither normal nor
+target-like do not become false positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, auprc, load_dataset
+from repro.baselines import DeepSAD
+from repro.data.schema import KIND_NONTARGET
+
+KNOWN_NONTARGET = ["Reconnaissance"]  # only this family is in training
+SEED = 0
+
+
+def fit_and_score(split):
+    targad = TargAD(TargADConfig(k=4, random_state=SEED))
+    targad.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    deepsad = DeepSAD(random_state=SEED)
+    deepsad.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return (
+        targad.decision_function(split.X_test),
+        deepsad.decision_function(split.X_test),
+    )
+
+
+def main() -> None:
+    print("Scenario A — all four low-risk families seen during training:")
+    split_all = load_dataset("unsw_nb15", random_state=SEED, scale=0.05)
+    targad_all, deepsad_all = fit_and_score(split_all)
+    print(f"  TargAD AUPRC={auprc(split_all.y_test_binary, targad_all):.3f}  "
+          f"DeepSAD AUPRC={auprc(split_all.y_test_binary, deepsad_all):.3f}")
+
+    print("\nScenario B — training only saw Reconnaissance; Fuzzers/Analysis/"
+          "Exploits are NOVEL at test time:")
+    split_novel = load_dataset(
+        "unsw_nb15", random_state=SEED, scale=0.05,
+        train_nontarget_families=KNOWN_NONTARGET,
+    )
+    targad_novel, deepsad_novel = fit_and_score(split_novel)
+    print(f"  TargAD AUPRC={auprc(split_novel.y_test_binary, targad_novel):.3f}  "
+          f"DeepSAD AUPRC={auprc(split_novel.y_test_binary, deepsad_novel):.3f}")
+
+    print("\nFalse-positive pressure from novel families (mean anomaly score "
+          "rank of each non-target family, lower = fewer false alarms):")
+    scores = {"TargAD": targad_novel, "DeepSAD": deepsad_novel}
+    for model_name, s in scores.items():
+        ranks = s.argsort().argsort() / (len(s) - 1)  # normalized rank in [0, 1]
+        print(f"  {model_name}:")
+        for family in ["Reconnaissance", "Fuzzers", "Analysis", "Exploits"]:
+            mask = (split_novel.test_family == family) & (
+                split_novel.test_kind == KIND_NONTARGET
+            )
+            tag = "seen " if family in KNOWN_NONTARGET else "NOVEL"
+            print(f"    {family:15s} [{tag}]  mean rank {ranks[mask].mean():.3f}")
+
+    drop_targad = auprc(split_all.y_test_binary, targad_all) - auprc(
+        split_novel.y_test_binary, targad_novel
+    )
+    drop_deepsad = auprc(split_all.y_test_binary, deepsad_all) - auprc(
+        split_novel.y_test_binary, deepsad_novel
+    )
+    print(f"\nAUPRC drop when 3 families become novel: "
+          f"TargAD {drop_targad:+.3f}, DeepSAD {drop_deepsad:+.3f} "
+          "(paper Fig. 4(a): TargAD stays ~flat)")
+
+
+if __name__ == "__main__":
+    main()

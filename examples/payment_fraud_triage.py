@@ -1,0 +1,77 @@
+"""Payment-platform fraud triage — the paper's motivating SQB scenario.
+
+An integrated payment platform sees millions of merchant-day records.
+High-risk anomalies (fraud, gambling recharge) must be caught immediately;
+low-risk anomalies (click farming, cash out) are 6-20x more frequent but
+barely worth an analyst's time. A conventional detector floods the review
+queue with low-risk cases; TargAD ranks the high-risk ones on top.
+
+This example:
+
+1. builds the synthetic SQB-like split,
+2. trains TargAD and a conventional semi-supervised detector (DevNet),
+3. compares the *review queue*: how many high-risk merchants an analyst
+   finds in the top-N of each ranking (precision@N),
+4. uses TargAD's tri-class mode to route instances into three buckets:
+   immediate action / deferred review / no action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, auprc, load_dataset
+from repro.baselines import DevNet
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.metrics import precision_at_k
+
+
+def main() -> None:
+    print("Building the synthetic SQB-like split (proprietary data analog, "
+          "see DESIGN.md)...")
+    split = load_dataset("sqb", random_state=0, scale=0.05)
+    stats = split.summary()
+    print(f"  test: {stats['testing']['normal']} merchants treated as normal, "
+          f"{stats['testing']['target']} high-risk, "
+          f"{stats['testing']['non-target']} low-risk anomalies")
+
+    print("\nTraining DevNet (conventional 'detect every anomaly' scorer)...")
+    devnet = DevNet(random_state=0)
+    devnet.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    devnet_scores = devnet.decision_function(split.X_test)
+
+    print("Training TargAD (prioritized: high-risk anomalies only)...")
+    model = TargAD(TargADConfig(k=4, random_state=0))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    targad_scores = model.decision_function(split.X_test)
+
+    y = split.y_test_binary
+    print(f"\nAUPRC for high-risk detection: "
+          f"TargAD={auprc(y, targad_scores):.3f}  DevNet={auprc(y, devnet_scores):.3f}")
+
+    print("\nAnalyst review queue (precision@N = fraction of the top-N that "
+          "is actually high-risk):")
+    print(f"  {'N':>4s}  {'TargAD':>7s}  {'DevNet':>7s}")
+    for n in (20, 50, 100):
+        print(f"  {n:4d}  {precision_at_k(y, targad_scores, n):7.3f}"
+              f"  {precision_at_k(y, devnet_scores, n):7.3f}")
+
+    print("\nTri-class routing with TargAD (Section III-C, ED strategy):")
+    routed = model.predict_triclass(split.X_test, strategy="ed")
+    buckets = {
+        KIND_TARGET: "immediate action (predicted high-risk)",
+        KIND_NONTARGET: "deferred review (predicted low-risk)",
+        KIND_NORMAL: "no action (predicted normal)",
+    }
+    for code, label in buckets.items():
+        mask = routed == code
+        n_true_target = int((split.test_kind[mask] == KIND_TARGET).sum())
+        print(f"  {label:42s}: {int(mask.sum()):6d} merchants "
+              f"({n_true_target} true high-risk inside)")
+
+    caught = (routed[split.test_kind == KIND_TARGET] == KIND_TARGET).mean()
+    print(f"\nHigh-risk merchants routed to immediate action: {caught:.1%}")
+
+
+if __name__ == "__main__":
+    main()

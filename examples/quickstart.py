@@ -1,0 +1,56 @@
+"""Quickstart: train TargAD on a synthetic UNSW-NB15-like split.
+
+Demonstrates the end-to-end public API:
+
+1. load a preprocessed semi-supervised split,
+2. fit TargAD (candidate selection + classifier, Algorithm 1),
+3. rank test instances by the target-anomaly score (Eq. 9),
+4. report AUPRC / AUROC against the target-anomaly ground truth.
+
+Run with ``python examples/quickstart.py``. Use ``REPRO_SCALE`` to change
+dataset size (default here is a small, seconds-fast slice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, auprc, auroc, load_dataset
+
+
+def main() -> None:
+    print("Loading a synthetic UNSW-NB15-like split (see DESIGN.md)...")
+    split = load_dataset("unsw_nb15", random_state=0, scale=0.05)
+    stats = split.summary()
+    print(f"  {stats['unlabeled']} unlabeled training rows, "
+          f"{stats['labeled_target']} labeled target anomalies, "
+          f"D={stats['D']} features, m={stats['m']} target classes")
+
+    print("\nTraining TargAD (k-means -> per-cluster SAD autoencoders -> "
+          "OE-regularized classifier)...")
+    model = TargAD(TargADConfig(k=4, random_state=0))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    selection = model.selection_
+    print(f"  candidate selection: {selection.candidate_mask.sum()} "
+          f"non-target anomaly candidates (top {model.config.alpha:.0%} "
+          f"by reconstruction error)")
+
+    print("\nScoring the test split...")
+    scores = model.decision_function(split.X_test)
+    print(f"  AUPRC = {auprc(split.y_test_binary, scores):.3f}")
+    print(f"  AUROC = {auroc(split.y_test_binary, scores):.3f}")
+
+    # Show the score separation the model achieves per instance kind.
+    for kind, name in ((0, "normal"), (1, "target anomaly"), (2, "non-target anomaly")):
+        mask = split.test_kind == kind
+        print(f"  mean S_tar for {name:19s}: {scores[mask].mean():.3f}")
+
+    top10 = np.argsort(-scores)[:10]
+    print("\nTop-10 ranked test instances (family / true kind):")
+    for rank, idx in enumerate(top10, 1):
+        kind_name = {0: "normal", 1: "TARGET", 2: "non-target"}[int(split.test_kind[idx])]
+        print(f"  {rank:2d}. score={scores[idx]:.3f}  {split.test_family[idx]:16s} [{kind_name}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment is offline: pip's default PEP 517 build isolation tries to
+download setuptools/wheel and fails. With a setup.py present, pip can fall
+back to a legacy editable install using the locally-installed setuptools
+(`use-pep517 = false` is set in the user's pip.conf). All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""TargAD reproduction — robust prioritized (target-class) anomaly detection.
+
+Reproduces Lu et al., "A Robust Prioritized Anomaly Detection when Not All
+Anomalies are of Primary Interest" (ICDE 2024), including the TargAD model,
+all eleven baselines, the four (synthetic-analog) datasets, and every
+table/figure experiment. See DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import TargAD, TargADConfig, load_dataset, auprc
+
+    split = load_dataset("unsw_nb15", random_state=0, scale=0.05)
+    model = TargAD(TargADConfig(k=4, random_state=0))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    scores = model.decision_function(split.X_test)
+    print(auprc(split.y_test_binary, scores))
+"""
+
+from repro.core import TargAD, TargADConfig
+from repro.data import DATASET_NAMES, DatasetSplit, load_dataset
+from repro.metrics import auprc, auroc, classification_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSplit",
+    "TargAD",
+    "TargADConfig",
+    "__version__",
+    "auprc",
+    "auroc",
+    "classification_report",
+    "load_dataset",
+]

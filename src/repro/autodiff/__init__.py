@@ -1,0 +1,18 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the computational substrate for every neural model in the
+repository (TargAD's autoencoders and classifier, and all neural baselines).
+It implements a small but complete dynamic-graph autodiff engine:
+
+- :class:`~repro.autodiff.tensor.Tensor` — an array with gradient tracking,
+- a library of differentiable operations (arithmetic, matmul, reductions,
+  activations, softmax/log-softmax, indexing, concatenation),
+- :func:`~repro.autodiff.grad_check.numerical_gradient` /
+  :func:`~repro.autodiff.grad_check.check_gradients` — finite-difference
+  verification utilities used heavily by the test suite.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.grad_check import check_gradients, numerical_gradient
+
+__all__ = ["Tensor", "no_grad", "check_gradients", "numerical_gradient"]

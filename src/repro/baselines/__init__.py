@@ -1,0 +1,46 @@
+"""The paper's eleven baseline detectors (Section IV-B), from scratch.
+
+All share the :class:`~repro.baselines.base.BaseDetector` interface:
+``fit(X_unlabeled, X_labeled=None, y_labeled=None)`` then
+``decision_function(X)`` returning an anomaly score (higher = more
+anomalous). iForest and REPEN are unsupervised; the rest consume the
+labeled target anomalies as a single "anomaly" class — which is exactly
+why they confuse non-target anomalies with targets, the failure mode the
+paper measures.
+"""
+
+from repro.baselines.adoa import ADOA
+from repro.baselines.base import BaseDetector
+from repro.baselines.deep_svdd import DeepSVDD
+from repro.baselines.deepsad import DeepSAD
+from repro.baselines.devnet import DevNet
+from repro.baselines.dplan import DPLAN
+from repro.baselines.dual_mgan import DualMGAN
+from repro.baselines.ecod import ECOD
+from repro.baselines.feawad import FEAWAD
+from repro.baselines.iforest import IsolationForest
+from repro.baselines.knn import KNNDetector
+from repro.baselines.lof import LocalOutlierFactor
+from repro.baselines.piawal import PIAWAL
+from repro.baselines.prenet import PReNet
+from repro.baselines.pumad import PUMAD
+from repro.baselines.repen import REPEN
+
+__all__ = [
+    "ADOA",
+    "BaseDetector",
+    "DPLAN",
+    "DeepSAD",
+    "DeepSVDD",
+    "DevNet",
+    "DualMGAN",
+    "ECOD",
+    "FEAWAD",
+    "IsolationForest",
+    "KNNDetector",
+    "LocalOutlierFactor",
+    "PIAWAL",
+    "PReNet",
+    "PUMAD",
+    "REPEN",
+]

@@ -1,0 +1,138 @@
+"""ADOA (Zhang et al., WWW 2018) — Anomaly Detection with partially
+Observed Anomalies.
+
+Mechanism: (1) cluster the observed (labeled) anomalies into ``k``
+clusters; (2) score every unlabeled instance by a convex combination of an
+*isolation* score (from an isolation forest) and a *similarity* score (max
+similarity to an anomaly-cluster center); (3) instances with a high total
+score become reliable anomalies (assigned to their nearest anomaly
+cluster), those with a low score reliable normals, each carrying a
+confidence weight; (4) train a weighted (k+1)-class classifier; the
+anomaly score of a new instance is its total anomaly-cluster probability
+mass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.baselines.iforest import IsolationForest
+from repro.cluster import KMeans
+from repro.nn.layers import mlp
+from repro.nn.losses import soft_cross_entropy
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches, iterate_minibatches
+
+
+class ADOA(BaseDetector):
+    """ADOA with an MLP as the weighted multi-class learner.
+
+    Parameters
+    ----------
+    n_anomaly_clusters:
+        ``k``: number of clusters among the observed anomalies.
+    theta:
+        Convex weight between isolation and similarity scores.
+    anomaly_quantile, normal_quantile:
+        Total-score quantiles above/below which unlabeled instances become
+        reliable anomalies / normals.
+    """
+
+    name = "ADOA"
+
+    def __init__(
+        self,
+        n_anomaly_clusters: int = 2,
+        theta: float = 0.5,
+        anomaly_quantile: float = 0.95,
+        normal_quantile: float = 0.5,
+        hidden_sizes: Sequence[int] = (64, 32),
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 20,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must be in [0, 1]")
+        self.n_anomaly_clusters = n_anomaly_clusters
+        self.theta = theta
+        self.anomaly_quantile = anomaly_quantile
+        self.normal_quantile = normal_quantile
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self._network = None
+        self._k: int = 0
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled
+        if X_labeled is None or len(X_labeled) == 0:
+            raise ValueError("ADOA requires observed anomalies")
+        rng = np.random.default_rng(self.random_state)
+
+        k = min(self.n_anomaly_clusters, len(X_labeled))
+        self._k = k
+        kmeans = KMeans(n_clusters=k, random_state=self.random_state)
+        anomaly_clusters = kmeans.fit_predict(X_labeled)
+        centers = kmeans.cluster_centers_
+
+        # Isolation score, normalized to [0, 1].
+        iforest = IsolationForest(n_estimators=50, random_state=self.random_state)
+        iforest.fit(X_unlabeled)
+        iso = iforest.decision_function(X_unlabeled)
+        iso = (iso - iso.min()) / max(iso.max() - iso.min(), 1e-12)
+
+        # Similarity score: Gaussian kernel to the nearest anomaly center.
+        d2 = ((X_unlabeled[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        bandwidth = np.median(d2) + 1e-12
+        sim = np.exp(-d2 / bandwidth).max(axis=1)
+        nearest = d2.argmin(axis=1)
+
+        total = self.theta * iso + (1.0 - self.theta) * sim
+        hi = np.quantile(total, self.anomaly_quantile)
+        lo = np.quantile(total, self.normal_quantile)
+        reliable_anom = total >= hi
+        reliable_norm = total <= lo
+
+        # Assemble the weighted training set: labeled anomalies (weight 1,
+        # their own cluster), reliable unlabeled anomalies (weight = total
+        # score), reliable normals (weight = 1 - total score), class k.
+        X_parts = [X_labeled, X_unlabeled[reliable_anom], X_unlabeled[reliable_norm]]
+        y_parts = [anomaly_clusters, nearest[reliable_anom],
+                   np.full(int(reliable_norm.sum()), k)]
+        w_parts = [np.ones(len(X_labeled)), total[reliable_anom], 1.0 - total[reliable_norm]]
+        X_train = np.concatenate(X_parts)
+        y_train = np.concatenate(y_parts).astype(np.int64)
+        weights = np.concatenate(w_parts)
+
+        n_classes = k + 1
+        targets = np.zeros((len(y_train), n_classes))
+        targets[np.arange(len(y_train)), y_train] = 1.0
+
+        self._network = mlp([X_unlabeled.shape[1], *self.hidden_sizes, n_classes],
+                            activation="relu", rng=rng)
+        optimizer = Adam(self._network.parameters(), lr=self.lr)
+        for epoch in range(self.epochs):
+            for idx in iterate_minibatches(len(X_train), self.batch_size, rng=rng):
+                optimizer.zero_grad()
+                logits = self._network(Tensor(X_train[idx]))
+                loss = soft_cross_entropy(logits, targets[idx], weights=weights[idx])
+                loss.backward()
+                optimizer.step()
+            if epoch_callback is not None:
+                self._fitted = True
+                epoch_callback(epoch, self)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        logits = forward_in_batches(self._network, np.asarray(X, dtype=np.float64))
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        return probs[:, : self._k].sum(axis=1)

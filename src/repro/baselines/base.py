@@ -1,0 +1,76 @@
+"""Shared detector interface for the baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+class BaseDetector:
+    """Anomaly detector with a unified semi-supervised interface.
+
+    Subclasses implement :meth:`_fit` and :meth:`decision_function`.
+    Anomaly scores follow the convention *higher = more anomalous*.
+
+    Attributes
+    ----------
+    name:
+        Registry/display name of the method.
+    supervision:
+        "unsupervised" or "semi-supervised" — documentation metadata used
+        by the evaluation tables.
+    """
+
+    name = "base"
+    supervision = "semi-supervised"
+
+    def __init__(self, random_state: Optional[int] = None):
+        self.random_state = random_state
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X_unlabeled: np.ndarray,
+        X_labeled: Optional[np.ndarray] = None,
+        y_labeled: Optional[np.ndarray] = None,
+        epoch_callback: Optional[Callable[[int, "BaseDetector"], None]] = None,
+    ) -> "BaseDetector":
+        """Train the detector.
+
+        Parameters
+        ----------
+        X_unlabeled:
+            The unlabeled (contaminated) pool.
+        X_labeled, y_labeled:
+            Labeled target anomalies and their class labels. Baselines all
+            collapse the classes into a single "anomaly" label; the class
+            information is accepted for interface uniformity.
+        epoch_callback:
+            Optional per-epoch hook for neural detectors.
+        """
+        X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
+        if X_unlabeled.ndim != 2 or len(X_unlabeled) == 0:
+            raise ValueError("X_unlabeled must be a non-empty 2-D array")
+        if X_labeled is not None:
+            X_labeled = np.asarray(X_labeled, dtype=np.float64)
+            if X_labeled.ndim != 2:
+                raise ValueError("X_labeled must be 2-dimensional")
+        self._fit(X_unlabeled, X_labeled, y_labeled, epoch_callback)
+        self._fitted = True
+        return self
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        raise NotImplementedError
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Anomaly scores; higher = more anomalous."""
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(random_state={self.random_state})"

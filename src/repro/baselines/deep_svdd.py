@@ -1,0 +1,49 @@
+"""DeepSVDD (Ruff et al., ICML 2018) — unsupervised deep one-class model.
+
+The fully-unsupervised ancestor of DeepSAD (the paper's reference [23]):
+pretrain an autoencoder, fix the hypersphere center ``c`` at the mean
+latent code, then train the encoder to contract all (unlabeled) data
+toward ``c``. Anomaly score = squared latent distance to ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.deepsad import DeepSAD
+
+
+class DeepSVDD(DeepSAD):
+    """One-class DeepSVDD (DeepSAD with the labeled term disabled).
+
+    Implemented as DeepSAD with ``eta = 0`` and labels ignored, which is
+    exactly the relationship between the two published methods.
+    """
+
+    name = "DeepSVDD"
+    supervision = "unsupervised"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 16),
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        pretrain_epochs: int = 10,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            hidden_sizes=hidden_sizes,
+            eta=0.0,
+            lr=lr,
+            batch_size=batch_size,
+            pretrain_epochs=pretrain_epochs,
+            epochs=epochs,
+            random_state=random_state,
+        )
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        # One-class: discard any labels the caller passes.
+        super()._fit(X_unlabeled, None, None, epoch_callback)

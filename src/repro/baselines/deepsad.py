@@ -1,0 +1,101 @@
+"""DeepSAD (Ruff et al., ICLR 2020) — deep semi-supervised one-class model.
+
+Pipeline: (1) pretrain an autoencoder on the unlabeled data; (2) set the
+hypersphere center ``c`` to the mean latent code; (3) train the encoder so
+unlabeled data maps close to ``c`` while labeled anomalies are pushed away
+by penalizing the *inverse* squared distance. The anomaly score is the
+squared latent distance to ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches, iterate_minibatches
+
+_EPS = 1e-6
+
+
+class DeepSAD(BaseDetector):
+    """Deep semi-supervised anomaly detection.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Encoder layer widths (latent dim is the last entry).
+    eta:
+        Weight of the labeled-anomaly inverse-distance term.
+    pretrain_epochs, epochs:
+        Autoencoder pretraining and SAD fine-tuning schedules.
+    """
+
+    name = "DeepSAD"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 16),
+        eta: float = 1.0,
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        pretrain_epochs: int = 10,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.eta = eta
+        self.lr = lr
+        self.batch_size = batch_size
+        self.pretrain_epochs = pretrain_epochs
+        self.epochs = epochs
+        self._encoder = None
+        self._center: Optional[np.ndarray] = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled  # classes collapse into one "anomaly" label
+        ae = Autoencoder(
+            hidden_sizes=self.hidden_sizes,
+            lr=self.lr,
+            batch_size=self.batch_size,
+            epochs=self.pretrain_epochs,
+            random_state=self.random_state,
+        )
+        ae.fit(X_unlabeled)
+        self._encoder = ae.encoder
+
+        latent = ae.encode(X_unlabeled)
+        center = latent.mean(axis=0)
+        # Avoid trivial collapse: keep the center away from exact zeros.
+        center[np.abs(center) < 0.01] = 0.01
+        self._center = center
+
+        rng = np.random.default_rng(self.random_state)
+        optimizer = Adam(self._encoder.parameters(), lr=self.lr)
+        has_labeled = X_labeled is not None and len(X_labeled) > 0
+        c = Tensor(self._center)
+        for epoch in range(self.epochs):
+            for idx in iterate_minibatches(len(X_unlabeled), self.batch_size, rng=rng):
+                optimizer.zero_grad()
+                z = self._encoder(Tensor(X_unlabeled[idx]))
+                dist = ((z - c) ** 2.0).sum(axis=1)
+                loss = dist.mean()
+                if has_labeled:
+                    z_lab = self._encoder(Tensor(X_labeled))
+                    dist_lab = ((z_lab - c) ** 2.0).sum(axis=1)
+                    loss = loss + self.eta * ((dist_lab + _EPS) ** -1.0).mean()
+                loss.backward()
+                optimizer.step()
+            if epoch_callback is not None:
+                self._fitted = True  # allow scoring from inside the callback
+                epoch_callback(epoch, self)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        latent = forward_in_batches(self._encoder, np.asarray(X, dtype=np.float64))
+        return ((latent - self._center) ** 2).sum(axis=1)

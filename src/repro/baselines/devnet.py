@@ -1,0 +1,85 @@
+"""DevNet (Pang, Shen & van den Hengel, KDD 2019) — deviation networks.
+
+An end-to-end scalar anomaly scorer trained with the *deviation loss*: the
+score of unlabeled (assumed-normal) data is pulled toward the mean of a
+standard-normal reference prior, while scores of labeled anomalies must
+deviate at least ``margin`` reference standard deviations above it. Each
+batch oversamples the labeled anomalies 1:1 with unlabeled data, as in the
+original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.nn.layers import mlp
+from repro.nn.losses import deviation_loss
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches, iterate_minibatches
+
+
+class DevNet(BaseDetector):
+    """Deviation network anomaly scorer.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the scorer MLP's hidden layers.
+    margin:
+        Deviation margin ``a`` (the paper uses 5).
+    """
+
+    name = "DevNet"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 32),
+        margin: float = 5.0,
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.margin = margin
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self._network = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled
+        if X_labeled is None or len(X_labeled) == 0:
+            raise ValueError("DevNet requires labeled anomalies")
+        rng = np.random.default_rng(self.random_state)
+        self._network = mlp(
+            [X_unlabeled.shape[1], *self.hidden_sizes, 1], activation="relu", rng=rng
+        )
+        optimizer = Adam(self._network.parameters(), lr=self.lr)
+        half = max(self.batch_size // 2, 1)
+        loss_rng = np.random.default_rng(
+            None if self.random_state is None else self.random_state + 1
+        )
+        for epoch in range(self.epochs):
+            for idx_u in iterate_minibatches(len(X_unlabeled), half, rng=rng):
+                # Oversample the labeled anomalies to half the batch.
+                idx_a = rng.integers(0, len(X_labeled), size=min(half, len(idx_u)))
+                batch = np.concatenate([X_unlabeled[idx_u], X_labeled[idx_a]])
+                labels = np.concatenate([np.zeros(len(idx_u)), np.ones(len(idx_a))])
+                optimizer.zero_grad()
+                scores = self._network(Tensor(batch)).reshape(-1)
+                loss = deviation_loss(scores, labels, margin=self.margin, rng=loss_rng)
+                loss.backward()
+                optimizer.step()
+            if epoch_callback is not None:
+                self._fitted = True
+                epoch_callback(epoch, self)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return forward_in_batches(self._network, np.asarray(X, dtype=np.float64)).ravel()

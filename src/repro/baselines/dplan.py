@@ -1,0 +1,146 @@
+"""DPLAN (Pang et al., KDD 2021) — deep reinforcement learning for anomaly
+detection with partially labeled data.
+
+An agent observes one instance per step and decides "anomaly" (1) or
+"normal" (0). Rewards combine an *external* signal on labeled anomalies
+(+1 for flagging, −1 for missing) with an *intrinsic* unsupervised signal
+(an isolation-forest score) on unlabeled data, so the agent extends the
+labeled anomaly patterns to unknown anomalies. The policy is a DQN with an
+experience-replay buffer and a periodically-synced target network; the
+anomaly score of an instance is ``Q(s, anomaly)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.baselines.iforest import IsolationForest
+from repro.nn.layers import mlp
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches
+
+
+class DPLAN(BaseDetector):
+    """Simplified DQN anomaly-detection agent.
+
+    Parameters
+    ----------
+    n_steps:
+        Total environment steps (one instance observed per step).
+    anomaly_sample_prob:
+        Probability that the next observation is a labeled anomaly (the
+        original paper's sampling alternates between the two pools).
+    buffer_size, train_batch, sync_every:
+        Replay-buffer capacity, DQN batch size, target-network sync period.
+    epsilon_start, epsilon_end:
+        Linear ε-greedy exploration schedule.
+    """
+
+    name = "DPLAN"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 32),
+        n_steps: int = 2000,
+        anomaly_sample_prob: float = 0.5,
+        gamma: float = 0.1,
+        lr: float = 1e-3,
+        buffer_size: int = 1024,
+        train_batch: int = 64,
+        sync_every: int = 200,
+        epsilon_start: float = 1.0,
+        epsilon_end: float = 0.1,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.n_steps = n_steps
+        self.anomaly_sample_prob = anomaly_sample_prob
+        self.gamma = gamma
+        self.lr = lr
+        self.buffer_size = buffer_size
+        self.train_batch = train_batch
+        self.sync_every = sync_every
+        self.epsilon_start = epsilon_start
+        self.epsilon_end = epsilon_end
+        self._q_network = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled
+        if X_labeled is None or len(X_labeled) == 0:
+            raise ValueError("DPLAN requires labeled anomalies")
+        rng = np.random.default_rng(self.random_state)
+        D = X_unlabeled.shape[1]
+
+        # Intrinsic reward: normalized isolation-forest score on unlabeled data.
+        iforest = IsolationForest(n_estimators=50, random_state=self.random_state)
+        iforest.fit(X_unlabeled)
+        intrinsic = iforest.decision_function(X_unlabeled)
+        intrinsic = (intrinsic - intrinsic.min()) / max(intrinsic.max() - intrinsic.min(), 1e-12)
+
+        self._q_network = mlp([D, *self.hidden_sizes, 2], activation="relu", rng=rng)
+        target_network = mlp([D, *self.hidden_sizes, 2], activation="relu", rng=rng)
+        target_network.load_state_dict(self._q_network.state_dict())
+        optimizer = Adam(self._q_network.parameters(), lr=self.lr)
+
+        buffer: Deque[Tuple[np.ndarray, int, float, np.ndarray]] = deque(maxlen=self.buffer_size)
+
+        def sample_observation() -> Tuple[np.ndarray, bool, float]:
+            if rng.random() < self.anomaly_sample_prob:
+                return X_labeled[rng.integers(len(X_labeled))], True, 0.0
+            idx = int(rng.integers(len(X_unlabeled)))
+            return X_unlabeled[idx], False, float(intrinsic[idx])
+
+        state, is_anom, intr = sample_observation()
+        callback_every = max(self.n_steps // 30, 1)
+        for step in range(self.n_steps):
+            epsilon = self.epsilon_start + (self.epsilon_end - self.epsilon_start) * (
+                step / max(self.n_steps - 1, 1)
+            )
+            if rng.random() < epsilon:
+                action = int(rng.integers(2))
+            else:
+                q = forward_in_batches(self._q_network, state[None, :])[0]
+                action = int(q.argmax())
+
+            if is_anom:
+                reward = 1.0 if action == 1 else -1.0
+            else:
+                reward = intr if action == 1 else 0.0
+
+            next_state, next_is_anom, next_intr = sample_observation()
+            buffer.append((state, action, reward, next_state))
+            state, is_anom, intr = next_state, next_is_anom, next_intr
+
+            if len(buffer) >= self.train_batch:
+                batch_idx = rng.choice(len(buffer), size=self.train_batch, replace=False)
+                states = np.stack([buffer[i][0] for i in batch_idx])
+                actions = np.array([buffer[i][1] for i in batch_idx])
+                rewards = np.array([buffer[i][2] for i in batch_idx])
+                next_states = np.stack([buffer[i][3] for i in batch_idx])
+
+                next_q = forward_in_batches(target_network, next_states)
+                targets = rewards + self.gamma * next_q.max(axis=1)
+
+                optimizer.zero_grad()
+                q_values = self._q_network(Tensor(states))
+                chosen = q_values[np.arange(len(actions)), actions]
+                loss = ((chosen - Tensor(targets)) ** 2.0).mean()
+                loss.backward()
+                optimizer.step()
+
+            if (step + 1) % self.sync_every == 0:
+                target_network.load_state_dict(self._q_network.state_dict())
+            if epoch_callback is not None and (step + 1) % callback_every == 0:
+                self._fitted = True
+                epoch_callback((step + 1) // callback_every - 1, self)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        q = forward_in_batches(self._q_network, np.asarray(X, dtype=np.float64))
+        return q[:, 1]

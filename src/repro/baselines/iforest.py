@@ -1,0 +1,126 @@
+"""Isolation Forest (Liu, Ting & Zhou, 2012) — unsupervised baseline.
+
+Anomalies are "few and different", so random axis-aligned splits isolate
+them in short paths. The anomaly score is ``2^(−E[h(x)] / c(ψ))`` where
+``E[h(x)]`` is the mean path length over the ensemble and ``c(ψ)`` the
+expected path length of an unsuccessful BST search on ``ψ`` points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+
+
+@dataclass
+class _Node:
+    """Internal tree node; ``feature is None`` marks a leaf."""
+
+    feature: Optional[int] = None
+    split: float = 0.0
+    size: int = 0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+def average_path_length(n: np.ndarray) -> np.ndarray:
+    """``c(n)``: expected path length of unsuccessful BST search on n points."""
+    n = np.asarray(n, dtype=np.float64)
+    result = np.zeros_like(n)
+    mask = n > 2
+    harmonic = np.log(n[mask] - 1.0) + np.euler_gamma
+    result[mask] = 2.0 * harmonic - 2.0 * (n[mask] - 1.0) / n[mask]
+    result[n == 2] = 1.0
+    return result
+
+
+class IsolationForest(BaseDetector):
+    """Isolation forest over random subsamples.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of isolation trees.
+    max_samples:
+        Subsample size ψ per tree (capped at the dataset size).
+    random_state:
+        Ensemble seed.
+    """
+
+    name = "iForest"
+    supervision = "unsupervised"
+
+    def __init__(self, n_estimators: int = 100, max_samples: int = 256,
+                 random_state: Optional[int] = None):
+        super().__init__(random_state)
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.n_estimators = n_estimators
+        self.max_samples = max_samples
+        self._trees: list = []
+        self._psi: int = 0
+
+    # ------------------------------------------------------------------
+    def _build_tree(self, X: np.ndarray, depth: int, max_depth: int,
+                    rng: np.random.Generator) -> _Node:
+        n = len(X)
+        if depth >= max_depth or n <= 1:
+            return _Node(size=n)
+        # Choose a feature with spread; bail to a leaf if all are constant.
+        spans = X.max(axis=0) - X.min(axis=0)
+        candidates = np.flatnonzero(spans > 0)
+        if len(candidates) == 0:
+            return _Node(size=n)
+        feature = int(rng.choice(candidates))
+        low, high = X[:, feature].min(), X[:, feature].max()
+        split = float(rng.uniform(low, high))
+        mask = X[:, feature] < split
+        return _Node(
+            feature=feature,
+            split=split,
+            size=n,
+            left=self._build_tree(X[mask], depth + 1, max_depth, rng),
+            right=self._build_tree(X[~mask], depth + 1, max_depth, rng),
+        )
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del X_labeled, y_labeled, epoch_callback  # unsupervised
+        rng = np.random.default_rng(self.random_state)
+        n = len(X_unlabeled)
+        self._psi = min(self.max_samples, n)
+        max_depth = int(np.ceil(np.log2(max(self._psi, 2))))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample_idx = rng.choice(n, size=self._psi, replace=False)
+            self._trees.append(self._build_tree(X_unlabeled[sample_idx], 0, max_depth, rng))
+
+    # ------------------------------------------------------------------
+    def _path_lengths(self, tree: _Node, X: np.ndarray, idx: np.ndarray,
+                      depth: int, out: np.ndarray) -> None:
+        if tree.feature is None or len(idx) == 0:
+            # Leaf: add the depth plus the BST correction for leaf size.
+            correction = float(average_path_length(np.array([max(tree.size, 1)]))[0])
+            out[idx] = depth + correction
+            return
+        mask = X[idx, tree.feature] < tree.split
+        self._path_lengths(tree.left, X, idx[mask], depth + 1, out)
+        self._path_lengths(tree.right, X, idx[~mask], depth + 1, out)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros(len(X))
+        buffer = np.empty(len(X))
+        all_idx = np.arange(len(X))
+        for tree in self._trees:
+            self._path_lengths(tree, X, all_idx, 0, buffer)
+            total += buffer
+        mean_depth = total / self.n_estimators
+        c = float(average_path_length(np.array([self._psi]))[0])
+        return np.power(2.0, -mean_depth / max(c, 1e-12))

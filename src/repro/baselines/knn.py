@@ -1,0 +1,68 @@
+"""k-nearest-neighbour distance detector.
+
+The classical distance-based unsupervised baseline (the paper's related
+work bucket "distance-based [23]"): the anomaly score of an instance is
+its (mean) distance to the k nearest training instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+from repro.baselines.lof import _pairwise_distances
+
+
+class KNNDetector(BaseDetector):
+    """Mean k-NN distance anomaly score.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours averaged into the score.
+    aggregation:
+        "mean" over the k distances or "max" (= distance to the k-th
+        neighbour, the classical "kth-NN" variant).
+    max_train:
+        Reference-set cap (scoring is O(n·|ref|)).
+    """
+
+    name = "kNN"
+    supervision = "unsupervised"
+
+    def __init__(self, n_neighbors: int = 10, aggregation: str = "mean",
+                 max_train: int = 4000, random_state: Optional[int] = None):
+        super().__init__(random_state)
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if aggregation not in ("mean", "max"):
+            raise ValueError('aggregation must be "mean" or "max"')
+        self.n_neighbors = n_neighbors
+        self.aggregation = aggregation
+        self.max_train = max_train
+        self._X_ref: Optional[np.ndarray] = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del X_labeled, y_labeled, epoch_callback
+        rng = np.random.default_rng(self.random_state)
+        X = X_unlabeled
+        if len(X) > self.max_train:
+            X = X[rng.choice(len(X), size=self.max_train, replace=False)]
+        self._X_ref = X
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._X_ref))
+        scores = np.empty(len(X))
+        for start in range(0, len(X), 1024):
+            chunk = X[start : start + 1024]
+            dists = _pairwise_distances(chunk, self._X_ref)
+            nearest = np.partition(dists, k - 1, axis=1)[:, :k]
+            if self.aggregation == "mean":
+                scores[start : start + 1024] = nearest.mean(axis=1)
+            else:
+                scores[start : start + 1024] = nearest.max(axis=1)
+        return scores

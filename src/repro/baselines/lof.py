@@ -1,0 +1,88 @@
+"""Local Outlier Factor (Breunig et al., SIGMOD 2000).
+
+Density-based unsupervised detector cited in the paper's related work
+(reference [22]). The LOF of an instance compares its local reachability
+density to that of its k nearest neighbours; values ≫ 1 indicate an
+instance lying in a sparser region than its neighbourhood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseDetector
+
+_EPS = 1e-12
+
+
+def _pairwise_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    d2 = (A**2).sum(axis=1)[:, None] - 2.0 * A @ B.T + (B**2).sum(axis=1)[None, :]
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+class LocalOutlierFactor(BaseDetector):
+    """LOF with brute-force neighbour search.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbourhood size ``k`` (MinPts in the original paper).
+    max_train:
+        Reference-set cap; larger training pools are subsampled (LOF is
+        O(n²) in the reference size).
+    """
+
+    name = "LOF"
+    supervision = "unsupervised"
+
+    def __init__(self, n_neighbors: int = 20, max_train: int = 2000,
+                 random_state: Optional[int] = None):
+        super().__init__(random_state)
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.max_train = max_train
+        self._X_ref: Optional[np.ndarray] = None
+        self._k_dist: Optional[np.ndarray] = None
+        self._lrd: Optional[np.ndarray] = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del X_labeled, y_labeled, epoch_callback
+        rng = np.random.default_rng(self.random_state)
+        X = X_unlabeled
+        if len(X) > self.max_train:
+            X = X[rng.choice(len(X), size=self.max_train, replace=False)]
+        k = min(self.n_neighbors, len(X) - 1)
+        self._k = k
+
+        dists = _pairwise_distances(X, X)
+        np.fill_diagonal(dists, np.inf)
+        neighbor_idx = np.argsort(dists, axis=1)[:, :k]
+        neighbor_dists = np.take_along_axis(dists, neighbor_idx, axis=1)
+        k_dist = neighbor_dists[:, -1]
+
+        # Reachability distance of p from o: max(k_dist(o), d(p, o)).
+        reach = np.maximum(k_dist[neighbor_idx], neighbor_dists)
+        lrd = 1.0 / (reach.mean(axis=1) + _EPS)
+
+        self._X_ref = X
+        self._k_dist = k_dist
+        self._lrd = lrd
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        scores = np.empty(len(X))
+        # Batch to bound the distance-matrix memory.
+        for start in range(0, len(X), 1024):
+            chunk = X[start : start + 1024]
+            dists = _pairwise_distances(chunk, self._X_ref)
+            neighbor_idx = np.argsort(dists, axis=1)[:, : self._k]
+            neighbor_dists = np.take_along_axis(dists, neighbor_idx, axis=1)
+            reach = np.maximum(self._k_dist[neighbor_idx], neighbor_dists)
+            lrd_query = 1.0 / (reach.mean(axis=1) + _EPS)
+            lof = self._lrd[neighbor_idx].mean(axis=1) / (lrd_query + _EPS)
+            scores[start : start + 1024] = lof
+        return scores

@@ -1,0 +1,125 @@
+"""PReNet (Pang et al., KDD 2023) — pairwise relation networks.
+
+Mechanism: sample instance pairs from the training data and regress an
+ordinal relation score: (anomaly, anomaly) → 8, (anomaly, unlabeled) → 4,
+(unlabeled, unlabeled) → 0. The network consumes the concatenated pair
+features. At inference, an instance is paired with random labeled
+anomalies and random unlabeled instances; its anomaly score is the mean
+predicted relation over those pairs (instances that relate strongly to
+known anomalies score high).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.nn.layers import mlp
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches
+
+SCORE_AA = 8.0
+SCORE_AU = 4.0
+SCORE_UU = 0.0
+
+
+class PReNet(BaseDetector):
+    """Pairwise relation network.
+
+    Parameters
+    ----------
+    pairs_per_epoch:
+        Number of training pairs sampled per epoch (split equally across
+        the aa / au / uu pair types).
+    n_score_pairs:
+        Pairs per instance used at scoring time.
+    """
+
+    name = "PReNet"
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 32),
+        pairs_per_epoch: int = 1536,
+        n_score_pairs: int = 30,
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.pairs_per_epoch = pairs_per_epoch
+        self.n_score_pairs = n_score_pairs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self._network = None
+        self._X_anom: Optional[np.ndarray] = None
+        self._X_unlab_ref: Optional[np.ndarray] = None
+
+    def _sample_pairs(self, X_u: np.ndarray, X_a: np.ndarray, count: int,
+                      rng: np.random.Generator):
+        """Sample a balanced batch of aa / au / uu pairs with targets."""
+        third = max(count // 3, 1)
+        aa_left = X_a[rng.integers(0, len(X_a), size=third)]
+        aa_right = X_a[rng.integers(0, len(X_a), size=third)]
+        au_left = X_a[rng.integers(0, len(X_a), size=third)]
+        au_right = X_u[rng.integers(0, len(X_u), size=third)]
+        uu_left = X_u[rng.integers(0, len(X_u), size=third)]
+        uu_right = X_u[rng.integers(0, len(X_u), size=third)]
+        pairs = np.concatenate([
+            np.concatenate([aa_left, aa_right], axis=1),
+            np.concatenate([au_left, au_right], axis=1),
+            np.concatenate([uu_left, uu_right], axis=1),
+        ])
+        targets = np.concatenate([
+            np.full(third, SCORE_AA), np.full(third, SCORE_AU), np.full(third, SCORE_UU),
+        ])
+        perm = rng.permutation(len(pairs))
+        return pairs[perm], targets[perm]
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled
+        if X_labeled is None or len(X_labeled) == 0:
+            raise ValueError("PReNet requires labeled anomalies")
+        rng = np.random.default_rng(self.random_state)
+        D = X_unlabeled.shape[1]
+        self._network = mlp([2 * D, *self.hidden_sizes, 1], activation="relu", rng=rng)
+        optimizer = Adam(self._network.parameters(), lr=self.lr)
+        self._X_anom = X_labeled
+        # A fixed reference subsample keeps scoring cost bounded.
+        ref_size = min(len(X_unlabeled), 256)
+        self._X_unlab_ref = X_unlabeled[rng.choice(len(X_unlabeled), size=ref_size, replace=False)]
+
+        for epoch in range(self.epochs):
+            pairs, targets = self._sample_pairs(X_unlabeled, X_labeled,
+                                                self.pairs_per_epoch, rng)
+            for start in range(0, len(pairs), self.batch_size):
+                sl = slice(start, start + self.batch_size)
+                optimizer.zero_grad()
+                preds = self._network(Tensor(pairs[sl])).reshape(-1)
+                loss = ((preds - Tensor(targets[sl])) ** 2.0).mean()
+                loss.backward()
+                optimizer.step()
+            if epoch_callback is not None:
+                self._fitted = True
+                epoch_callback(epoch, self)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        rng = np.random.default_rng(self.random_state)
+        n_pairs = self.n_score_pairs
+        half = max(n_pairs // 2, 1)
+        scores = np.zeros(len(X))
+        # Mean relation to labeled anomalies + mean relation to unlabeled.
+        for ref, count in ((self._X_anom, half), (self._X_unlab_ref, half)):
+            partners = ref[rng.integers(0, len(ref), size=count)]
+            for partner in partners:
+                pairs = np.concatenate([X, np.tile(partner, (len(X), 1))], axis=1)
+                scores += forward_in_batches(self._network, pairs).ravel()
+        return scores / (2 * half)

@@ -1,0 +1,141 @@
+"""PUMAD (Ju et al., Information Sciences 2020) — PU Metric learning for
+Anomaly Detection.
+
+Mechanism: (1) *distance hashing* — random-hyperplane LSH buckets the
+unlabeled data together with the labeled anomalies; unlabeled instances
+that never share a bucket with an anomaly become reliable normals, the
+rest are set aside as borderline; (2) *deep metric learning* — a triplet
+network embeds reliable normals close together and labeled anomalies away;
+(3) the anomaly score of an instance is its embedding distance to the
+reliable-normal centroid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.baselines.base import BaseDetector
+from repro.nn.layers import mlp
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches
+
+
+def lsh_reliable_normals(
+    X_unlabeled: np.ndarray,
+    X_anomalies: np.ndarray,
+    n_tables: int = 8,
+    n_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Random-hyperplane LSH filter; returns a reliable-normal mask.
+
+    An unlabeled instance is *unreliable* if it collides with any labeled
+    anomaly in any hash table.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    D = X_unlabeled.shape[1]
+    unreliable = np.zeros(len(X_unlabeled), dtype=bool)
+    powers = 1 << np.arange(n_bits)
+    for _ in range(n_tables):
+        planes = rng.standard_normal((D, n_bits))
+        offset = X_unlabeled.mean(axis=0)  # center hyperplanes on the data
+        codes_u = ((X_unlabeled - offset) @ planes > 0) @ powers
+        codes_a = ((X_anomalies - offset) @ planes > 0) @ powers
+        anomaly_buckets: Set[int] = set(codes_a.tolist())
+        unreliable |= np.isin(codes_u, list(anomaly_buckets))
+    return ~unreliable
+
+
+class PUMAD(BaseDetector):
+    """PU metric learning with LSH filtering.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Triplet-network output dimensionality.
+    margin:
+        Triplet hinge margin.
+    n_triplets:
+        Triplet budget per epoch.
+    """
+
+    name = "PUMAD"
+
+    def __init__(
+        self,
+        embedding_dim: int = 20,
+        hidden_sizes: Sequence[int] = (64,),
+        margin: float = 1.0,
+        n_triplets: int = 1000,
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 20,
+        n_tables: int = 8,
+        n_bits: int = 8,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(random_state)
+        self.embedding_dim = embedding_dim
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.margin = margin
+        self.n_triplets = n_triplets
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        self._network = None
+        self._centroid: Optional[np.ndarray] = None
+        self.reliable_mask_: Optional[np.ndarray] = None
+
+    def _fit(self, X_unlabeled, X_labeled, y_labeled, epoch_callback) -> None:
+        del y_labeled
+        if X_labeled is None or len(X_labeled) == 0:
+            raise ValueError("PUMAD requires labeled anomalies")
+        rng = np.random.default_rng(self.random_state)
+
+        reliable = lsh_reliable_normals(
+            X_unlabeled, X_labeled, n_tables=self.n_tables, n_bits=self.n_bits, rng=rng
+        )
+        if not reliable.any():
+            # Degenerate hashing (everything collides): keep the farthest
+            # half from the anomaly centroid as reliable normals.
+            d = ((X_unlabeled - X_labeled.mean(axis=0)) ** 2).sum(axis=1)
+            reliable = d >= np.median(d)
+        self.reliable_mask_ = reliable
+        normals = X_unlabeled[reliable]
+
+        self._network = mlp(
+            [X_unlabeled.shape[1], *self.hidden_sizes, self.embedding_dim],
+            activation="relu", rng=rng,
+        )
+        optimizer = Adam(self._network.parameters(), lr=self.lr)
+        for epoch in range(self.epochs):
+            for start in range(0, self.n_triplets, self.batch_size):
+                count = min(self.batch_size, self.n_triplets - start)
+                anchors = normals[rng.integers(0, len(normals), size=count)]
+                positives = normals[rng.integers(0, len(normals), size=count)]
+                negatives = X_labeled[rng.integers(0, len(X_labeled), size=count)]
+                optimizer.zero_grad()
+                za = self._network(Tensor(anchors))
+                zp = self._network(Tensor(positives))
+                zn = self._network(Tensor(negatives))
+                d_pos = ((za - zp) ** 2.0).sum(axis=1)
+                d_neg = ((za - zn) ** 2.0).sum(axis=1)
+                loss = (d_pos - d_neg + self.margin).relu().mean()
+                loss.backward()
+                optimizer.step()
+            if epoch_callback is not None:
+                self._fitted = True
+                self._centroid = forward_in_batches(self._network, normals).mean(axis=0)
+                epoch_callback(epoch, self)
+
+        self._centroid = forward_in_batches(self._network, normals).mean(axis=0)
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        Z = forward_in_batches(self._network, np.asarray(X, dtype=np.float64))
+        return ((Z - self._centroid) ** 2).sum(axis=1)

@@ -1,0 +1,182 @@
+"""Command-line interface for the TargAD reproduction.
+
+Subcommands::
+
+    repro info      [--dataset NAME]            # dataset statistics
+    repro train     --dataset NAME [...]        # fit TargAD, report, save
+    repro evaluate  --model PATH --dataset NAME # score a saved model
+    repro compare   --dataset NAME [...]        # mini Table II
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core import TargAD, TargADConfig, load_model, save_model
+from repro.data import DATASET_NAMES, load_dataset
+from repro.eval import DETECTOR_NAMES, ResultTable, evaluate_detector, format_mean_std
+from repro.eval.registry import EXTRA_DETECTOR_NAMES
+from repro.metrics import auprc, auroc, classification_report, precision_at_k
+
+
+def _add_split_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="split size multiplier (Table I = 1.0; default REPRO_SCALE)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--contamination", type=float, default=None)
+
+
+def _load_split(args):
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if getattr(args, "contamination", None) is not None:
+        kwargs["contamination"] = args.contamination
+    return load_dataset(args.dataset, random_state=args.seed, **kwargs)
+
+
+def cmd_info(args) -> int:
+    names = [args.dataset] if args.dataset else DATASET_NAMES
+    for name in names:
+        split = load_dataset(name, random_state=args.seed,
+                             **({"scale": args.scale} if args.scale else {}))
+        print(json.dumps(split.summary(), indent=2))
+    return 0
+
+
+def cmd_train(args) -> int:
+    split = _load_split(args)
+    print(f"Training TargAD on {args.dataset} "
+          f"(n_unlabeled={len(split.X_unlabeled)}, m={split.n_target_classes})...")
+    config = TargADConfig(
+        k=args.k, alpha=args.alpha, random_state=args.seed,
+        lambda1=args.lambda1, lambda2=args.lambda2,
+    )
+    model = TargAD(config)
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+    for label, X, y in (
+        ("validation", split.X_val, split.y_val_binary),
+        ("test", split.X_test, split.y_test_binary),
+    ):
+        scores = model.decision_function(X)
+        print(f"  {label:10s} AUPRC={auprc(y, scores):.3f} AUROC={auroc(y, scores):.3f} "
+              f"P@50={precision_at_k(y, scores, min(50, len(y))):.3f}")
+
+    if args.output:
+        save_model(model, args.output)
+        print(f"Model saved to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    model = load_model(args.model)
+    split = _load_split(args)
+    scores = model.decision_function(split.X_test)
+    y = split.y_test_binary
+    print(f"AUPRC={auprc(y, scores):.3f} AUROC={auroc(y, scores):.3f}")
+
+    tri = model.predict_triclass(split.X_test, strategy=args.strategy)
+    report = classification_report(split.test_kind, tri, labels=[0, 1, 2])
+    rows = {0: "normal", 1: "target", 2: "non-target",
+            "macro avg": "macro avg", "weighted avg": "weighted avg"}
+    table = ResultTable(f"Tri-class report ({args.strategy.upper()})",
+                        columns=["precision", "recall", "f1"], row_header="class")
+    for key, label in rows.items():
+        table.add_row(label, {m: f"{report[key][m]:.3f}" for m in table.columns})
+    table.print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    detectors = args.detectors.split(",") if args.detectors else DETECTOR_NAMES
+    unknown = set(detectors) - set(DETECTOR_NAMES) - set(EXTRA_DETECTOR_NAMES)
+    if unknown:
+        print(f"unknown detectors: {sorted(unknown)}; choices: {DETECTOR_NAMES}",
+              file=sys.stderr)
+        return 2
+    seeds = list(range(args.n_seeds))
+    table = ResultTable(
+        f"Comparison on {args.dataset} ({args.n_seeds} seeds)",
+        columns=["AUPRC", "AUROC"],
+    )
+    for name in detectors:
+        result = evaluate_detector(name, args.dataset, seeds=seeds,
+                                   scale=args.scale)
+        table.add_row(name, {
+            "AUPRC": format_mean_std(result.auprc_mean, result.auprc_std),
+            "AUROC": format_mean_std(result.auroc_mean, result.auroc_std),
+        })
+    table.print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import generate_report
+
+    path = generate_report(
+        args.output,
+        datasets=tuple(args.datasets.split(",")),
+        detectors=tuple(args.detectors.split(",")),
+        seeds=tuple(range(args.n_seeds)),
+        scale=args.scale,
+    )
+    print(f"Report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print dataset statistics")
+    p_info.add_argument("--dataset", choices=DATASET_NAMES)
+    p_info.add_argument("--scale", type=float, default=None)
+    p_info.add_argument("--seed", type=int, default=0)
+    p_info.set_defaults(func=cmd_info)
+
+    p_train = sub.add_parser("train", help="fit TargAD and report metrics")
+    _add_split_args(p_train)
+    p_train.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
+    p_train.add_argument("--alpha", type=float, default=0.05)
+    p_train.add_argument("--lambda1", type=float, default=0.1)
+    p_train.add_argument("--lambda2", type=float, default=1.0)
+    p_train.add_argument("--output", help="save the fitted model (.npz)")
+    p_train.set_defaults(func=cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved model")
+    _add_split_args(p_eval)
+    p_eval.add_argument("--model", required=True)
+    p_eval.add_argument("--strategy", default="ed", choices=["msp", "es", "ed"])
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cmp = sub.add_parser("compare", help="compare detectors (mini Table II)")
+    _add_split_args(p_cmp)
+    p_cmp.add_argument("--detectors", help="comma-separated registry names (default: all)")
+    p_cmp.add_argument("--n-seeds", type=int, default=3)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_rep = sub.add_parser("report", help="write a markdown experiment report")
+    p_rep.add_argument("--output", required=True, help="markdown file to write")
+    p_rep.add_argument("--datasets", default="kddcup99",
+                       help="comma-separated dataset names")
+    p_rep.add_argument("--detectors", default="iForest,DevNet,TargAD")
+    p_rep.add_argument("--n-seeds", type=int, default=1)
+    p_rep.add_argument("--scale", type=float, default=0.03)
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

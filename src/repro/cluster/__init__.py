@@ -1,0 +1,6 @@
+"""Clustering substrate: k-means with k-means++ seeding and elbow selection."""
+
+from repro.cluster.elbow import select_k_elbow
+from repro.cluster.kmeans import KMeans
+
+__all__ = ["KMeans", "select_k_elbow"]

@@ -1,0 +1,66 @@
+"""Elbow-method selection of the number of clusters.
+
+The paper selects TargAD's clustering hyperparameter ``k`` with the elbow
+method (Section IV-C). We implement the "maximum distance to the chord"
+criterion: fit k-means for each candidate ``k``, then pick the ``k`` whose
+inertia point is farthest (perpendicularly) from the line joining the first
+and last inertia points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+
+
+def inertia_curve(
+    X: np.ndarray,
+    k_values: Sequence[int],
+    random_state: Optional[int] = None,
+    sample_cap: int = 4000,
+) -> np.ndarray:
+    """Inertia of a k-means fit for each candidate ``k``.
+
+    Large inputs are subsampled to ``sample_cap`` rows — the elbow position
+    is a coarse property of the data and is stable under subsampling.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    rng = np.random.default_rng(random_state)
+    if len(X) > sample_cap:
+        X = X[rng.choice(len(X), size=sample_cap, replace=False)]
+    inertias = []
+    for k in k_values:
+        model = KMeans(n_clusters=k, n_init=2, random_state=random_state)
+        model.fit(X)
+        inertias.append(model.inertia_)
+    return np.asarray(inertias)
+
+
+def select_k_elbow(
+    X: np.ndarray,
+    k_min: int = 1,
+    k_max: int = 10,
+    random_state: Optional[int] = None,
+) -> Tuple[int, np.ndarray]:
+    """Pick ``k`` by the elbow criterion; returns ``(k, inertia_curve)``."""
+    if k_min < 1 or k_max < k_min:
+        raise ValueError("need 1 <= k_min <= k_max")
+    k_values = list(range(k_min, k_max + 1))
+    inertias = inertia_curve(X, k_values, random_state=random_state)
+    if len(k_values) <= 2:
+        return k_values[0], inertias
+
+    # Perpendicular distance of each (k, inertia) point to the chord from
+    # the first point to the last, in normalized coordinates.
+    x = np.asarray(k_values, dtype=np.float64)
+    y = inertias.astype(np.float64)
+    x_norm = (x - x[0]) / max(x[-1] - x[0], 1e-12)
+    span = y[0] - y[-1]
+    y_norm = (y - y[-1]) / (span if abs(span) > 1e-12 else 1.0)
+    # Chord runs from (0, 1) to (1, 0): distance ∝ |x + y - 1|.
+    distances = np.abs(x_norm + y_norm - 1.0) / np.sqrt(2.0)
+    best = int(np.argmax(distances))
+    return k_values[best], inertias

@@ -1,0 +1,39 @@
+"""TargAD — the paper's primary contribution.
+
+Implements Algorithm 1 end-to-end: candidate selection (k-means + one
+SAD-regularized autoencoder per cluster, Eqs. 1-2), pseudo-label design,
+the composite classifier loss ``L_clf = L_CE + λ1·L_OE + λ2·L_RE``
+(Eqs. 3, 6, 7, 8), the noise-mitigating weight-updating mechanism
+(Eqs. 4-5), target-anomaly scoring (Eq. 9), and the tri-class
+normal/target/non-target rule of Section III-C.
+"""
+
+from repro.core.candidate_selection import CandidateSelection, CandidateSelector
+from repro.core.config import TargADConfig
+from repro.core.model import TargAD
+from repro.core.persistence import load_model, save_model
+from repro.core.pseudo_labels import (
+    normal_pseudo_label,
+    ood_pseudo_label,
+    oe_uniform_pseudo_label,
+    target_pseudo_label,
+)
+from repro.core.scoring import is_normal_rule, target_anomaly_score
+from repro.core.weighting import initial_weights, update_weights
+
+__all__ = [
+    "CandidateSelection",
+    "CandidateSelector",
+    "TargAD",
+    "TargADConfig",
+    "initial_weights",
+    "is_normal_rule",
+    "load_model",
+    "save_model",
+    "normal_pseudo_label",
+    "oe_uniform_pseudo_label",
+    "ood_pseudo_label",
+    "target_anomaly_score",
+    "target_pseudo_label",
+    "update_weights",
+]

@@ -1,0 +1,205 @@
+"""Candidate selection (Section III-B1, Algorithm 1 lines 1-7).
+
+Partitions the unlabeled pool into ``k`` behaviour groups with k-means,
+trains one SAD-regularized autoencoder per group (Eq. 1), scores every
+unlabeled instance by reconstruction error (Eq. 2), and splits the pool at
+the top-``α%`` error quantile into non-target anomaly candidates ``D_U^A``
+and normal candidates ``D_U^N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import KMeans, select_k_elbow
+from repro.nn.autoencoder import SADAutoencoder
+
+
+@dataclass
+class CandidateSelection:
+    """Output of the candidate-selection stage.
+
+    Attributes
+    ----------
+    errors:
+        Raw ``S^Rec`` per unlabeled instance (cluster-local autoencoder).
+    selection_scores:
+        The scores actually ranked for the α% cut (per-cluster standardized
+        errors when ``normalize_errors`` is on, else identical to
+        ``errors``). Also used to initialize the Eq. 5 weights, keeping
+        cross-cluster comparability.
+    cluster_labels:
+        k-means assignment per unlabeled instance.
+    candidate_mask:
+        True for instances in ``D_U^A`` (top α% by selection score).
+    threshold:
+        The selection-score value at the α% cut.
+    k:
+        Number of clusters actually used.
+    """
+
+    errors: np.ndarray
+    selection_scores: np.ndarray
+    cluster_labels: np.ndarray
+    candidate_mask: np.ndarray
+    threshold: float
+    k: int
+
+    @property
+    def candidate_indices(self) -> np.ndarray:
+        """Indices of ``D_U^A`` within the unlabeled pool."""
+        return np.flatnonzero(self.candidate_mask)
+
+    @property
+    def normal_indices(self) -> np.ndarray:
+        """Indices of ``D_U^N`` within the unlabeled pool."""
+        return np.flatnonzero(~self.candidate_mask)
+
+
+class CandidateSelector:
+    """k-means + per-cluster SAD autoencoders + α% thresholding.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters; ``None`` selects it via the elbow method.
+    alpha:
+        Fraction of the unlabeled pool selected as candidates.
+    eta:
+        Eq. (1) trade-off for the labeled inverse-error term.
+    ae_hidden, ae_lr, ae_batch_size, ae_epochs:
+        Per-cluster autoencoder architecture/schedule.
+    k_max:
+        Elbow-method search bound.
+    normalize_errors:
+        Standardize reconstruction errors within each cluster before the
+        global top-α% cut. Each cluster trains its own autoencoder, so raw
+        error *scales* differ across clusters; without standardization the
+        worst-fit cluster floods the candidate set with its tail normals.
+        (The paper sorts raw errors; this refinement makes the per-AE
+        "selection scores" comparable and is on by default.)
+    random_state:
+        Seed for clustering and autoencoder training.
+    """
+
+    def __init__(
+        self,
+        k: Optional[int] = None,
+        alpha: float = 0.05,
+        eta: float = 1.0,
+        ae_hidden: Sequence[int] = (64, 16),
+        ae_lr: float = 1e-3,
+        ae_batch_size: int = 256,
+        ae_epochs: int = 30,
+        k_max: int = 8,
+        normalize_errors: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.k = k
+        self.alpha = alpha
+        self.eta = eta
+        self.ae_hidden = tuple(ae_hidden)
+        self.ae_lr = ae_lr
+        self.ae_batch_size = ae_batch_size
+        self.ae_epochs = ae_epochs
+        self.k_max = k_max
+        self.normalize_errors = normalize_errors
+        self.random_state = random_state
+
+        self.kmeans_: Optional[KMeans] = None
+        self.autoencoders_: List[SADAutoencoder] = []
+        self.selection_: Optional[CandidateSelection] = None
+
+    def fit(self, X_unlabeled: np.ndarray, X_labeled: Optional[np.ndarray] = None) -> CandidateSelection:
+        """Run lines 1-7 of Algorithm 1 and return the selection."""
+        X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
+        if X_unlabeled.ndim != 2 or len(X_unlabeled) < 2:
+            raise ValueError("X_unlabeled must be a 2-D array with >= 2 rows")
+        if X_labeled is not None:
+            X_labeled = np.asarray(X_labeled, dtype=np.float64)
+
+        k = self.k
+        if k is None:
+            k_cap = min(self.k_max, max(len(X_unlabeled) // 10, 1))
+            k, _ = select_k_elbow(X_unlabeled, k_min=1, k_max=max(k_cap, 1),
+                                  random_state=self.random_state)
+        k = min(k, len(X_unlabeled))
+
+        self.kmeans_ = KMeans(n_clusters=k, random_state=self.random_state)
+        cluster_labels = self.kmeans_.fit_predict(X_unlabeled)
+
+        errors = np.empty(len(X_unlabeled))
+        self.autoencoders_ = []
+        for cluster in range(k):
+            member_idx = np.flatnonzero(cluster_labels == cluster)
+            ae = SADAutoencoder(
+                eta=self.eta,
+                hidden_sizes=self.ae_hidden,
+                lr=self.ae_lr,
+                batch_size=self.ae_batch_size,
+                epochs=self.ae_epochs,
+                random_state=None if self.random_state is None else self.random_state + cluster,
+            )
+            if len(member_idx) == 0:
+                self.autoencoders_.append(ae)
+                continue
+            ae.fit(X_unlabeled[member_idx], X_labeled)
+            errors[member_idx] = ae.reconstruction_error(X_unlabeled[member_idx])
+            self.autoencoders_.append(ae)
+
+        selection_scores = errors
+        if self.normalize_errors:
+            selection_scores = errors.copy()
+            for cluster in range(k):
+                mask = cluster_labels == cluster
+                if mask.any():
+                    mu = selection_scores[mask].mean()
+                    sd = selection_scores[mask].std()
+                    selection_scores[mask] = (selection_scores[mask] - mu) / (sd + 1e-12)
+
+        # Top-α% by selection score: rank-based cut (ties broken by stable
+        # ordering), matching the paper's "sort descending, take the top α%".
+        n_candidates = max(int(round(self.alpha * len(X_unlabeled))), 1)
+        order = np.argsort(-selection_scores, kind="mergesort")
+        candidate_mask = np.zeros(len(X_unlabeled), dtype=bool)
+        candidate_mask[order[:n_candidates]] = True
+        threshold = float(selection_scores[order[n_candidates - 1]])
+
+        self.selection_ = CandidateSelection(
+            errors=errors,
+            selection_scores=selection_scores,
+            cluster_labels=cluster_labels,
+            candidate_mask=candidate_mask,
+            threshold=threshold,
+            k=k,
+        )
+        return self.selection_
+
+    def assign_clusters(self, X: np.ndarray) -> np.ndarray:
+        """Map new instances to the learned clusters."""
+        if self.kmeans_ is None:
+            raise RuntimeError("selector is not fitted; call fit() first")
+        return self.kmeans_.predict(np.asarray(X, dtype=np.float64))
+
+    def reconstruction_error(self, X: np.ndarray) -> np.ndarray:
+        """``S^Rec`` for new instances using their cluster's autoencoder."""
+        if self.selection_ is None:
+            raise RuntimeError("selector is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        clusters = self.assign_clusters(X)
+        errors = np.empty(len(X))
+        for cluster in range(self.selection_.k):
+            mask = clusters == cluster
+            if mask.any():
+                ae = self.autoencoders_[cluster]
+                if ae.encoder is None:
+                    # An empty training cluster: fall back to the first
+                    # fitted autoencoder.
+                    ae = next(a for a in self.autoencoders_ if a.encoder is not None)
+                errors[mask] = ae.reconstruction_error(X[mask])
+        return errors

@@ -1,0 +1,98 @@
+"""TargAD hyperparameter configuration.
+
+Defaults follow Section IV-C of the paper: α = 5%, η = 1, λ1 = 0.1,
+λ2 = 1, Adam, 30 epochs for both stages, AE batch 256, classifier batch
+128. Deviation: the paper's learning rates (1e-4 for the autoencoders,
+1e-5 for the classifier) are tuned for paper-scale data; our default
+splits are ~1/8 scale (fewer gradient steps per epoch), so both default
+rates here are 1e-3 to converge within the same 30 epochs. Both are
+configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class TargADConfig:
+    """All knobs of Algorithm 1.
+
+    Attributes
+    ----------
+    k:
+        Number of k-means clusters over the unlabeled pool. ``None``
+        selects k with the elbow method (paper's choice).
+    alpha:
+        Candidate-selection threshold: the top ``alpha`` fraction of
+        unlabeled instances by reconstruction error become non-target
+        anomaly candidates ``D_U^A``.
+    eta:
+        Trade-off of the inverse-error term in the autoencoder loss (Eq. 1).
+    lambda1, lambda2:
+        Trade-offs of ``L_OE`` and ``L_RE`` in the classifier loss (Eq. 8).
+    use_oe_loss, use_re_loss:
+        Ablation switches for Table III (``TargAD_-O``, ``TargAD_-R``,
+        ``TargAD_-O-R``).
+    use_weighting:
+        Ablation switch for the Eq. 4/5 weight mechanism; when off, all
+        candidate weights are 1.
+    oe_label_style:
+        "targad" (default) uses the paper's modified OE pseudo-label
+        ``(1/m, ..., 1/m, 0, ..., 0)``; "uniform" uses the original OE
+        label ``(1/(m+k), ..., 1/(m+k))`` of Hendrycks et al. (2019) —
+        the design alternative Section III-B2 argues against.
+    ae_hidden, ae_lr, ae_batch_size, ae_epochs:
+        Autoencoder architecture/schedule (bottleneck sizes are the encoder
+        half; the decoder mirrors them).
+    clf_hidden, clf_lr, clf_batch_size, clf_epochs:
+        Classifier MLP architecture/schedule.
+    clf_dropout:
+        Dropout probability applied after each hidden activation of the
+        classifier (0 = off, the paper's setting). An opt-in regularizer
+        for noisier deployments.
+    k_max:
+        Upper bound scanned by the elbow method when ``k`` is None.
+    random_state:
+        Master seed; every internal component derives from it.
+    """
+
+    k: Optional[int] = None
+    alpha: float = 0.05
+    eta: float = 1.0
+    lambda1: float = 0.1
+    lambda2: float = 1.0
+
+    use_oe_loss: bool = True
+    use_re_loss: bool = True
+    use_weighting: bool = True
+    oe_label_style: str = "targad"
+
+    ae_hidden: Tuple[int, ...] = (64, 16)
+    ae_lr: float = 1e-3
+    ae_batch_size: int = 256
+    ae_epochs: int = 30
+
+    clf_hidden: Tuple[int, ...] = (64, 32)
+    clf_lr: float = 5e-4
+    clf_batch_size: int = 128
+    clf_epochs: int = 60
+    clf_dropout: float = 0.0
+
+    k_max: int = 8
+    random_state: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.eta < 0 or self.lambda1 < 0 or self.lambda2 < 0:
+            raise ValueError("trade-off parameters must be non-negative")
+        if self.k is not None and self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.k_max < 1:
+            raise ValueError("k_max must be >= 1")
+        if self.oe_label_style not in ("targad", "uniform"):
+            raise ValueError('oe_label_style must be "targad" or "uniform"')
+        if not 0.0 <= self.clf_dropout < 1.0:
+            raise ValueError("clf_dropout must be in [0, 1)")

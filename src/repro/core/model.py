@@ -1,0 +1,313 @@
+"""The TargAD estimator (Algorithm 1).
+
+Usage::
+
+    model = TargAD(TargADConfig(k=4, random_state=0))
+    model.fit(X_unlabeled, X_labeled, y_labeled)
+    scores = model.decision_function(X_test)   # Eq. 9, higher = target
+    triclass = model.predict_triclass(X_test)  # 0 normal / 1 target / 2 non-target
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.candidate_selection import CandidateSelection, CandidateSelector
+from repro.core.config import TargADConfig
+from repro.core.losses import classifier_loss
+from repro.core.pseudo_labels import (
+    normal_pseudo_labels,
+    oe_uniform_pseudo_label,
+    ood_pseudo_label,
+    target_pseudo_labels,
+)
+from repro.core.scoring import is_normal_rule, softmax, target_anomaly_score
+from repro.core.weighting import initial_weights, update_weights
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.nn.layers import Sequential, mlp
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches
+from repro.ood import OODStrategy, get_strategy
+
+
+def _pool_slices(sizes: List[int], n_batches: int, rng: np.random.Generator) -> List[List[np.ndarray]]:
+    """Shuffle each pool and split it into ``n_batches`` contiguous slices.
+
+    Every batch mixes all pools proportionally, so each gradient step sees
+    labeled anomalies, normal candidates, and non-target candidates — the
+    per-pool means of Eq. (8) are approximated per batch.
+    """
+    streams = []
+    for size in sizes:
+        indices = rng.permutation(size)
+        streams.append(np.array_split(indices, n_batches))
+    return streams
+
+
+class TargAD:
+    """Target-class anomaly detector (the paper's model).
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.TargADConfig`; keyword overrides may
+        be passed directly (``TargAD(alpha=0.1, random_state=3)``).
+    """
+
+    def __init__(self, config: Optional[TargADConfig] = None, **overrides):
+        if config is None:
+            config = TargADConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+
+        self.network_: Optional[Sequential] = None
+        self.selector_: Optional[CandidateSelector] = None
+        self.selection_: Optional[CandidateSelection] = None
+        self.m_: Optional[int] = None
+        self.k_: Optional[int] = None
+        self.loss_history: List[float] = []
+        self.weight_history: List[np.ndarray] = []
+        self._candidate_weights: Optional[np.ndarray] = None
+        self._strategies: dict = {}
+        self._calibration_logits: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X_unlabeled: np.ndarray,
+        X_labeled: np.ndarray,
+        y_labeled: np.ndarray,
+        epoch_callback: Optional[Callable[[int, "TargAD"], None]] = None,
+    ) -> "TargAD":
+        """Train per Algorithm 1.
+
+        Parameters
+        ----------
+        X_unlabeled:
+            ``D_U`` — the unlabeled pool (mostly normal, contaminated).
+        X_labeled, y_labeled:
+            ``D_L`` — labeled target anomalies with 0-based class labels in
+            ``[0, m)``.
+        epoch_callback:
+            Optional hook called after every classifier epoch (used by the
+            convergence experiments, Fig. 3).
+        """
+        cfg = self.config
+        X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
+        X_labeled = np.asarray(X_labeled, dtype=np.float64)
+        y_labeled = np.asarray(y_labeled, dtype=np.int64)
+        if len(X_labeled) == 0:
+            raise ValueError("TargAD requires at least one labeled target anomaly")
+        if len(X_labeled) != len(y_labeled):
+            raise ValueError("X_labeled and y_labeled length mismatch")
+        m = int(y_labeled.max()) + 1
+        self.m_ = m
+
+        # --- Lines 1-7: candidate selection ----------------------------
+        self.selector_ = CandidateSelector(
+            k=cfg.k,
+            alpha=cfg.alpha,
+            eta=cfg.eta,
+            ae_hidden=cfg.ae_hidden,
+            ae_lr=cfg.ae_lr,
+            ae_batch_size=cfg.ae_batch_size,
+            ae_epochs=cfg.ae_epochs,
+            k_max=cfg.k_max,
+            random_state=cfg.random_state,
+        )
+        selection = self.selector_.fit(X_unlabeled, X_labeled)
+        self.selection_ = selection
+        k = selection.k
+        self.k_ = k
+
+        candidate_idx = selection.candidate_indices
+        normal_idx = selection.normal_indices
+        X_candidates = X_unlabeled[candidate_idx]
+        X_normal = X_unlabeled[normal_idx]
+
+        # --- Pseudo-labels ---------------------------------------------
+        targets_labeled = target_pseudo_labels(y_labeled, m, k)
+        normal_clusters = selection.cluster_labels[normal_idx]
+        targets_normal = normal_pseudo_labels(normal_clusters, m, k)
+        if cfg.oe_label_style == "uniform":
+            ood_targets_row = oe_uniform_pseudo_label(m, k)
+        else:
+            ood_targets_row = ood_pseudo_label(m, k)
+        ood_targets = np.tile(ood_targets_row, (len(X_candidates), 1))
+
+        # --- Lines 8-17: classifier training ---------------------------
+        rng = np.random.default_rng(
+            None if cfg.random_state is None else cfg.random_state + 10_000
+        )
+        self.network_ = mlp(
+            [X_unlabeled.shape[1], *cfg.clf_hidden, m + k], activation="relu", rng=rng
+        )
+        if cfg.clf_dropout > 0.0:
+            # Insert Dropout after each hidden Activation (not the output).
+            from repro.nn.layers import Activation
+            from repro.nn.regularization import Dropout
+
+            with_dropout = []
+            for module in self.network_.modules:
+                with_dropout.append(module)
+                if isinstance(module, Activation):
+                    with_dropout.append(Dropout(cfg.clf_dropout, rng=rng))
+            self.network_.modules = with_dropout
+        optimizer = Adam(self.network_.parameters(), lr=cfg.clf_lr)
+
+        total = len(X_labeled) + len(X_normal) + len(X_candidates)
+        n_batches = max(int(np.ceil(total / cfg.clf_batch_size)), 1)
+
+        self.loss_history = []
+        self.weight_history = []
+        weights = (
+            initial_weights(selection.selection_scores[candidate_idx])
+            if cfg.use_weighting
+            else np.ones(len(X_candidates))
+        )
+        self._candidate_weights = weights
+        self.weight_history.append(weights.copy())
+
+        from repro.nn.regularization import set_training
+
+        for epoch in range(cfg.clf_epochs):
+            if epoch > 0 and cfg.use_weighting and len(X_candidates):
+                set_training(self.network_, False)
+                probs = softmax(forward_in_batches(self.network_, X_candidates))
+                set_training(self.network_, True)
+                weights = update_weights(probs)
+                self._candidate_weights = weights
+                self.weight_history.append(weights.copy())
+
+            streams = _pool_slices(
+                [len(X_labeled), len(X_normal), len(X_candidates)], n_batches, rng
+            )
+            # D_L is tiny (a few hundred rows at most); guarantee every batch
+            # sees a handful of labeled anomalies by oversampling, the
+            # standard practice for semi-supervised AD (cf. DevNet).
+            min_labeled = min(8, len(X_labeled))
+            epoch_loss, batches = 0.0, 0
+            for b in range(n_batches):
+                idx_l = streams[0][b]
+                if len(idx_l) < min_labeled:
+                    idx_l = rng.integers(0, len(X_labeled), size=min_labeled)
+                idx_n = streams[1][b]
+                idx_a = streams[2][b]
+                if len(idx_l) == 0 and len(idx_n) == 0:
+                    continue  # L_CE / L_RE need at least one supervised row
+                optimizer.zero_grad()
+                loss = classifier_loss(
+                    self.network_,
+                    X_labeled[idx_l],
+                    targets_labeled[idx_l],
+                    X_normal[idx_n],
+                    targets_normal[idx_n],
+                    X_candidates[idx_a],
+                    ood_targets[idx_a],
+                    weights[idx_a],
+                    lambda1=cfg.lambda1,
+                    lambda2=cfg.lambda2,
+                    use_oe=cfg.use_oe_loss,
+                    use_re=cfg.use_re_loss,
+                )
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            self.loss_history.append(epoch_loss / max(batches, 1))
+            if epoch_callback is not None:
+                epoch_callback(epoch, self)
+
+        # Training done: dropout (if any) stays off for all inference.
+        set_training(self.network_, False)
+
+        # Calibration material for the tri-class OOD strategies: labeled
+        # target anomalies are ID; for OOD we use only the *high-weight*
+        # candidates — the weight mechanism (Eq. 4) concentrates weight on
+        # true non-target anomalies, so filtering at the median weight
+        # removes most of the target/normal noise from the OOD side.
+        id_logits = forward_in_batches(self.network_, X_labeled)
+        if len(X_candidates):
+            reliable = weights >= np.median(weights) if len(X_candidates) > 1 else np.ones(1, bool)
+            ood_logits = forward_in_batches(self.network_, X_candidates[reliable])
+        else:
+            ood_logits = np.empty((0, m + k))
+        self._calibration_logits = (id_logits, ood_logits)
+        self._strategies = {}
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.network_ is None:
+            raise RuntimeError("TargAD is not fitted; call fit() first")
+
+    def logits(self, X: np.ndarray) -> np.ndarray:
+        """Raw classifier outputs, shape ``(n, m + k)``."""
+        self._check_fitted()
+        return forward_in_batches(self.network_, np.asarray(X, dtype=np.float64))
+
+    def predict_proba_full(self, X: np.ndarray) -> np.ndarray:
+        """Full ``(m + k)``-way softmax distribution per instance."""
+        return softmax(self.logits(X))
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Eq. (9): target-anomaly score; higher = more likely target."""
+        return target_anomaly_score(self.predict_proba_full(X), self.m_)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction: 1 = target anomaly, 0 = not."""
+        return (self.decision_function(X) >= threshold).astype(np.int64)
+
+    def _get_strategy(self, name: str) -> OODStrategy:
+        self._check_fitted()
+        key = name.lower()
+        if key not in self._strategies:
+            # ED judges the peakedness of the target-dim block only. With a
+            # single target class that statistic is identically zero, so ED
+            # widens to the target block plus one (the full discrepancy
+            # between the target logit and the rest still matters there).
+            if key == "ed":
+                kwargs = {"n_dims": self.m_ if self.m_ > 1 else None}
+            else:
+                kwargs = {}
+            strategy = get_strategy(key, **kwargs)
+            id_logits, ood_logits = self._calibration_logits
+            if len(ood_logits) == 0:
+                raise RuntimeError("no candidates were selected; tri-class prediction unavailable")
+            strategy.fit_threshold(id_logits, ood_logits)
+            self._strategies[key] = strategy
+        return self._strategies[key]
+
+    def predict_triclass(self, X: np.ndarray, strategy: str = "ed") -> np.ndarray:
+        """Section III-C: classify into normal / target / non-target.
+
+        First applies the normality rule (normal-mass > k/(m+k)); instances
+        on the anomalous side are split by the chosen OOD strategy ("msp",
+        "es", or "ed"): OOD = non-target anomaly, ID = target anomaly.
+
+        Returns the kind codes of :mod:`repro.data.schema` (0/1/2).
+        """
+        logits = self.logits(X)
+        probs = softmax(logits)
+        normal_mask = is_normal_rule(probs, self.m_, self.k_)
+        result = np.full(len(X), KIND_TARGET, dtype=np.int64)
+        result[normal_mask] = KIND_NORMAL
+        anomalous = ~normal_mask
+        if anomalous.any():
+            strat = self._get_strategy(strategy)
+            ood_mask = strat.is_ood(logits[anomalous])
+            anomalous_idx = np.flatnonzero(anomalous)
+            result[anomalous_idx[ood_mask]] = KIND_NONTARGET
+        return result
+
+    def predict_target_class(self, X: np.ndarray) -> np.ndarray:
+        """Most probable target-anomaly class (argmax over the first m dims)."""
+        probs = self.predict_proba_full(X)
+        return probs[:, : self.m_].argmax(axis=1)

@@ -1,0 +1,134 @@
+"""Save/load trained TargAD models.
+
+A fitted TargAD is a classifier network plus candidate-selection artifacts
+(k-means centroids and per-cluster autoencoders) plus calibration state.
+Everything is numpy, so a single ``.npz`` archive with a JSON header holds
+the complete model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import TargADConfig
+from repro.core.model import TargAD
+
+_FORMAT_VERSION = 1
+
+
+def _pack_module(prefix: str, module, arrays: dict) -> None:
+    for i, value in enumerate(module.state_dict()):
+        arrays[f"{prefix}:{i}"] = value
+
+
+def _unpack_module(prefix: str, module, archive) -> None:
+    state = []
+    i = 0
+    while f"{prefix}:{i}" in archive:
+        state.append(archive[f"{prefix}:{i}"])
+        i += 1
+    module.load_state_dict(state)
+
+
+def save_model(model: TargAD, path: Union[str, Path]) -> None:
+    """Serialize a fitted TargAD to ``path`` (``.npz``)."""
+    model._check_fitted()
+    path = Path(path)
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "m": model.m_,
+        "k": model.k_,
+        "n_autoencoders": len(model.selector_.autoencoders_),
+        "ae_fitted": [ae.encoder is not None for ae in model.selector_.autoencoders_],
+    }
+
+    arrays: dict = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "kmeans_centers": model.selector_.kmeans_.cluster_centers_,
+        "calibration_id": model._calibration_logits[0],
+        "calibration_ood": model._calibration_logits[1],
+        "sel_errors": model.selection_.errors,
+        "sel_scores": model.selection_.selection_scores,
+        "sel_clusters": model.selection_.cluster_labels,
+        "sel_mask": model.selection_.candidate_mask,
+        "sel_threshold": np.array(model.selection_.threshold),
+    }
+    _pack_module("classifier", model.network_, arrays)
+    for idx, ae in enumerate(model.selector_.autoencoders_):
+        if ae.encoder is not None:
+            _pack_module(f"ae{idx}:enc", ae.encoder, arrays)
+            _pack_module(f"ae{idx}:dec", ae.decoder, arrays)
+
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_model(path: Union[str, Path]) -> TargAD:
+    """Reconstruct a fitted TargAD saved by :func:`save_model`."""
+    from repro.cluster import KMeans
+    from repro.core.candidate_selection import CandidateSelection, CandidateSelector
+    from repro.nn.autoencoder import SADAutoencoder
+    from repro.nn.layers import mlp
+
+    archive = np.load(Path(path), allow_pickle=False)
+    header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    if header["format_version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version {header['format_version']}")
+
+    config = TargADConfig(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in header["config"].items()
+    })
+    model = TargAD(config)
+    model.m_ = header["m"]
+    model.k_ = header["k"]
+
+    centers = archive["kmeans_centers"]
+    n_features = centers.shape[1]
+    rng = np.random.default_rng(0)
+
+    # Classifier network.
+    model.network_ = mlp(
+        [n_features, *config.clf_hidden, model.m_ + model.k_], activation="relu", rng=rng
+    )
+    _unpack_module("classifier", model.network_, archive)
+
+    # Candidate selector: k-means + autoencoders.
+    selector = CandidateSelector(
+        k=model.k_, alpha=config.alpha, eta=config.eta, ae_hidden=config.ae_hidden,
+        random_state=config.random_state,
+    )
+    kmeans = KMeans(n_clusters=model.k_)
+    kmeans.cluster_centers_ = centers
+    selector.kmeans_ = kmeans
+    selector.autoencoders_ = []
+    for idx in range(header["n_autoencoders"]):
+        ae = SADAutoencoder(eta=config.eta, hidden_sizes=config.ae_hidden)
+        if header["ae_fitted"][idx]:
+            ae._build(n_features, rng)
+            _unpack_module(f"ae{idx}:enc", ae.encoder, archive)
+            _unpack_module(f"ae{idx}:dec", ae.decoder, archive)
+        selector.autoencoders_.append(ae)
+    model.selector_ = selector
+
+    model.selection_ = CandidateSelection(
+        errors=archive["sel_errors"],
+        selection_scores=archive["sel_scores"],
+        cluster_labels=archive["sel_clusters"],
+        candidate_mask=archive["sel_mask"],
+        threshold=float(archive["sel_threshold"]),
+        k=model.k_,
+    )
+    selector.selection_ = model.selection_
+
+    model._calibration_logits = (archive["calibration_id"], archive["calibration_ood"])
+    model._strategies = {}
+    return model

@@ -1,0 +1,84 @@
+"""Pseudo-label construction (Section III-B2).
+
+The classifier has ``m + k`` output dimensions: the first ``m`` correspond
+to the labeled target anomaly classes, the last ``k`` to the normal
+behaviour groups discovered by k-means. Three pseudo-label forms exist:
+
+- ``ỹ^t`` — one-hot in the first ``m`` dims for a labeled target anomaly;
+- ``ỹ^n`` — one-hot in the last ``k`` dims for a normal candidate (indexed
+  by its cluster);
+- ``ỹ^o`` — the paper's modified outlier-exposure label
+  ``(1/m, ..., 1/m, 0, ..., 0)`` for non-target anomaly candidates, which
+  calibrates their prediction toward a uniform distribution over the target
+  dims while asserting they are not normal.
+
+``oe_uniform_pseudo_label`` is the *original* OE label
+``(1/(m+k), ..., 1/(m+k))`` (Hendrycks et al. 2019), kept for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(m: int, k: int) -> None:
+    if m < 1:
+        raise ValueError("m (number of target classes) must be >= 1")
+    if k < 1:
+        raise ValueError("k (number of normal clusters) must be >= 1")
+
+
+def target_pseudo_label(class_index: int, m: int, k: int) -> np.ndarray:
+    """``ỹ^t``: one-hot at ``class_index`` within the first ``m`` dims."""
+    _validate(m, k)
+    if not 0 <= class_index < m:
+        raise ValueError(f"class_index {class_index} out of range [0, {m})")
+    label = np.zeros(m + k)
+    label[class_index] = 1.0
+    return label
+
+
+def normal_pseudo_label(cluster_index: int, m: int, k: int) -> np.ndarray:
+    """``ỹ^n``: one-hot at ``m + cluster_index`` (the cluster's own dim)."""
+    _validate(m, k)
+    if not 0 <= cluster_index < k:
+        raise ValueError(f"cluster_index {cluster_index} out of range [0, {k})")
+    label = np.zeros(m + k)
+    label[m + cluster_index] = 1.0
+    return label
+
+
+def ood_pseudo_label(m: int, k: int) -> np.ndarray:
+    """``ỹ^o``: TargAD's modified OE label ``(1/m, ..., 1/m, 0, ..., 0)``."""
+    _validate(m, k)
+    label = np.zeros(m + k)
+    label[:m] = 1.0 / m
+    return label
+
+
+def oe_uniform_pseudo_label(m: int, k: int) -> np.ndarray:
+    """Original OE label: uniform ``1/(m+k)`` over all dims (for ablation)."""
+    _validate(m, k)
+    return np.full(m + k, 1.0 / (m + k))
+
+
+def target_pseudo_labels(y: np.ndarray, m: int, k: int) -> np.ndarray:
+    """Vectorized ``ỹ^t`` for an array of 0-based target class labels."""
+    y = np.asarray(y, dtype=np.int64)
+    _validate(m, k)
+    if len(y) and (y.min() < 0 or y.max() >= m):
+        raise ValueError("target class labels out of range")
+    labels = np.zeros((len(y), m + k))
+    labels[np.arange(len(y)), y] = 1.0
+    return labels
+
+
+def normal_pseudo_labels(clusters: np.ndarray, m: int, k: int) -> np.ndarray:
+    """Vectorized ``ỹ^n`` for an array of cluster indices."""
+    clusters = np.asarray(clusters, dtype=np.int64)
+    _validate(m, k)
+    if len(clusters) and (clusters.min() < 0 or clusters.max() >= k):
+        raise ValueError("cluster indices out of range")
+    labels = np.zeros((len(clusters), m + k))
+    labels[np.arange(len(clusters)), m + clusters] = 1.0
+    return labels

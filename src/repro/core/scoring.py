@@ -1,0 +1,37 @@
+"""Inference-time scoring rules (Eq. 9 and Section III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def target_anomaly_score(probs: np.ndarray, m: int) -> np.ndarray:
+    """Eq. (9): ``S^tar(x) = max_{j <= m} p_j(x)``.
+
+    Higher = more likely a target anomaly.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[1] <= m:
+        raise ValueError("probs must be (n, m + k) with k >= 1")
+    return probs[:, :m].max(axis=1)
+
+
+def is_normal_rule(probs: np.ndarray, m: int, k: int) -> np.ndarray:
+    """Section III-C normality test: ``Σ_{j>m} p_j > k / (m + k)``.
+
+    Returns a boolean mask; True = classified normal, False = anomalous
+    (target or non-target, to be separated by an OOD strategy).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.shape[1] != m + k:
+        raise ValueError(f"probs must have m + k = {m + k} columns")
+    normal_mass = probs[:, m:].sum(axis=1)
+    return normal_mass > k / (m + k)

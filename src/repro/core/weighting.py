@@ -1,0 +1,61 @@
+"""The weight-updating mechanism for non-target anomaly candidates.
+
+``D_U^A`` is noisy: besides true non-target anomalies it contains target
+anomalies and badly-reconstructed normal instances. The paper softens the
+OE loss on such noise with per-instance weights:
+
+- **Initialization (Eq. 5)** from reconstruction errors: normal instances
+  reconstruct well (low ``S^Rec``) so they start with *high* weight — at
+  this point the classifier knows nothing, and the high weight on normals
+  is harmless because their OE pull is corrected within an epoch.
+- **Update (Eq. 4)** from maximum softmax probability ``ε(x)``: as the
+  classifier learns, normals and target anomalies among the candidates are
+  predicted confidently (high ``ε``) and get *low* weight, while true
+  non-target anomalies stay near-uniform (low ``ε``) and get *high*
+  weight — exactly the behaviour Fig. 5 of the paper visualizes.
+
+Both formulas are min-max normalizations of a "smaller is more non-target"
+statistic, so weights live in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _minmax_inverted(values: np.ndarray) -> np.ndarray:
+    """``(max - v) / (max - min)``, the shared form of Eqs. 4 and 5.
+
+    Degenerate case (all values equal) yields all-ones, i.e. uniform full
+    weight — the neutral choice.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if len(values) == 0:
+        return values.copy()
+    vmax = values.max()
+    vmin = values.min()
+    span = vmax - vmin
+    if span <= 0:
+        return np.ones_like(values)
+    return (vmax - values) / span
+
+
+def initial_weights(reconstruction_errors: np.ndarray) -> np.ndarray:
+    """Eq. (5): initialize candidate weights from ``S^Rec``."""
+    return _minmax_inverted(reconstruction_errors)
+
+
+def update_weights(candidate_probs: np.ndarray) -> np.ndarray:
+    """Eq. (4): update candidate weights from softmax probabilities.
+
+    Parameters
+    ----------
+    candidate_probs:
+        ``(n_candidates, m + k)`` softmax outputs of the classifier on
+        ``D_U^A``.
+    """
+    candidate_probs = np.asarray(candidate_probs, dtype=np.float64)
+    if candidate_probs.ndim != 2:
+        raise ValueError("candidate_probs must be 2-dimensional")
+    epsilon = candidate_probs.max(axis=1)
+    return _minmax_inverted(epsilon)

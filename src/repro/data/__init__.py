@@ -1,0 +1,36 @@
+"""Datasets: schema, synthetic generators, preprocessing, and registry.
+
+Real UNSW-NB15 / KDDCUP99 / NSL-KDD downloads and the proprietary SQB
+payment data are unavailable offline, so this package provides synthetic
+analogs that mirror the statistics of Table I in the paper (dimensionality,
+class inventory, target/non-target designation, split sizes, contamination).
+See DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.preprocessing import MinMaxScaler, OneHotEncoder, TabularPreprocessor
+from repro.data.registry import DATASET_NAMES, get_generator, load_dataset
+from repro.data.schema import (
+    KIND_NONTARGET,
+    KIND_NORMAL,
+    KIND_TARGET,
+    DatasetSplit,
+    GeneratedData,
+)
+from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+
+__all__ = [
+    "AnomalyFamilySpec",
+    "DATASET_NAMES",
+    "DatasetSplit",
+    "GeneratedData",
+    "KIND_NONTARGET",
+    "KIND_NORMAL",
+    "KIND_TARGET",
+    "MinMaxScaler",
+    "NormalGroupSpec",
+    "OneHotEncoder",
+    "SyntheticTabularGenerator",
+    "TabularPreprocessor",
+    "get_generator",
+    "load_dataset",
+]

@@ -1,0 +1,143 @@
+"""Preprocessing: min-max normalization and one-hot encoding.
+
+The paper preprocesses all four datasets by one-hot encoding categorical
+features and min-max mapping every feature to [0, 1] (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Map each feature to [0, 1] using train-set minima/maxima.
+
+    Constant features map to 0. Out-of-range test values are clipped so the
+    guarantee ``output ∈ [0, 1]`` holds everywhere (autoencoder inputs).
+    """
+
+    def __init__(self, clip: bool = True):
+        self.clip = clip
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span > 0, span, 1.0)
+        out = (X - self.data_min_) / safe_span
+        out = np.where(span > 0, out, 0.0)
+        if self.clip:
+            out = np.clip(out, 0.0, 1.0)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        return X * (self.data_max_ - self.data_min_) + self.data_min_
+
+
+class OneHotEncoder:
+    """One-hot encode integer-coded categorical columns.
+
+    Categories are learned from the fit data; unseen categories at transform
+    time map to the all-zeros vector (ignore policy).
+    """
+
+    def __init__(self):
+        self.categories_: Optional[List[np.ndarray]] = None
+
+    def fit(self, X_cat: np.ndarray) -> "OneHotEncoder":
+        X_cat = np.asarray(X_cat)
+        if X_cat.ndim != 2:
+            raise ValueError("X_cat must be 2-dimensional")
+        self.categories_ = [np.unique(X_cat[:, j]) for j in range(X_cat.shape[1])]
+        return self
+
+    @property
+    def n_output_features(self) -> int:
+        if self.categories_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        return int(sum(len(c) for c in self.categories_))
+
+    def transform(self, X_cat: np.ndarray) -> np.ndarray:
+        if self.categories_ is None:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+        X_cat = np.asarray(X_cat)
+        if X_cat.shape[1] != len(self.categories_):
+            raise ValueError("column count differs from fit data")
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            block = np.zeros((len(X_cat), len(cats)))
+            # searchsorted + equality check implements the "ignore unseen" policy.
+            pos = np.searchsorted(cats, X_cat[:, j])
+            pos = np.clip(pos, 0, len(cats) - 1)
+            hit = cats[pos] == X_cat[:, j]
+            block[np.arange(len(X_cat))[hit], pos[hit]] = 1.0
+            blocks.append(block)
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, X_cat: np.ndarray) -> np.ndarray:
+        return self.fit(X_cat).transform(X_cat)
+
+
+class TabularPreprocessor:
+    """One-hot encode categorical columns, then min-max scale everything.
+
+    Parameters
+    ----------
+    categorical_columns:
+        Indices of integer-coded categorical columns in the raw matrix.
+        The remaining columns are treated as numeric.
+    """
+
+    def __init__(self, categorical_columns: Sequence[int] = ()):
+        self.categorical_columns = sorted(categorical_columns)
+        self._encoder = OneHotEncoder() if self.categorical_columns else None
+        self._scaler = MinMaxScaler()
+        self._numeric_columns: Optional[np.ndarray] = None
+
+    def _split(self, X: np.ndarray):
+        X = np.asarray(X)
+        if self._numeric_columns is None:
+            all_cols = np.arange(X.shape[1])
+            self._numeric_columns = np.setdiff1d(all_cols, self.categorical_columns)
+        return X[:, self._numeric_columns].astype(np.float64), X[:, self.categorical_columns]
+
+    def fit(self, X: np.ndarray) -> "TabularPreprocessor":
+        numeric, categorical = self._split(X)
+        if self._encoder is not None:
+            encoded = self._encoder.fit_transform(categorical)
+            combined = np.concatenate([numeric, encoded], axis=1)
+        else:
+            combined = numeric
+        self._scaler.fit(combined)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        numeric, categorical = self._split(X)
+        if self._encoder is not None:
+            encoded = self._encoder.transform(categorical)
+            combined = np.concatenate([numeric, encoded], axis=1)
+        else:
+            combined = numeric
+        return self._scaler.transform(combined)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,36 @@
+"""Dataset registry: name-based access to the four paper datasets."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.data import kddcup99, nsl_kdd, sqb, unsw_nb15
+from repro.data.schema import DatasetSplit
+
+_MODULES = {
+    "unsw_nb15": unsw_nb15,
+    "kddcup99": kddcup99,
+    "nsl_kdd": nsl_kdd,
+    "sqb": sqb,
+}
+
+DATASET_NAMES = sorted(_MODULES)
+
+
+def get_generator(name: str, random_state: Optional[int] = None):
+    """Build the synthetic population generator for a dataset by name."""
+    if name not in _MODULES:
+        raise KeyError(f"unknown dataset {name!r}; choices: {DATASET_NAMES}")
+    return _MODULES[name].make_generator(random_state)
+
+
+def load_dataset(name: str, random_state: Optional[int] = None, **kwargs) -> DatasetSplit:
+    """Load a preprocessed split for a dataset by name.
+
+    ``kwargs`` forwards to :func:`repro.data.splits.build_split` — the knobs
+    every robustness experiment varies (scale, contamination, n_labeled,
+    target_families, train_nontarget_families).
+    """
+    if name not in _MODULES:
+        raise KeyError(f"unknown dataset {name!r}; choices: {DATASET_NAMES}")
+    return _MODULES[name].load(random_state=random_state, **kwargs)

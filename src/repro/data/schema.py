@@ -1,0 +1,136 @@
+"""Data containers shared by generators, split builders, and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+# Instance kinds (ground truth used for evaluation and diagnostics).
+KIND_NORMAL = 0
+KIND_TARGET = 1
+KIND_NONTARGET = 2
+
+KIND_NAMES = {KIND_NORMAL: "normal", KIND_TARGET: "target", KIND_NONTARGET: "non-target"}
+
+
+@dataclass
+class GeneratedData:
+    """A pool of generated instances with full ground truth.
+
+    Attributes
+    ----------
+    X:
+        ``(n, D)`` feature matrix (already numeric; categoricals one-hot).
+    kind:
+        Per-row kind: 0 normal, 1 target anomaly, 2 non-target anomaly.
+    family:
+        Per-row family name ("normal_0", "Generic", "Fuzzers", ...).
+    """
+
+    X: np.ndarray
+    kind: np.ndarray
+    family: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.X) == len(self.kind) == len(self.family)):
+            raise ValueError("X, kind, family must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def subset(self, mask: np.ndarray) -> "GeneratedData":
+        """Boolean/index subset preserving all columns."""
+        return GeneratedData(self.X[mask], self.kind[mask], self.family[mask])
+
+    @staticmethod
+    def concatenate(parts: List["GeneratedData"]) -> "GeneratedData":
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        return GeneratedData(
+            np.concatenate([p.X for p in parts]),
+            np.concatenate([p.kind for p in parts]),
+            np.concatenate([p.family for p in parts]),
+        )
+
+
+@dataclass
+class DatasetSplit:
+    """A fully-assembled semi-supervised split per the paper's protocol.
+
+    The training side follows Section III-A: ``D_L`` (labeled target
+    anomalies with class labels ``1..m`` stored 0-based in ``y_labeled``)
+    and ``D_U`` (unlabeled mix of normals + hidden target/non-target
+    anomalies). The unlabeled ground truth (``unlabeled_kind`` /
+    ``unlabeled_family``) is carried along for diagnostics only — models
+    must not read it during fit.
+    """
+
+    name: str
+    X_labeled: np.ndarray
+    y_labeled: np.ndarray  # 0-based target-class index, in [0, m)
+    labeled_family: np.ndarray
+
+    X_unlabeled: np.ndarray
+    unlabeled_kind: np.ndarray
+    unlabeled_family: np.ndarray
+
+    X_val: np.ndarray
+    val_kind: np.ndarray
+    val_family: np.ndarray
+
+    X_test: np.ndarray
+    test_kind: np.ndarray
+    test_family: np.ndarray
+
+    target_families: List[str] = field(default_factory=list)
+    nontarget_families: List[str] = field(default_factory=list)
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def n_target_classes(self) -> int:
+        """``m`` — number of labeled target anomaly classes."""
+        return len(self.target_families)
+
+    @property
+    def n_features(self) -> int:
+        return self.X_unlabeled.shape[1]
+
+    def binary_labels(self, kind: np.ndarray) -> np.ndarray:
+        """Paper's detection labels: +1 for target anomalies, 0 otherwise.
+
+        (The paper states -1 for normal/non-target; we use 0/1 because every
+        metric here consumes 0/1 indicators.)
+        """
+        return (np.asarray(kind) == KIND_TARGET).astype(np.int64)
+
+    @property
+    def y_test_binary(self) -> np.ndarray:
+        return self.binary_labels(self.test_kind)
+
+    @property
+    def y_val_binary(self) -> np.ndarray:
+        return self.binary_labels(self.val_kind)
+
+    def summary(self) -> Dict:
+        """Table I style statistics for this split."""
+        def _counts(kind: np.ndarray) -> Dict[str, int]:
+            kind = np.asarray(kind)
+            return {
+                "normal": int((kind == KIND_NORMAL).sum()),
+                "target": int((kind == KIND_TARGET).sum()),
+                "non-target": int((kind == KIND_NONTARGET).sum()),
+            }
+
+        return {
+            "name": self.name,
+            "D": int(self.n_features),
+            "labeled_target": int(len(self.X_labeled)),
+            "unlabeled": int(len(self.X_unlabeled)),
+            "unlabeled_composition": _counts(self.unlabeled_kind),
+            "validation": _counts(self.val_kind),
+            "testing": _counts(self.test_kind),
+            "m": self.n_target_classes,
+        }

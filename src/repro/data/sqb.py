@@ -1,0 +1,86 @@
+"""Synthetic analog of the SQB merchant-transaction dataset.
+
+The real SQB data (daily transactions of ~6M merchants on an integrated
+payment platform) is proprietary; this module reproduces the *regime* that
+makes it hard, per Table I and Section IV-A of the paper:
+
+- 182 features (176 numeric transaction statistics — amount, frequency,
+  timing blocks — plus two categorical columns of cardinality 3, e.g.
+  payment type), one-hot expanded;
+- target families *fraud* and *gambling_recharge* (high risk), non-target
+  families *click_farming* and *cash_out* (low risk), with non-target
+  anomalies ~6x more frequent than targets;
+- extreme imbalance: only 236 target anomalies among ~150k test rows;
+- unknown contamination in the unlabeled pool, and the evaluation "normal"
+  slots drawn from (slightly contaminated) unlabeled data, per the paper's
+  footnote to Table I.
+
+Target families carry high ``difficulty`` so absolute AUPRC lands in the
+paper's low range (~0.01-0.3) rather than the near-1.0 of the network sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.schema import DatasetSplit
+from repro.data.splits import TableISpec, build_split
+from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+
+TARGET_FAMILIES = ["fraud", "gambling_recharge"]
+NONTARGET_FAMILIES = ["click_farming", "cash_out"]
+
+SPEC = TableISpec(
+    name="SQB",
+    n_labeled=212,
+    n_unlabeled=132_028,
+    val_counts=(14_671, 23, 142),
+    test_counts=(148_323, 236, 1_502),
+    contamination=0.04,  # the true SQB contamination is unknown; ~4% assumed
+    eval_normal_contamination=0.006,
+)
+
+_POPULATION_SEED_OFFSET = 4004
+
+
+def make_generator(random_state: Optional[int] = None) -> SyntheticTabularGenerator:
+    """Build the fixed SQB-like population."""
+    seed = None if random_state is None else random_state + _POPULATION_SEED_OFFSET
+    normal_groups = [
+        NormalGroupSpec("merchant_retail", weight=0.35, signature_size=28, offset_scale=1.0),
+        NormalGroupSpec("merchant_food", weight=0.3, signature_size=24, offset_scale=0.9),
+        NormalGroupSpec("merchant_services", weight=0.2, signature_size=22, offset_scale=1.1),
+        NormalGroupSpec("merchant_online", weight=0.15, signature_size=26, offset_scale=1.2),
+    ]
+    # High-risk (target) merchants hide well: subtle family-specific signal
+    # and modest generic anomalousness. Low-risk (non-target) merchants are
+    # *more* visibly anomalous — click farming and cash-out distort volume
+    # statistics — which is exactly why generic detectors drown targets in
+    # non-target false positives on this dataset.
+    anomaly_families = [
+        AnomalyFamilySpec("fraud", is_target=True, n_affected=12, shift=3.2, scale=1.3,
+                          difficulty=0.42, shared_shift=2.6, activation_rate=0.62),
+        AnomalyFamilySpec("gambling_recharge", is_target=True, n_affected=14, shift=3.4, scale=1.4,
+                          difficulty=0.38, shared_shift=2.8, activation_rate=0.62),
+        AnomalyFamilySpec("click_farming", is_target=False, n_affected=16, shift=3.0, scale=1.5,
+                          difficulty=0.25, shared_shift=4.8, activation_rate=0.65),
+        AnomalyFamilySpec("cash_out", is_target=False, n_affected=14, shift=2.8, scale=1.4,
+                          difficulty=0.3, shared_shift=4.4, activation_rate=0.65),
+    ]
+    return SyntheticTabularGenerator(
+        n_numeric=176,
+        categorical_cardinalities=(3, 3),
+        normal_groups=normal_groups,
+        anomaly_families=anomaly_families,
+        correlation_rank=8,
+        shared_anomaly_dims=12,
+        family_dim_pool=30,
+        direction_agreement=0.9,
+        random_state=seed,
+    )
+
+
+def load(random_state: Optional[int] = None, **kwargs) -> DatasetSplit:
+    """Generate a preprocessed SQB-like split."""
+    generator = make_generator(random_state)
+    return build_split(generator, SPEC, random_state=random_state, **kwargs)

@@ -1,0 +1,355 @@
+"""Synthetic tabular anomaly-data generator.
+
+This engine is the offline substitute for the paper's datasets. It produces
+exactly the latent structure the TargAD problem statement assumes:
+
+- **Multi-pattern normals** — a mixture of "behaviour groups" (the paper
+  motivates k-means clustering by, e.g., low- vs high-consumption credit
+  card users). Each group is a low-rank-correlated Gaussian with its own
+  signature dimensions.
+- **Anomaly families** — each family (e.g. *Generic*, *Fuzzers*, *fraud*)
+  perturbs its own signature subspace of features with a family-specific
+  shift/scale, and has a *difficulty* knob that blends it back toward the
+  normal manifold. Families are declared target or non-target; the split
+  builder decides which labels the model sees.
+- **Categorical columns** — integer-coded columns appended after the numeric
+  block, with per-group/per-family category distributions, exercising the
+  one-hot preprocessing path used by the paper.
+
+Structural parameters (group means, family signatures, ...) are drawn once
+from ``random_state`` at construction; sampling uses an independent stream,
+so train/validation/test splits are i.i.d. draws from one fixed population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET, GeneratedData
+
+
+@dataclass(frozen=True)
+class NormalGroupSpec:
+    """One normal behaviour group.
+
+    Parameters
+    ----------
+    name:
+        Group label (becomes the ``family`` string, e.g. ``"normal_0"``).
+    weight:
+        Relative sampling frequency among normal instances.
+    signature_size:
+        Number of features on which this group's mean deviates from the
+        shared baseline (what makes groups separable for k-means).
+    offset_scale:
+        Magnitude of that deviation.
+    noise_scale:
+        Per-feature independent noise standard deviation.
+    """
+
+    name: str
+    weight: float = 1.0
+    signature_size: int = 8
+    offset_scale: float = 0.8
+    noise_scale: float = 0.08
+
+
+@dataclass(frozen=True)
+class AnomalyFamilySpec:
+    """One anomaly family.
+
+    Parameters
+    ----------
+    name:
+        Family label (e.g. ``"Generic"``).
+    is_target:
+        Default target/non-target designation (the split builder may
+        override which families are *labeled*).
+    n_affected:
+        Size of the family's signature feature subspace.
+    shift:
+        Mean shift applied to affected features, in units of the normal
+        noise scale. Larger = easier to detect.
+    scale:
+        Multiplicative variance inflation on affected features.
+    difficulty:
+        In [0, 1); fraction by which the anomalous displacement is blended
+        back toward the normal pattern. Higher = harder.
+    shared_shift:
+        Mean shift applied on the generator's *shared anomaly subspace* —
+        dimensions where **every** anomaly family deviates (generic
+        "anomalousness": e.g. traffic volume in intrusion data, turnover
+        irregularity in payments). Non-zero values make target and
+        non-target anomalies confusable for detectors that only learn
+        "anomalous vs normal", which is the paper's core phenomenon.
+    activation_rate:
+        Per-instance probability that each signature dimension actually
+        fires. Below 1.0 the family is internally heterogeneous (each
+        instance expresses a random sub-pattern), so family membership is
+        fuzzy rather than a crisp subset-of-dims test — as in real attack
+        categories.
+    """
+
+    name: str
+    is_target: bool
+    n_affected: int = 12
+    shift: float = 4.0
+    scale: float = 1.5
+    difficulty: float = 0.0
+    shared_shift: float = 0.0
+    activation_rate: float = 1.0
+
+
+@dataclass
+class _FamilyStructure:
+    """Frozen per-family draw of signature dims, directions, categoricals."""
+
+    affected: np.ndarray
+    direction: np.ndarray
+    cat_dists: List[np.ndarray] = field(default_factory=list)
+
+
+class SyntheticTabularGenerator:
+    """Generator over a fixed synthetic population.
+
+    Parameters
+    ----------
+    n_numeric:
+        Number of numeric features in the raw matrix.
+    categorical_cardinalities:
+        Cardinality of each integer-coded categorical column (appended after
+        the numeric block). One-hot expansion is the split builder's job.
+    normal_groups, anomaly_families:
+        Population structure.
+    correlation_rank:
+        Rank of the shared low-rank correlation structure among numeric
+        features (0 disables it).
+    shared_anomaly_dims:
+        Size of the shared anomaly subspace on which every family's
+        ``shared_shift`` acts (0 disables the mechanism).
+    family_dim_pool:
+        If set, every family's signature dims are drawn from a common pool
+        of this many features instead of all of them. A pool not much
+        larger than the family sizes forces signature *overlap* between
+        families (as in real intrusion data, where attack categories share
+        traffic statistics), capping how well any classifier can separate
+        target from non-target families.
+    direction_agreement:
+        Probability that a family's displacement on a feature follows the
+        feature's canonical anomaly direction (e.g. "error counters go
+        up"). 0.5 = independent random directions (families orthogonal on
+        average, easy to tell apart); values near 1 make all families push
+        the same way, so scalar anomaly scorers cannot separate them.
+    random_state:
+        Seed for the *structural* draw. Sampling methods take their own
+        ``rng`` so multiple splits share one population.
+    """
+
+    def __init__(
+        self,
+        n_numeric: int,
+        normal_groups: Sequence[NormalGroupSpec],
+        anomaly_families: Sequence[AnomalyFamilySpec],
+        categorical_cardinalities: Sequence[int] = (),
+        correlation_rank: int = 4,
+        shared_anomaly_dims: int = 0,
+        family_dim_pool: Optional[int] = None,
+        direction_agreement: float = 0.5,
+        random_state: Optional[int] = None,
+    ):
+        if n_numeric < 4:
+            raise ValueError("n_numeric must be >= 4")
+        if not normal_groups:
+            raise ValueError("need at least one normal group")
+        if not anomaly_families:
+            raise ValueError("need at least one anomaly family")
+        names = [f.name for f in anomaly_families]
+        if len(set(names)) != len(names):
+            raise ValueError("anomaly family names must be unique")
+
+        self.n_numeric = n_numeric
+        self.categorical_cardinalities = list(categorical_cardinalities)
+        self.normal_groups = list(normal_groups)
+        self.anomaly_families = list(anomaly_families)
+        self.correlation_rank = correlation_rank
+        self.shared_anomaly_dims = min(shared_anomaly_dims, n_numeric)
+        self.family_dim_pool = None if family_dim_pool is None else min(family_dim_pool, n_numeric)
+        if not 0.0 <= direction_agreement <= 1.0:
+            raise ValueError("direction_agreement must be in [0, 1]")
+        self.direction_agreement = direction_agreement
+        self.random_state = random_state
+
+        struct_rng = np.random.default_rng(random_state)
+        self._draw_structure(struct_rng)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _draw_structure(self, rng: np.random.Generator) -> None:
+        D = self.n_numeric
+        self._base_mean = rng.uniform(0.35, 0.65, size=D)
+        if self.correlation_rank > 0:
+            self._factors = rng.normal(0.0, 0.03, size=(D, self.correlation_rank))
+        else:
+            self._factors = None
+
+        if self.shared_anomaly_dims > 0:
+            self._shared_affected = rng.choice(D, size=self.shared_anomaly_dims, replace=False)
+            self._shared_direction = rng.choice([-1.0, 1.0], size=self.shared_anomaly_dims)
+        else:
+            self._shared_affected = np.empty(0, dtype=np.int64)
+            self._shared_direction = np.empty(0)
+
+        self._group_offsets: Dict[str, np.ndarray] = {}
+        self._group_cat_dists: Dict[str, List[np.ndarray]] = {}
+        for group in self.normal_groups:
+            offset = np.zeros(D)
+            size = min(group.signature_size, D)
+            dims = rng.choice(D, size=size, replace=False)
+            offset[dims] = rng.normal(0.0, group.offset_scale * group.noise_scale * 4.0, size=size)
+            self._group_offsets[group.name] = offset
+            self._group_cat_dists[group.name] = [
+                rng.dirichlet(np.full(card, 4.0)) for card in self.categorical_cardinalities
+            ]
+
+        if self.family_dim_pool is not None:
+            signature_pool = rng.choice(D, size=self.family_dim_pool, replace=False)
+        else:
+            signature_pool = np.arange(D)
+        canonical_direction = rng.choice([-1.0, 1.0], size=D)
+
+        self._family_structs: Dict[str, _FamilyStructure] = {}
+        for family in self.anomaly_families:
+            size = min(family.n_affected, len(signature_pool))
+            affected = rng.choice(signature_pool, size=size, replace=False)
+            agree = rng.random(size) < self.direction_agreement
+            direction = canonical_direction[affected] * np.where(agree, 1.0, -1.0)
+            cat_dists = [
+                rng.dirichlet(np.full(card, 1.0)) for card in self.categorical_cardinalities
+            ]
+            self._family_structs[family.name] = _FamilyStructure(affected, direction, cat_dists)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @property
+    def n_raw_columns(self) -> int:
+        """Numeric columns plus integer-coded categorical columns."""
+        return self.n_numeric + len(self.categorical_cardinalities)
+
+    @property
+    def family_names(self) -> List[str]:
+        return [f.name for f in self.anomaly_families]
+
+    @property
+    def target_family_names(self) -> List[str]:
+        return [f.name for f in self.anomaly_families if f.is_target]
+
+    @property
+    def nontarget_family_names(self) -> List[str]:
+        return [f.name for f in self.anomaly_families if not f.is_target]
+
+    def _numeric_normal(self, group: NormalGroupSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+        mean = self._base_mean + self._group_offsets[group.name]
+        X = mean + rng.normal(0.0, group.noise_scale, size=(n, self.n_numeric))
+        if self._factors is not None:
+            latent = rng.normal(size=(n, self.correlation_rank))
+            X = X + latent @ self._factors.T
+        return X
+
+    def _categorical(self, dists: List[np.ndarray], n: int, rng: np.random.Generator) -> np.ndarray:
+        if not dists:
+            return np.empty((n, 0))
+        cols = [rng.choice(len(dist), size=n, p=dist) for dist in dists]
+        return np.stack(cols, axis=1).astype(np.float64)
+
+    def _pick_groups(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        weights = np.array([g.weight for g in self.normal_groups], dtype=np.float64)
+        weights = weights / weights.sum()
+        return rng.choice(len(self.normal_groups), size=n, p=weights)
+
+    def sample_normal(self, n: int, rng: np.random.Generator) -> GeneratedData:
+        """Draw ``n`` normal instances across behaviour groups."""
+        if n <= 0:
+            return GeneratedData(np.empty((0, self.n_raw_columns)), np.empty(0, dtype=np.int64),
+                                 np.empty(0, dtype=object))
+        assignments = self._pick_groups(n, rng)
+        X = np.empty((n, self.n_raw_columns))
+        family = np.empty(n, dtype=object)
+        for gi, group in enumerate(self.normal_groups):
+            mask = assignments == gi
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            numeric = self._numeric_normal(group, count, rng)
+            categorical = self._categorical(self._group_cat_dists[group.name], count, rng)
+            X[mask] = np.concatenate([numeric, categorical], axis=1)
+            family[mask] = group.name
+        kind = np.full(n, KIND_NORMAL, dtype=np.int64)
+        return GeneratedData(X, kind, family)
+
+    def sample_family(self, name: str, n: int, rng: np.random.Generator) -> GeneratedData:
+        """Draw ``n`` anomalies of the given family."""
+        spec = next((f for f in self.anomaly_families if f.name == name), None)
+        if spec is None:
+            raise KeyError(f"unknown anomaly family {name!r}; choices: {self.family_names}")
+        if n <= 0:
+            return GeneratedData(np.empty((0, self.n_raw_columns)), np.empty(0, dtype=np.int64),
+                                 np.empty(0, dtype=object))
+        struct = self._family_structs[name]
+
+        # Start from the normal mixture, then displace the signature subspace.
+        base = self.sample_normal(n, rng)
+        numeric = base.X[:, : self.n_numeric].copy()
+        noise_scale = float(np.mean([g.noise_scale for g in self.normal_groups]))
+        displacement = spec.shift * noise_scale * struct.direction
+        jitter = rng.normal(1.0, 0.3, size=(n, len(struct.affected)))
+        if spec.activation_rate < 1.0:
+            fired = rng.random((n, len(struct.affected))) < spec.activation_rate
+            jitter = jitter * fired
+        numeric[:, struct.affected] += displacement * jitter
+        if spec.scale > 1.0:
+            extra_std = noise_scale * np.sqrt(spec.scale**2 - 1.0)
+            numeric[:, struct.affected] += rng.normal(0.0, extra_std, size=(n, len(struct.affected)))
+        if spec.shared_shift != 0.0 and len(self._shared_affected):
+            # Generic anomalousness shared across families.
+            shared_jitter = rng.normal(1.0, 0.25, size=(n, len(self._shared_affected)))
+            if spec.activation_rate < 1.0:
+                fired = rng.random(shared_jitter.shape) < (0.5 + spec.activation_rate / 2.0)
+                shared_jitter = shared_jitter * fired
+            numeric[:, self._shared_affected] += (
+                spec.shared_shift * noise_scale * self._shared_direction * shared_jitter
+            )
+        if spec.difficulty > 0.0:
+            # Blend back toward the (undisplaced) normal pattern.
+            blend_dims = np.union1d(struct.affected, self._shared_affected).astype(np.int64)
+            numeric[:, blend_dims] = (
+                (1.0 - spec.difficulty) * numeric[:, blend_dims]
+                + spec.difficulty * base.X[:, blend_dims]
+            )
+        categorical = self._categorical(struct.cat_dists, n, rng)
+        X = np.concatenate([numeric, categorical], axis=1)
+        kind_value = KIND_TARGET if spec.is_target else KIND_NONTARGET
+        kind = np.full(n, kind_value, dtype=np.int64)
+        family = np.full(n, name, dtype=object)
+        return GeneratedData(X, kind, family)
+
+    def sample_mixture(
+        self,
+        n_normal: int,
+        family_counts: Dict[str, int],
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ) -> GeneratedData:
+        """Draw a mixed pool of normals and anomalies by family counts."""
+        parts = [self.sample_normal(n_normal, rng)]
+        for name, count in family_counts.items():
+            parts.append(self.sample_family(name, count, rng))
+        data = GeneratedData.concatenate(parts)
+        if shuffle:
+            order = rng.permutation(len(data))
+            data = data.subset(order)
+        return data

@@ -1,0 +1,230 @@
+"""Ingest real tabular data (CSV) into the library's split format.
+
+The synthetic generators stand in for the paper's datasets offline; when a
+user *does* have real data (e.g. the actual UNSW-NB15 CSV), this module is
+the on-ramp:
+
+1. :func:`read_csv` — parse a CSV with header into column arrays,
+2. :func:`infer_schema` — detect numeric vs categorical columns,
+3. :func:`assemble_split` — build a preprocessed
+   :class:`~repro.data.schema.DatasetSplit` from a feature matrix plus a
+   per-row *family* label (the paper's protocol: choose target families,
+   sample a labeled set, hide the remaining anomalies in the unlabeled
+   pool at a contamination rate, carve out validation/test).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.preprocessing import TabularPreprocessor
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET, DatasetSplit
+
+
+@dataclass
+class TableData:
+    """A parsed CSV: raw string cells by column."""
+
+    columns: List[str]
+    cells: Dict[str, List[str]]
+
+    def __len__(self) -> int:
+        return len(self.cells[self.columns[0]]) if self.columns else 0
+
+
+def read_csv(path: Union[str, Path], delimiter: str = ",") -> TableData:
+    """Parse a delimited text file with a header row."""
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        columns = [name.strip() for name in header]
+        cells: Dict[str, List[str]] = {name: [] for name in columns}
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(columns):
+                raise ValueError(
+                    f"{path}:{row_number}: expected {len(columns)} fields, got {len(row)}"
+                )
+            for name, value in zip(columns, row):
+                cells[name].append(value.strip())
+    return TableData(columns=columns, cells=cells)
+
+
+def infer_schema(table: TableData, max_categorical_cardinality: int = 32) -> Dict[str, str]:
+    """Classify each column as "numeric" or "categorical".
+
+    A column is numeric when every non-empty cell parses as a float *and*
+    its cardinality exceeds ``max_categorical_cardinality`` or it contains
+    non-integer values; low-cardinality integer-like and any non-numeric
+    column is categorical.
+    """
+    schema: Dict[str, str] = {}
+    for name in table.columns:
+        values = [v for v in table.cells[name] if v != ""]
+        try:
+            floats = [float(v) for v in values]
+        except ValueError:
+            schema[name] = "categorical"
+            continue
+        distinct = len(set(values))
+        all_integral = all(float(v).is_integer() for v in values)
+        if all_integral and distinct <= max_categorical_cardinality:
+            schema[name] = "categorical"
+        else:
+            schema[name] = "numeric"
+        del floats
+    return schema
+
+
+def to_matrix(
+    table: TableData,
+    schema: Optional[Dict[str, str]] = None,
+    exclude: Sequence[str] = (),
+) -> Tuple[np.ndarray, List[int], List[str]]:
+    """Encode a table into a raw float matrix.
+
+    Categorical cells become integer codes (per-column vocabulary order of
+    first appearance); returns ``(matrix, categorical_column_indices,
+    feature_names)`` ready for :class:`TabularPreprocessor`.
+    """
+    schema = schema if schema is not None else infer_schema(table)
+    feature_names = [c for c in table.columns if c not in set(exclude)]
+    n = len(table)
+    matrix = np.empty((n, len(feature_names)))
+    categorical_idx: List[int] = []
+    for j, name in enumerate(feature_names):
+        values = table.cells[name]
+        if schema.get(name) == "categorical":
+            vocabulary: Dict[str, int] = {}
+            codes = np.empty(n)
+            for i, value in enumerate(values):
+                if value not in vocabulary:
+                    vocabulary[value] = len(vocabulary)
+                codes[i] = vocabulary[value]
+            matrix[:, j] = codes
+            categorical_idx.append(j)
+        else:
+            matrix[:, j] = [float(v) if v != "" else np.nan for v in values]
+    # Impute missing numerics with the column median.
+    for j in range(matrix.shape[1]):
+        col = matrix[:, j]
+        if np.isnan(col).any():
+            col[np.isnan(col)] = np.nanmedian(col)
+    return matrix, categorical_idx, feature_names
+
+
+def assemble_split(
+    X: np.ndarray,
+    family: Sequence[str],
+    target_families: Sequence[str],
+    normal_label: str = "normal",
+    n_labeled: int = 100,
+    contamination: float = 0.05,
+    val_fraction: float = 0.15,
+    test_fraction: float = 0.25,
+    categorical_columns: Sequence[int] = (),
+    name: str = "custom",
+    random_state: Optional[int] = None,
+) -> DatasetSplit:
+    """Build a semi-supervised split from labeled real data.
+
+    Parameters
+    ----------
+    X:
+        Raw feature matrix (categoricals as integer codes).
+    family:
+        Per-row class label; rows equal to ``normal_label`` are normal,
+        every other value is an anomaly family.
+    target_families:
+        Families to treat as target anomaly classes (everything else
+        anomalous is non-target).
+    n_labeled:
+        Labeled target anomalies (split evenly over target classes).
+    contamination:
+        Anomaly fraction of the unlabeled training pool.
+    val_fraction, test_fraction:
+        Fractions of the *normal* pool carved into validation/test; anomaly
+        rows not used for training are split between them proportionally.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    family = np.asarray(family, dtype=object)
+    if len(X) != len(family):
+        raise ValueError("X and family length mismatch")
+    target_families = list(target_families)
+    present = set(family)
+    missing = set(target_families) - present
+    if missing:
+        raise ValueError(f"target families not present in data: {sorted(missing)}")
+    if normal_label not in present:
+        raise ValueError(f"no rows labeled {normal_label!r}")
+    rng = np.random.default_rng(random_state)
+
+    is_normal = family == normal_label
+    is_target = np.isin(family, target_families) & ~is_normal
+    is_nontarget = ~is_normal & ~is_target
+    kind = np.where(is_normal, KIND_NORMAL, np.where(is_target, KIND_TARGET, KIND_NONTARGET))
+
+    def split_three(indices: np.ndarray, val_frac: float, test_frac: float):
+        indices = rng.permutation(indices)
+        n_val = int(round(val_frac * len(indices)))
+        n_test = int(round(test_frac * len(indices)))
+        return indices[n_val + n_test:], indices[:n_val], indices[n_val : n_val + n_test]
+
+    normal_train, normal_val, normal_test = split_three(
+        np.flatnonzero(is_normal), val_fraction, test_fraction
+    )
+
+    # Labeled targets: sample evenly per class.
+    family_to_class = {f: i for i, f in enumerate(target_families)}
+    labeled_idx: List[int] = []
+    per_class = max(n_labeled // len(target_families), 1)
+    for fam in target_families:
+        pool = np.flatnonzero(family == fam)
+        take = min(per_class, max(len(pool) - 2, 1))
+        labeled_idx.extend(rng.choice(pool, size=take, replace=False).tolist())
+    labeled_idx = np.asarray(labeled_idx)
+
+    remaining_anom = np.setdiff1d(np.flatnonzero(~is_normal), labeled_idx)
+    anom_train_budget = int(round(contamination * len(normal_train) / max(1 - contamination, 1e-9)))
+    anom_train_budget = min(anom_train_budget, len(remaining_anom))
+    anom_train = rng.choice(remaining_anom, size=anom_train_budget, replace=False)
+    anom_eval = np.setdiff1d(remaining_anom, anom_train)
+    anom_eval = rng.permutation(anom_eval)
+    n_anom_val = int(round(len(anom_eval) * val_fraction / max(val_fraction + test_fraction, 1e-9)))
+    anom_val, anom_test = anom_eval[:n_anom_val], anom_eval[n_anom_val:]
+
+    unlabeled_idx = rng.permutation(np.concatenate([normal_train, anom_train]))
+    val_idx = rng.permutation(np.concatenate([normal_val, anom_val]))
+    test_idx = rng.permutation(np.concatenate([normal_test, anom_test]))
+
+    preprocessor = TabularPreprocessor(categorical_columns=categorical_columns)
+    preprocessor.fit(np.concatenate([X[labeled_idx], X[unlabeled_idx]]))
+
+    nontarget_families = sorted(set(family[is_nontarget]))
+    return DatasetSplit(
+        name=name,
+        X_labeled=preprocessor.transform(X[labeled_idx]),
+        y_labeled=np.array([family_to_class[f] for f in family[labeled_idx]], dtype=np.int64),
+        labeled_family=family[labeled_idx],
+        X_unlabeled=preprocessor.transform(X[unlabeled_idx]),
+        unlabeled_kind=kind[unlabeled_idx],
+        unlabeled_family=family[unlabeled_idx],
+        X_val=preprocessor.transform(X[val_idx]),
+        val_kind=kind[val_idx],
+        val_family=family[val_idx],
+        X_test=preprocessor.transform(X[test_idx]),
+        test_kind=kind[test_idx],
+        test_family=family[test_idx],
+        target_families=target_families,
+        nontarget_families=list(nontarget_families),
+        metadata={"source": "assemble_split", "contamination": contamination,
+                  "random_state": random_state},
+    )

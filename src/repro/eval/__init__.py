@@ -1,0 +1,34 @@
+"""Evaluation: registry, multi-seed protocol, tables, thresholds, calibration."""
+
+from repro.eval.analysis import (
+    ScoreStats,
+    queue_composition,
+    score_stats_by_kind,
+    separation_ratio,
+)
+from repro.eval.calibration import BinnedCalibrator, rank_normalize, unify_scores
+from repro.eval.protocol import EvalResult, evaluate_detector, run_comparison
+from repro.eval.registry import DETECTOR_NAMES, EXTRA_DETECTOR_NAMES, make_detector
+from repro.eval.results import ResultTable, format_mean_std
+from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
+
+__all__ = [
+    "BinnedCalibrator",
+    "DETECTOR_NAMES",
+    "EXTRA_DETECTOR_NAMES",
+    "EvalResult",
+    "ResultTable",
+    "ScoreStats",
+    "best_f1_threshold",
+    "budget_threshold",
+    "evaluate_detector",
+    "format_mean_std",
+    "make_detector",
+    "queue_composition",
+    "rank_normalize",
+    "recall_threshold",
+    "run_comparison",
+    "score_stats_by_kind",
+    "separation_ratio",
+    "unify_scores",
+]

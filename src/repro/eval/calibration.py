@@ -1,0 +1,128 @@
+"""Score calibration and detector ensembling.
+
+Anomaly scores from different detectors live on incompatible scales
+(reconstruction errors, energies, probabilities). These utilities make
+them comparable and combinable:
+
+- :func:`rank_normalize` — map scores to their normalized ranks in [0, 1];
+- :func:`unify_scores` — rank-average ensemble over several detectors;
+- :class:`BinnedCalibrator` — monotone binned calibration of scores into
+  target-anomaly probabilities using a labeled calibration split (a simple
+  isotonic-style estimator with guaranteed monotonicity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def rank_normalize(scores: np.ndarray) -> np.ndarray:
+    """Normalized ranks in [0, 1]; ties get their average rank."""
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if len(scores) == 0:
+        raise ValueError("empty scores")
+    if len(scores) == 1:
+        return np.array([0.5])
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(len(scores), dtype=np.float64)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    start = 0
+    for i in range(1, len(scores) + 1):
+        if i == len(scores) or sorted_scores[i] != sorted_scores[start]:
+            mean_rank = (start + i - 1) / 2.0
+            ranks[order[start:i]] = mean_rank
+            start = i
+    return ranks / (len(scores) - 1)
+
+
+def unify_scores(score_lists: Sequence[np.ndarray],
+                 weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Rank-average ensemble of several detectors' scores.
+
+    Each score vector is rank-normalized, then combined by a (weighted)
+    mean — the standard scale-free way to ensemble heterogeneous anomaly
+    detectors.
+    """
+    score_lists = [np.asarray(s, dtype=np.float64).ravel() for s in score_lists]
+    if not score_lists:
+        raise ValueError("need at least one score vector")
+    length = len(score_lists[0])
+    if any(len(s) != length for s in score_lists):
+        raise ValueError("all score vectors must have equal length")
+    if weights is None:
+        weights = np.ones(len(score_lists))
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(weights) != len(score_lists) or weights.sum() <= 0:
+        raise ValueError("weights must match the score vectors and sum > 0")
+    weights = weights / weights.sum()
+    combined = np.zeros(length)
+    for w, scores in zip(weights, score_lists):
+        combined += w * rank_normalize(scores)
+    return combined
+
+
+class BinnedCalibrator:
+    """Monotone binned probability calibration.
+
+    Fits on (scores, binary labels): partitions the score range into
+    equal-frequency bins, computes the positive rate per bin, then enforces
+    monotonicity with a pool-adjacent-violators pass. ``predict_proba``
+    interpolates between bin centers.
+    """
+
+    def __init__(self, n_bins: int = 10):
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.bin_centers_: Optional[np.ndarray] = None
+        self.bin_probs_: Optional[np.ndarray] = None
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "BinnedCalibrator":
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        y_true = np.asarray(y_true, dtype=np.float64).ravel()
+        if scores.shape != y_true.shape:
+            raise ValueError("scores and y_true must have the same shape")
+        if len(scores) < self.n_bins:
+            raise ValueError("need at least n_bins calibration points")
+
+        order = np.argsort(scores)
+        splits = np.array_split(order, self.n_bins)
+        centers, probs, sizes = [], [], []
+        for idx in splits:
+            if len(idx) == 0:
+                continue
+            centers.append(scores[idx].mean())
+            probs.append(y_true[idx].mean())
+            sizes.append(len(idx))
+        centers = np.asarray(centers)
+        probs = np.asarray(probs)
+        sizes = np.asarray(sizes, dtype=np.float64)
+
+        # Pool adjacent violators: enforce non-decreasing bin probabilities.
+        probs = probs.copy()
+        i = 0
+        while i < len(probs) - 1:
+            if probs[i] > probs[i + 1] + 1e-12:
+                pooled = (probs[i] * sizes[i] + probs[i + 1] * sizes[i + 1]) / (
+                    sizes[i] + sizes[i + 1]
+                )
+                probs[i] = probs[i + 1] = pooled
+                sizes[i] = sizes[i + 1] = sizes[i] + sizes[i + 1]
+                i = max(i - 1, 0)
+            else:
+                i += 1
+
+        self.bin_centers_ = centers
+        self.bin_probs_ = probs
+        return self
+
+    def predict_proba(self, scores: np.ndarray) -> np.ndarray:
+        """Calibrated P(target anomaly) per score."""
+        if self.bin_centers_ is None:
+            raise RuntimeError("calibrator is not fitted; call fit() first")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        return np.interp(scores, self.bin_centers_, self.bin_probs_)

@@ -1,0 +1,47 @@
+"""Result-table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_mean_std(mean: float, std: float, digits: int = 3) -> str:
+    """Render ``0.804±0.001`` in the paper's Table II style."""
+    return f"{mean:.{digits}f}±{std:.{digits}f}"
+
+
+class ResultTable:
+    """A simple fixed-width text table with row/column labels.
+
+    Used by the benchmark harness to print paper-style tables next to the
+    paper's reference numbers.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str], row_header: str = "Model"):
+        self.title = title
+        self.columns = list(columns)
+        self.row_header = row_header
+        self._rows: List[tuple] = []
+
+    def add_row(self, label: str, values: Dict[str, str]) -> None:
+        """Add a row; missing columns render as '-'."""
+        self._rows.append((label, [str(values.get(col, "-")) for col in self.columns]))
+
+    def render(self) -> str:
+        header = [self.row_header, *self.columns]
+        table_rows = [[label, *vals] for label, vals in self._rows]
+        widths = [
+            max(len(str(row[i])) for row in [header, *table_rows]) for i in range(len(header))
+        ]
+
+        def fmt(row):
+            return "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, sep, fmt(header), sep]
+        lines.extend(fmt(row) for row in table_rows)
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n")

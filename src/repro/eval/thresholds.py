@@ -1,0 +1,61 @@
+"""Decision-threshold selection for deployment.
+
+AUPRC/AUROC evaluate rankings; an operating system needs a cutoff. These
+utilities pick one from a labeled calibration set (typically the
+validation split) under different operating policies:
+
+- :func:`best_f1_threshold` — maximize F1 of the positive class;
+- :func:`recall_threshold` — loosest cutoff achieving a target recall
+  (catch-rate guarantees for high-risk anomalies);
+- :func:`budget_threshold` — tightest cutoff flagging at most ``budget``
+  instances (a fixed analyst review capacity).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.ranking import precision_recall_curve
+
+
+def best_f1_threshold(y_true: np.ndarray, scores: np.ndarray) -> Tuple[float, float]:
+    """Threshold maximizing F1; returns ``(threshold, f1)``.
+
+    Predictions are ``score >= threshold``.
+    """
+    precision, recall, thresholds = precision_recall_curve(y_true, scores)
+    # Drop the appended (P=1, R=0) anchor which has no threshold.
+    precision = precision[:-1]
+    recall = recall[:-1]
+    denom = precision + recall
+    f1 = np.where(denom > 0, 2 * precision * recall / np.where(denom > 0, denom, 1.0), 0.0)
+    best = int(np.argmax(f1))
+    return float(thresholds[best]), float(f1[best])
+
+
+def recall_threshold(y_true: np.ndarray, scores: np.ndarray, target_recall: float) -> float:
+    """Loosest threshold with recall >= ``target_recall``.
+
+    Raises ``ValueError`` if the target is not reachable (i.e. > 1).
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError("target_recall must be in (0, 1]")
+    precision, recall, thresholds = precision_recall_curve(y_true, scores)
+    recall = recall[:-1]
+    feasible = np.flatnonzero(recall >= target_recall)
+    if len(feasible) == 0:
+        raise ValueError(f"recall {target_recall} not achievable")
+    # Curve is ordered by decreasing threshold; take the *highest* threshold
+    # (earliest index) that already reaches the target.
+    return float(thresholds[feasible[0]])
+
+
+def budget_threshold(scores: np.ndarray, budget: int) -> float:
+    """Tightest threshold flagging at most ``budget`` instances."""
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if not 1 <= budget <= len(scores):
+        raise ValueError(f"budget must be in [1, {len(scores)}]")
+    order = np.sort(scores)[::-1]
+    return float(order[budget - 1])

@@ -1,0 +1,36 @@
+"""Programmatic experiment suites.
+
+Library-level versions of the paper's evaluation protocols, so users can
+re-run any experiment on their own data/configurations without going
+through the pytest benchmark harness:
+
+- :mod:`~repro.experiments.convergence` — per-epoch loss and test-AUPRC
+  curves (Fig. 3);
+- :mod:`~repro.experiments.robustness` — the four Fig. 4 sweeps (unseen
+  non-target types, target-class count, labeled budget, contamination);
+- :mod:`~repro.experiments.sensitivity` — hyperparameter sweeps and the
+  α × contamination matrix (Figs. 6-7).
+"""
+
+from repro.experiments.convergence import ConvergenceResult, convergence_curves
+from repro.experiments.report import generate_report
+from repro.experiments.robustness import SweepResult, sweep
+from repro.experiments.sensitivity import (
+    alpha_contamination_matrix,
+    eta_sweep,
+    lambda_grid,
+)
+from repro.experiments.tables import ablation, triclass_report
+
+__all__ = [
+    "ablation",
+    "triclass_report",
+    "ConvergenceResult",
+    "SweepResult",
+    "alpha_contamination_matrix",
+    "convergence_curves",
+    "eta_sweep",
+    "generate_report",
+    "lambda_grid",
+    "sweep",
+]

@@ -1,0 +1,70 @@
+"""Convergence experiment (Fig. 3): per-epoch loss and test-AUPRC curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import TargAD, TargADConfig
+from repro.data import load_dataset
+from repro.eval.protocol import fit_on_split
+from repro.eval.registry import DATASET_K, make_detector
+from repro.metrics import auprc
+
+
+@dataclass
+class ConvergenceResult:
+    """Loss curve of TargAD and test-AUPRC curves of all requested models."""
+
+    dataset: str
+    loss_curve: List[float] = field(default_factory=list)
+    auprc_curves: Dict[str, List[float]] = field(default_factory=dict)
+
+    def final_auprc(self) -> Dict[str, float]:
+        return {name: curve[-1] for name, curve in self.auprc_curves.items()}
+
+    def epochs_to_reach(self, model: str, fraction: float = 0.95) -> int:
+        """First epoch at which ``model`` reaches ``fraction`` of its final AUPRC."""
+        curve = self.auprc_curves[model]
+        target = fraction * curve[-1]
+        for epoch, value in enumerate(curve):
+            if value >= target:
+                return epoch
+        return len(curve) - 1
+
+
+def convergence_curves(
+    dataset: str = "unsw_nb15",
+    baselines: Sequence[str] = ("DevNet", "DeepSAD", "PReNet"),
+    seed: int = 0,
+    scale: Optional[float] = None,
+    targad_kwargs: Optional[Dict] = None,
+) -> ConvergenceResult:
+    """Fit TargAD and baselines, recording test AUPRC after every epoch."""
+    kwargs = {} if scale is None else {"scale": scale}
+    split = load_dataset(dataset, random_state=seed, **kwargs)
+    result = ConvergenceResult(dataset=dataset)
+
+    curve: List[float] = []
+    model = TargAD(TargADConfig(random_state=seed, k=DATASET_K.get(dataset),
+                                **(targad_kwargs or {})))
+    model.fit(
+        split.X_unlabeled, split.X_labeled, split.y_labeled,
+        epoch_callback=lambda e, m: curve.append(
+            auprc(split.y_test_binary, m.decision_function(split.X_test))
+        ),
+    )
+    result.auprc_curves["TargAD"] = curve
+    result.loss_curve = list(model.loss_history)
+
+    for name in baselines:
+        baseline_curve: List[float] = []
+        detector = make_detector(name, random_state=seed, dataset=dataset)
+        fit_on_split(
+            detector, split,
+            epoch_callback=lambda e, d: baseline_curve.append(
+                auprc(split.y_test_binary, d.decision_function(split.X_test))
+            ),
+        )
+        result.auprc_curves[name] = baseline_curve
+    return result

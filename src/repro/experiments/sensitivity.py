@@ -1,0 +1,71 @@
+"""Hyperparameter-sensitivity experiments (Figs. 6 and 7)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import TargAD, TargADConfig
+from repro.data import load_dataset
+from repro.eval.registry import DATASET_K
+from repro.metrics import auprc, auroc
+
+
+def _fit_eval(split, dataset: str, seed: int, **config_kwargs) -> Tuple[float, float]:
+    config_kwargs.setdefault("k", DATASET_K.get(dataset))
+    model = TargAD(TargADConfig(random_state=seed, **config_kwargs))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    scores = model.decision_function(split.X_test)
+    return auprc(split.y_test_binary, scores), auroc(split.y_test_binary, scores)
+
+
+def eta_sweep(
+    dataset: str = "unsw_nb15",
+    etas: Sequence[float] = (0.0, 0.01, 0.1, 1.0, 10.0, 100.0),
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> Dict[float, Tuple[float, float]]:
+    """Fig. 7(a): TargAD (AUPRC, AUROC) per η in the autoencoder loss."""
+    kwargs = {} if scale is None else {"scale": scale}
+    split = load_dataset(dataset, random_state=seed, **kwargs)
+    return {eta: _fit_eval(split, dataset, seed, eta=eta) for eta in etas}
+
+
+def lambda_grid(
+    dataset: str = "unsw_nb15",
+    lambdas: Sequence[float] = (0.01, 0.1, 1.0, 2.0, 5.0, 10.0),
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> Dict[Tuple[float, float], Tuple[float, float]]:
+    """Fig. 7(b, c): (AUPRC, AUROC) for each (λ1, λ2) pair."""
+    kwargs = {} if scale is None else {"scale": scale}
+    split = load_dataset(dataset, random_state=seed, **kwargs)
+    grid = {}
+    for lam1 in lambdas:
+        for lam2 in lambdas:
+            grid[(lam1, lam2)] = _fit_eval(split, dataset, seed,
+                                           lambda1=lam1, lambda2=lam2)
+    return grid
+
+
+def alpha_contamination_matrix(
+    dataset: str = "unsw_nb15",
+    alphas: Sequence[float] = (0.01, 0.05, 0.10, 0.15, 0.20),
+    contaminations: Sequence[float] = (0.01, 0.05, 0.10, 0.15),
+    seed: int = 0,
+    scale: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig. 6: TargAD (AUPRC, AUROC) matrices over α (rows) × contamination."""
+    auprc_matrix = np.zeros((len(alphas), len(contaminations)))
+    auroc_matrix = np.zeros_like(auprc_matrix)
+    for j, contamination in enumerate(contaminations):
+        kwargs = {"contamination": contamination}
+        if scale is not None:
+            kwargs["scale"] = scale
+        split = load_dataset(dataset, random_state=seed, **kwargs)
+        for i, alpha in enumerate(alphas):
+            p, r = _fit_eval(split, dataset, seed, alpha=alpha)
+            auprc_matrix[i, j] = p
+            auroc_matrix[i, j] = r
+    return auprc_matrix, auroc_matrix

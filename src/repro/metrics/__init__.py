@@ -1,0 +1,27 @@
+"""Evaluation metrics: ranking (AUROC/AUPRC) and classification (PRF)."""
+
+from repro.metrics.classification import (
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.metrics.ranking import (
+    auprc,
+    auroc,
+    average_precision,
+    precision_at_k,
+    precision_recall_curve,
+    roc_curve,
+)
+
+__all__ = [
+    "auprc",
+    "auroc",
+    "average_precision",
+    "classification_report",
+    "confusion_matrix",
+    "precision_at_k",
+    "precision_recall_curve",
+    "precision_recall_f1",
+    "roc_curve",
+]

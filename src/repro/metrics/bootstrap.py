@@ -1,0 +1,82 @@
+"""Bootstrap confidence intervals for ranking metrics.
+
+The paper reports mean ± std over 5 independent runs; for a *single* test
+set, percentile-bootstrap intervals quantify the evaluation uncertainty of
+AUPRC/AUROC (resampling test instances with replacement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.ranking import auprc, auroc
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate plus a percentile confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    n_resamples: int
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return f"{self.estimate:.3f} [{self.lower:.3f}, {self.upper:.3f}] ({pct}% CI)"
+
+
+def bootstrap_metric(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    y_true: np.ndarray,
+    scores: np.ndarray,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    random_state: Optional[int] = None,
+) -> BootstrapResult:
+    """Percentile bootstrap of any ``metric(y_true, scores)``.
+
+    Resamples with both classes guaranteed present (degenerate resamples
+    are redrawn; after 10 failed redraws the resample is skipped).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    y_true = np.asarray(y_true).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    rng = np.random.default_rng(random_state)
+    n = len(y_true)
+
+    estimate = metric(y_true, scores)
+    values = []
+    for _ in range(n_resamples):
+        for _attempt in range(10):
+            idx = rng.integers(0, n, size=n)
+            resampled = y_true[idx]
+            if 0 < resampled.sum() < n:
+                values.append(metric(resampled, scores[idx]))
+                break
+    values = np.asarray(values)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(estimate),
+        lower=float(np.quantile(values, alpha)),
+        upper=float(np.quantile(values, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=len(values),
+    )
+
+
+def bootstrap_auprc(y_true, scores, **kwargs) -> BootstrapResult:
+    """Bootstrap CI for AUPRC."""
+    return bootstrap_metric(auprc, y_true, scores, **kwargs)
+
+
+def bootstrap_auroc(y_true, scores, **kwargs) -> BootstrapResult:
+    """Bootstrap CI for AUROC."""
+    return bootstrap_metric(auroc, y_true, scores, **kwargs)

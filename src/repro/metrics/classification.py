@@ -1,0 +1,95 @@
+"""Confusion-matrix based metrics: precision, recall, F1, report averaging.
+
+Used by the Table IV experiment (tri-class identification of normal /
+target / non-target instances) with macro and weighted averaging, matching
+the paper's reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class i predicted as j."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> Dict:
+    """Per-class precision/recall/F1 plus support.
+
+    Returns ``{label: {"precision": ..., "recall": ..., "f1": ..., "support": ...}}``.
+    Undefined ratios (zero denominators) are reported as 0.0, matching
+    sklearn's ``zero_division=0``.
+    """
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    matrix = confusion_matrix(y_true, y_pred, labels=labels)
+    result: Dict = {}
+    for i, label in enumerate(labels):
+        tp = matrix[i, i]
+        predicted = matrix[:, i].sum()
+        actual = matrix[i, :].sum()
+        precision = tp / predicted if predicted > 0 else 0.0
+        recall = tp / actual if actual > 0 else 0.0
+        denom = precision + recall
+        f1 = 2 * precision * recall / denom if denom > 0 else 0.0
+        result[label] = {
+            "precision": float(precision),
+            "recall": float(recall),
+            "f1": float(f1),
+            "support": int(actual),
+        }
+    return result
+
+
+def classification_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> Dict:
+    """Per-class metrics plus ``macro avg`` and ``weighted avg`` rows.
+
+    Mirrors the layout of Table IV in the paper: one row per class, then
+    macro (unweighted mean over classes) and weighted (support-weighted
+    mean) averages of precision, recall and F1.
+    """
+    per_class = precision_recall_f1(y_true, y_pred, labels=labels)
+    supports = np.array([row["support"] for row in per_class.values()], dtype=np.float64)
+    total = supports.sum()
+    report = dict(per_class)
+    for avg_name, weights in (
+        ("macro avg", np.ones_like(supports) / len(supports)),
+        ("weighted avg", supports / total if total > 0 else np.ones_like(supports) / len(supports)),
+    ):
+        report[avg_name] = {
+            metric: float(
+                sum(w * row[metric] for w, row in zip(weights, per_class.values()))
+            )
+            for metric in ("precision", "recall", "f1")
+        }
+        report[avg_name]["support"] = int(total)
+    return report

@@ -1,0 +1,119 @@
+"""Ranking metrics: ROC / precision-recall curves, AUROC, AUPRC.
+
+Definitions match the standard ones used by the paper (scikit-learn
+conventions): AUROC via the trapezoid rule over the ROC curve (equivalently
+the Mann-Whitney U statistic with tie correction), and AUPRC as *average
+precision* — the step-wise sum ``Σ (R_i - R_{i-1}) · P_i`` — which is what
+``sklearn.metrics.average_precision_score`` computes and what anomaly
+detection papers report.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    unique = np.unique(y_true)
+    if not np.all(np.isin(unique, [0, 1])):
+        raise ValueError("y_true must be binary (0/1)")
+    return y_true.astype(np.int64), scores
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points ``(fpr, tpr, thresholds)`` at every distinct score.
+
+    Thresholds are in decreasing order; curve starts at (0, 0).
+    """
+    y_true, scores = _validate(y_true, scores)
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both classes present")
+
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+
+    # Cut only where the score changes (handles ties correctly).
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut_idx = np.r_[distinct, len(scores) - 1]
+
+    tps = np.cumsum(sorted_labels)[cut_idx]
+    fps = (cut_idx + 1) - tps
+    tpr = np.r_[0.0, tps / n_pos]
+    fpr = np.r_[0.0, fps / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[cut_idx]]
+    return fpr, tpr, thresholds
+
+
+def auroc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoid rule; tie-aware)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall points ``(precision, recall, thresholds)``.
+
+    Points are ordered by decreasing threshold; an initial (P=1, R=0) anchor
+    is appended at the end, mirroring sklearn's convention reversed.
+    """
+    y_true, scores = _validate(y_true, scores)
+    n_pos = int(y_true.sum())
+    if n_pos == 0:
+        raise ValueError("precision_recall_curve needs at least one positive")
+
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut_idx = np.r_[distinct, len(scores) - 1]
+
+    tps = np.cumsum(sorted_labels)[cut_idx]
+    predicted_pos = cut_idx + 1
+    precision = tps / predicted_pos
+    recall = tps / n_pos
+    thresholds = sorted_scores[cut_idx]
+    # Append the (R=0, P=1) anchor.
+    precision = np.r_[precision, 1.0]
+    recall = np.r_[recall, 0.0]
+    return precision, recall, thresholds
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision: ``Σ_i (R_i − R_{i−1}) P_i`` over decreasing thresholds."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    # Arrays run from high threshold (low recall) to low threshold plus the
+    # appended anchor; integrate over recall increments.
+    recall_steps = np.diff(np.r_[0.0, recall[:-1]])
+    return float((recall_steps * precision[:-1]).sum())
+
+
+def auprc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (alias of average precision)."""
+    return average_precision(y_true, scores)
+
+
+def precision_at_k(y_true: np.ndarray, scores: np.ndarray, k: int) -> float:
+    """Fraction of true positives among the top-``k`` ranked instances.
+
+    The operational metric of the paper's motivating scenario: how much of
+    an analyst's fixed review budget lands on real target anomalies.
+    """
+    y_true, scores = _validate(y_true, scores)
+    if not 1 <= k <= len(scores):
+        raise ValueError(f"k must be in [1, {len(scores)}]")
+    top = np.argsort(-scores, kind="mergesort")[:k]
+    return float(y_true[top].mean())

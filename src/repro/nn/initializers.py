@@ -1,0 +1,37 @@
+"""Weight initialization schemes for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization — default for tanh/sigmoid nets."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialization — default for ReLU nets."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    del rng
+    return np.zeros((fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name, raising ``KeyError`` with choices."""
+    if name not in INITIALIZERS:
+        raise KeyError(f"unknown initializer {name!r}; choices: {sorted(INITIALIZERS)}")
+    return INITIALIZERS[name]

@@ -1,0 +1,95 @@
+"""Loss functions shared across models.
+
+All losses take and return :class:`~repro.autodiff.Tensor` objects so they
+can appear anywhere in a differentiable computation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+_EPS = 1e-12
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def reconstruction_errors(pred: Tensor, target: Tensor) -> Tensor:
+    """Per-row squared L2 reconstruction error ``||x - x̂||²`` (Eq. 2)."""
+    diff = pred - target
+    return (diff * diff).sum(axis=1)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Cross-entropy with integer class labels (mean over the batch)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def soft_cross_entropy(
+    logits: Tensor,
+    soft_targets: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Cross-entropy against soft (probability-vector) targets.
+
+    Computes ``mean_i w_i * sum_j -t_ij log p_ij`` — the form used by the
+    paper's Eq. (3) (one-hot targets) and Eq. (6) (uniform-over-target-dims
+    pseudo-labels with per-instance weights).
+    """
+    soft_targets = np.asarray(soft_targets, dtype=np.float64)
+    log_probs = logits.log_softmax(axis=1)
+    per_instance = -(log_probs * Tensor(soft_targets)).sum(axis=1)
+    if weights is not None:
+        per_instance = per_instance * Tensor(np.asarray(weights, dtype=np.float64))
+    return per_instance.mean()
+
+
+def negative_entropy(logits: Tensor) -> Tensor:
+    """Mean of ``sum_j p_j log p_j`` over the batch (Eq. 7 regularizer).
+
+    Minimizing this quantity *sharpens* predictions (entropy minimization),
+    which is exactly what the paper's ``L_RE`` does for labeled anomalies and
+    normal candidates.
+    """
+    log_probs = logits.log_softmax(axis=1)
+    probs = log_probs.exp()
+    return (probs * log_probs).sum(axis=1).mean()
+
+
+def binary_cross_entropy(pred_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """BCE for probabilities already in (0, 1) (used by GAN-style baselines)."""
+    targets = np.asarray(targets, dtype=np.float64)
+    clipped = pred_probs.clip(_EPS, 1.0 - _EPS)
+    t = Tensor(targets)
+    losses = -(t * clipped.log() + (1.0 - t) * (1.0 - clipped).log())
+    return losses.mean()
+
+
+def deviation_loss(scores: Tensor, labels: np.ndarray, margin: float = 5.0, n_ref: int = 5000,
+                   rng: Optional[np.random.Generator] = None) -> Tensor:
+    """DevNet's deviation loss (Pang et al. 2019).
+
+    Scores of normal (label 0) instances are pushed toward the mean of a
+    standard-normal reference sample; scores of anomalies (label 1) are
+    pushed at least ``margin`` reference standard deviations above it.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    reference = rng.standard_normal(n_ref)
+    mu, sigma = float(reference.mean()), float(reference.std())
+    deviation = (scores - mu) / (sigma + _EPS)
+    labels = np.asarray(labels, dtype=np.float64)
+    lab = Tensor(labels)
+    inlier_term = (1.0 - lab) * deviation.abs()
+    outlier_term = lab * (Tensor(np.full(labels.shape, margin)) - deviation).relu()
+    return (inlier_term + outlier_term).mean()

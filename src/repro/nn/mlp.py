@@ -1,0 +1,111 @@
+"""A standalone multi-layer perceptron classifier.
+
+This is the "conventional classifier f" of the paper (Section III-B2) in its
+generic form: softmax output over ``n_classes``, trained with cross-entropy.
+TargAD itself composes the same network with its custom loss; this class is
+also used directly by several baselines and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Sequential, mlp
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optimizers import Adam
+from repro.nn.train import forward_in_batches, iterate_minibatches
+
+
+class MLPClassifier:
+    """Softmax MLP classifier with an sklearn-like interface.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the hidden layers.
+    n_classes:
+        Number of output classes.
+    activation:
+        Hidden activation name.
+    lr, batch_size, epochs:
+        Adam learning rate and training schedule.
+    random_state:
+        Seed for weight init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (64, 32),
+        n_classes: int = 2,
+        activation: str = "relu",
+        lr: float = 1e-3,
+        batch_size: int = 128,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        self.hidden_sizes = list(hidden_sizes)
+        self.n_classes = n_classes
+        self.activation = activation
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.random_state = random_state
+        self.network: Optional[Sequential] = None
+        self.loss_history: List[float] = []
+
+    def _build(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_sizes, self.n_classes]
+        self.network = mlp(sizes, activation=self.activation, rng=rng)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on dense features ``X`` and integer labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range for n_classes")
+        rng = np.random.default_rng(self.random_state)
+        self._build(X.shape[1], rng)
+        optimizer = Adam(self.network.parameters(), lr=self.lr)
+        self.loss_history = []
+        for _ in range(self.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for idx in iterate_minibatches(len(X), self.batch_size, rng=rng):
+                optimizer.zero_grad()
+                logits = self.network(Tensor(X[idx]))
+                loss = softmax_cross_entropy(logits, y[idx])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            self.loss_history.append(epoch_loss / max(batches, 1))
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.network is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def logits(self, X: np.ndarray) -> np.ndarray:
+        """Raw (pre-softmax) outputs."""
+        self._check_fitted()
+        return forward_in_batches(self.network, np.asarray(X, dtype=np.float64))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        logits = self.logits(X)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,159 @@
+"""First-order optimizers and gradient utilities.
+
+The paper trains all components with Adam; SGD (with momentum) and RMSprop
+are provided for completeness and for ablation experiments.
+:func:`clip_grad_norm` guards adversarial/RL training loops against
+exploding gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+
+
+def clip_grad_norm(params: List[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm. Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float((param.grad**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, params: List[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param.data = param.data + velocity
+
+
+class Adam(Optimizer):
+    """Adaptive Moment Estimation (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+
+    def step(self) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop with exponential moving average of squared gradients."""
+
+    def __init__(
+        self,
+        params: List[Tensor],
+        lr: float = 0.001,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must be in [0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self._sq: Optional[List[np.ndarray]] = None
+
+    def step(self) -> None:
+        if self._sq is None:
+            self._sq = [np.zeros_like(p.data) for p in self.params]
+        for param, sq in zip(self.params, self._sq):
+            if param.grad is None:
+                continue
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * param.grad**2
+            param.data = param.data - self.lr * param.grad / (np.sqrt(sq) + self.eps)

@@ -1,0 +1,137 @@
+"""Training regularization utilities: dropout, LR schedules, early stopping."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Module
+from repro.nn.optimizers import Optimizer
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    Active only while ``training`` is True (see :func:`set_training`);
+    during inference it is the identity, so no rescaling is needed at
+    test time (masks are scaled by ``1/(1-p)`` during training).
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.training = True
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+def set_training(module: Module, training: bool) -> None:
+    """Recursively set the ``training`` flag on dropout-like layers."""
+    if hasattr(module, "training"):
+        module.training = training
+    for child in getattr(module, "modules", []):
+        set_training(child, training)
+
+
+class StepLR:
+    """Multiply the optimizer's learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self.base_lr = optimizer.lr
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine-annealed learning rate over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * progress)
+        )
+        return self.optimizer.lr
+
+
+class EarlyStopping:
+    """Stop training when a monitored value stops improving.
+
+    ``direction="min"`` for losses, ``"max"`` for scores. Keeps the best
+    parameter snapshot if a module is registered via ``attach``.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0, direction: str = "min"):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if direction not in ("min", "max"):
+            raise ValueError('direction must be "min" or "max"')
+        self.patience = patience
+        self.min_delta = min_delta
+        self.direction = direction
+        self.best: Optional[float] = None
+        self.best_epoch = -1
+        self._module: Optional[Module] = None
+        self._best_state: Optional[List[np.ndarray]] = None
+        self._bad_epochs = 0
+
+    def attach(self, module: Module) -> "EarlyStopping":
+        """Snapshot this module's parameters at every improvement."""
+        self._module = module
+        return self
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.direction == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record an epoch value; returns True when training should stop."""
+        if self._improved(value):
+            self.best = value
+            self.best_epoch = epoch
+            self._bad_epochs = 0
+            if self._module is not None:
+                self._best_state = self._module.state_dict()
+        else:
+            self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    def restore_best(self) -> None:
+        """Load the best snapshot back into the attached module."""
+        if self._module is None or self._best_state is None:
+            raise RuntimeError("no module attached or no snapshot recorded")
+        self._module.load_state_dict(self._best_state)

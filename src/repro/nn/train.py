@@ -1,0 +1,77 @@
+"""Generic mini-batch training utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Module
+from repro.nn.optimizers import Optimizer
+
+
+def iterate_minibatches(
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    The final partial batch is included. With ``shuffle=False`` the order is
+    sequential, which keeps evaluation deterministic.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        rng.shuffle(indices)
+    for start in range(0, n, batch_size):
+        yield indices[start : start + batch_size]
+
+
+def train_epoch(
+    model: Module,
+    optimizer: Optimizer,
+    loss_fn: Callable[[np.ndarray], Tensor],
+    n: int,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Run one epoch; returns the mean batch loss.
+
+    ``loss_fn`` maps a batch index array to a scalar loss tensor. This
+    indirection lets callers close over arbitrary batch payloads (several
+    datasets at once, per-instance weights, ...), which the TargAD classifier
+    needs.
+    """
+    total = 0.0
+    batches = 0
+    for batch_idx in iterate_minibatches(n, batch_size, rng=rng):
+        optimizer.zero_grad()
+        loss = loss_fn(batch_idx)
+        loss.backward()
+        optimizer.step()
+        total += float(loss.data)
+        batches += 1
+    return total / max(batches, 1)
+
+
+def forward_in_batches(
+    model: Module,
+    X: np.ndarray,
+    batch_size: int = 4096,
+) -> np.ndarray:
+    """Run ``model`` over ``X`` without building a graph, batched for memory."""
+    from repro.autodiff import no_grad
+
+    outputs = []
+    with no_grad():
+        for start in range(0, len(X), batch_size):
+            out = model(Tensor(X[start : start + batch_size]))
+            outputs.append(out.data)
+    return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))

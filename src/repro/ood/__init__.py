@@ -1,0 +1,19 @@
+"""Out-of-distribution strategies for tri-class separation (Section III-C)."""
+
+from repro.ood.strategies import (
+    STRATEGIES,
+    EnergyDiscrepancy,
+    EnergyScore,
+    MaxSoftmaxProbability,
+    OODStrategy,
+    get_strategy,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "EnergyDiscrepancy",
+    "EnergyScore",
+    "MaxSoftmaxProbability",
+    "OODStrategy",
+    "get_strategy",
+]

@@ -1,0 +1,18 @@
+"""Deployment utilities: scoring pipelines, drift monitoring, alert routing.
+
+The paper's motivating systems run continuously (payment platforms, SOC
+pipelines). This package wraps a fitted TargAD for that setting:
+
+- :class:`~repro.serving.pipeline.ScoringPipeline` — batch scoring with
+  thresholds calibrated on a validation split and tri-class routing;
+- :class:`~repro.serving.drift.DriftMonitor` — per-feature ECDF distance
+  between live batches and the training reference, flagging covariate
+  drift that would silently invalidate the detector;
+- :class:`~repro.serving.pipeline.AlertBatch` — the structured result a
+  downstream queue consumes.
+"""
+
+from repro.serving.drift import DriftMonitor, DriftReport
+from repro.serving.pipeline import AlertBatch, ScoringPipeline
+
+__all__ = ["AlertBatch", "DriftMonitor", "DriftReport", "ScoringPipeline"]

@@ -1,0 +1,100 @@
+"""Covariate-drift monitoring for deployed detectors.
+
+A detector trained on last month's traffic silently degrades when the
+feature distribution moves. :class:`DriftMonitor` keeps a reference sample
+of the training features and compares every incoming batch against it with
+the two-sample Kolmogorov-Smirnov statistic per feature; a drift report
+lists features whose statistic exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup-norm of ECDF difference)."""
+    sample_a = np.sort(np.asarray(sample_a, dtype=np.float64))
+    sample_b = np.sort(np.asarray(sample_b, dtype=np.float64))
+    if len(sample_a) == 0 or len(sample_b) == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([sample_a, sample_b])
+    cdf_a = np.searchsorted(sample_a, grid, side="right") / len(sample_a)
+    cdf_b = np.searchsorted(sample_b, grid, side="right") / len(sample_b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one drift check."""
+
+    statistics: np.ndarray
+    threshold: float
+    drifted_features: List[int] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> bool:
+        return len(self.drifted_features) > 0
+
+    @property
+    def max_statistic(self) -> float:
+        return float(self.statistics.max())
+
+    def summary(self) -> str:
+        if not self.drifted:
+            return f"no drift (max KS {self.max_statistic:.3f} <= {self.threshold})"
+        return (f"DRIFT on {len(self.drifted_features)} feature(s) "
+                f"{self.drifted_features[:8]} (max KS {self.max_statistic:.3f})")
+
+
+class DriftMonitor:
+    """Per-feature KS drift detector against a training reference.
+
+    Parameters
+    ----------
+    threshold:
+        KS statistic above which a feature counts as drifted. With
+        reference/batch sizes in the hundreds, 0.15-0.25 is a practical
+        band (the asymptotic 95% critical value is ``1.36·sqrt(1/na+1/nb)``).
+    max_reference:
+        Reference subsample size kept per feature.
+    """
+
+    def __init__(self, threshold: float = 0.2, max_reference: int = 2000,
+                 random_state: Optional[int] = None):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.max_reference = max_reference
+        self.random_state = random_state
+        self._reference: Optional[np.ndarray] = None
+
+    def fit(self, X_reference: np.ndarray) -> "DriftMonitor":
+        """Store (a subsample of) the training features."""
+        X_reference = np.asarray(X_reference, dtype=np.float64)
+        if X_reference.ndim != 2 or len(X_reference) == 0:
+            raise ValueError("X_reference must be a non-empty 2-D array")
+        if len(X_reference) > self.max_reference:
+            rng = np.random.default_rng(self.random_state)
+            idx = rng.choice(len(X_reference), size=self.max_reference, replace=False)
+            X_reference = X_reference[idx]
+        self._reference = X_reference
+        return self
+
+    def check(self, X_batch: np.ndarray) -> DriftReport:
+        """Compare a live batch against the reference."""
+        if self._reference is None:
+            raise RuntimeError("monitor is not fitted; call fit() first")
+        X_batch = np.asarray(X_batch, dtype=np.float64)
+        if X_batch.shape[1] != self._reference.shape[1]:
+            raise ValueError("batch feature count differs from reference")
+        stats = np.array([
+            ks_statistic(self._reference[:, j], X_batch[:, j])
+            for j in range(X_batch.shape[1])
+        ])
+        drifted = np.flatnonzero(stats > self.threshold).tolist()
+        return DriftReport(statistics=stats, threshold=self.threshold,
+                           drifted_features=drifted)

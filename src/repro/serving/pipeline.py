@@ -1,0 +1,141 @@
+"""Batch scoring pipeline around a fitted TargAD.
+
+Calibrates an operating threshold on a validation split (best-F1, target-
+recall, or review-budget policy), then processes live batches: score,
+route into normal / target / non-target via the tri-class rule, check for
+covariate drift, and emit a structured :class:`AlertBatch` for the
+downstream queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import TargAD
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
+from repro.serving.drift import DriftMonitor, DriftReport
+
+
+@dataclass
+class AlertBatch:
+    """Structured scoring result for one batch.
+
+    ``alerts`` indexes rows whose score crossed the calibrated threshold,
+    ordered by decreasing score (the analyst queue order). ``routing``
+    carries the tri-class decision per row.
+    """
+
+    scores: np.ndarray
+    alerts: np.ndarray
+    routing: np.ndarray
+    threshold: float
+    drift: Optional[DriftReport] = None
+    deferred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_alerts(self) -> int:
+        return len(self.alerts)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.scores)} scored",
+            f"{self.n_alerts} alert(s) >= {self.threshold:.3f}",
+            f"{len(self.deferred)} deferred (non-target)",
+        ]
+        if self.drift is not None:
+            parts.append(self.drift.summary())
+        return "; ".join(parts)
+
+
+class ScoringPipeline:
+    """Operational wrapper: calibrated thresholding + routing + drift.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.TargAD`.
+    policy:
+        Threshold policy: "f1" (best validation F1), "recall" (loosest
+        threshold reaching ``target_recall``), or "budget" (top
+        ``review_budget`` instances per calibration batch).
+    strategy:
+        OOD strategy for the tri-class routing ("msp" / "es" / "ed").
+    monitor_drift:
+        Attach a :class:`DriftMonitor` over the training features.
+    """
+
+    def __init__(
+        self,
+        model: TargAD,
+        policy: str = "f1",
+        target_recall: float = 0.9,
+        review_budget: int = 100,
+        strategy: str = "ed",
+        monitor_drift: bool = True,
+        drift_threshold: float = 0.2,
+    ):
+        if policy not in ("f1", "recall", "budget"):
+            raise ValueError('policy must be "f1", "recall", or "budget"')
+        model._check_fitted()
+        self.model = model
+        self.policy = policy
+        self.target_recall = target_recall
+        self.review_budget = review_budget
+        self.strategy = strategy
+        self.threshold_: Optional[float] = None
+        self._monitor: Optional[DriftMonitor] = None
+        self._monitor_enabled = monitor_drift
+        self._drift_threshold = drift_threshold
+
+    def calibrate(
+        self,
+        X_val: np.ndarray,
+        y_val: Optional[np.ndarray] = None,
+        X_reference: Optional[np.ndarray] = None,
+    ) -> "ScoringPipeline":
+        """Pick the operating threshold (and fit the drift reference).
+
+        ``y_val`` (binary target-anomaly labels) is required for the "f1"
+        and "recall" policies; "budget" only needs scores.
+        """
+        scores = self.model.decision_function(X_val)
+        if self.policy == "budget":
+            budget = min(self.review_budget, len(scores))
+            self.threshold_ = budget_threshold(scores, budget)
+        else:
+            if y_val is None:
+                raise ValueError(f'policy "{self.policy}" needs y_val')
+            if self.policy == "f1":
+                self.threshold_, _ = best_f1_threshold(y_val, scores)
+            else:
+                self.threshold_ = recall_threshold(y_val, scores, self.target_recall)
+        if self._monitor_enabled:
+            reference = X_reference if X_reference is not None else X_val
+            self._monitor = DriftMonitor(threshold=self._drift_threshold).fit(reference)
+        return self
+
+    def process(self, X_batch: np.ndarray) -> AlertBatch:
+        """Score one live batch and build the alert payload."""
+        if self.threshold_ is None:
+            raise RuntimeError("pipeline is not calibrated; call calibrate() first")
+        X_batch = np.asarray(X_batch, dtype=np.float64)
+        scores = self.model.decision_function(X_batch)
+        routing = self.model.predict_triclass(X_batch, strategy=self.strategy)
+
+        flagged = np.flatnonzero((scores >= self.threshold_) & (routing == KIND_TARGET))
+        alerts = flagged[np.argsort(-scores[flagged])]
+        deferred = np.flatnonzero(routing == KIND_NONTARGET)
+
+        drift = self._monitor.check(X_batch) if self._monitor is not None else None
+        return AlertBatch(
+            scores=scores,
+            alerts=alerts,
+            routing=routing,
+            threshold=float(self.threshold_),
+            drift=drift,
+            deferred=deferred,
+        )

@@ -1,0 +1,11 @@
+"""Terminal-friendly visualization (no plotting backend required).
+
+The paper's figures are reproduced as Unicode/ASCII charts printed by the
+benchmark harness: line charts for convergence and sweeps, bar charts for
+comparisons, heatmaps for parameter matrices, histograms for weight
+densities, and sparklines for compact epoch traces.
+"""
+
+from repro.viz.ascii import bar_chart, heatmap, histogram, line_chart, sparkline
+
+__all__ = ["bar_chart", "heatmap", "histogram", "line_chart", "sparkline"]

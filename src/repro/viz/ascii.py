@@ -1,0 +1,165 @@
+"""Unicode chart renderers for terminal output.
+
+All functions return strings (no printing) so callers can compose and
+tests can assert on structure. Rendering conventions:
+
+- charts auto-scale to the data range and annotate min/max;
+- multiple series in a line chart get distinct glyphs and a legend;
+- heatmaps use a 9-step block ramp from light to dark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_RAMP = "▁▂▃▄▅▆▇█"
+_HEAT_RAMP = " ░▒▓█"
+_SERIES_GLYPHS = "●○■□▲△◆◇"
+
+
+def _scale(values: np.ndarray, low: float, high: float, steps: int) -> np.ndarray:
+    span = high - low
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - low) / span * (steps - 1)
+    return np.clip(np.round(scaled), 0, steps - 1).astype(int)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trace: ``sparkline([1,5,3]) -> '▁█▄'``."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) == 0:
+        return ""
+    levels = _scale(values, float(values.min()), float(values.max()), len(_SPARK_RAMP))
+    return "".join(_SPARK_RAMP[level] for level in levels)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Series are resampled to ``width`` columns; each series plots with its
+    own glyph, listed in the legend. The y-axis is annotated with the data
+    min and max.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    arrays = {name: np.asarray(list(vals), dtype=np.float64) for name, vals in series.items()}
+    if any(len(a) == 0 for a in arrays.values()):
+        raise ValueError("series must be non-empty")
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(arrays.items()):
+        glyph = _SERIES_GLYPHS[idx % len(_SERIES_GLYPHS)]
+        # Resample to the chart width.
+        positions = np.linspace(0, len(values) - 1, width)
+        resampled = np.interp(positions, np.arange(len(values)), values)
+        rows = _scale(resampled, lo, hi, height)
+        for col, row in enumerate(rows):
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    hi_label = f"{hi:.3f}"
+    lo_label = f"{lo:.3f}"
+    pad = max(len(hi_label), len(lo_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = hi_label.rjust(pad)
+        elif i == height - 1:
+            prefix = lo_label.rjust(pad)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} │{''.join(row)}")
+    lines.append(" " * pad + " └" + "─" * width)
+    legend = "   ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    labels = list(labels)
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if len(values) == 0:
+        raise ValueError("need at least one bar")
+    vmax = float(values.max())
+    label_pad = max(len(l) for l in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        bar_len = 0 if vmax <= 0 else int(round(value / vmax * width))
+        lines.append(f"{label.rjust(label_pad)} │{'█' * bar_len}{' ' * (width - bar_len)} {value:.3f}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: Optional[str] = None,
+    cell_width: int = 6,
+) -> str:
+    """Shaded heatmap with numeric cells.
+
+    Each cell shows its value plus a background shade proportional to its
+    rank in the matrix range.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("matrix shape must match label lengths")
+    lo, hi = float(matrix.min()), float(matrix.max())
+    levels = _scale(matrix.ravel(), lo, hi, len(_HEAT_RAMP)).reshape(matrix.shape)
+
+    label_pad = max(len(l) for l in row_labels)
+    lines: List[str] = [title] if title else []
+    header = " " * label_pad + " " + "".join(c.center(cell_width + 1) for c in col_labels)
+    lines.append(header)
+    for i, row_label in enumerate(row_labels):
+        cells = []
+        for j in range(len(col_labels)):
+            shade = _HEAT_RAMP[levels[i, j]]
+            cells.append(f"{shade}{matrix[i, j]:{cell_width}.3f}")
+        lines.append(f"{row_label.rjust(label_pad)} " + " ".join(cells))
+    lines.append(f"(shade ramp: {lo:.3f} '{_HEAT_RAMP[0]}' … {hi:.3f} '{_HEAT_RAMP[-1]}')")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 30,
+    title: Optional[str] = None,
+    value_range: Optional[tuple] = None,
+) -> str:
+    """Vertical-bin histogram printed as horizontal bars."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    cmax = counts.max()
+    lines: List[str] = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar_len = 0 if cmax == 0 else int(round(count / cmax * width))
+        lines.append(f"[{lo:6.2f}, {hi:6.2f}) │{'█' * bar_len}{' ' * (width - bar_len)} {count}")
+    return "\n".join(lines)

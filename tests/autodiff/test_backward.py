@@ -1,0 +1,125 @@
+"""Graph mechanics: accumulation, reuse, detach, no_grad, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_defaults_to_one(self):
+        t = Tensor(np.array(3.0), requires_grad=True)
+        (t * 2.0).backward()
+        assert t.grad == pytest.approx(2.0)
+
+    def test_non_scalar_backward_requires_grad_argument(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (t * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        t = Tensor(np.array(1.0))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_tensor_reused_twice_accumulates(self):
+        t = Tensor(np.array(2.0), requires_grad=True)
+        out = t * t  # d/dt = 2t = 4
+        out.backward()
+        assert t.grad == pytest.approx(4.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        t = Tensor(np.array(3.0), requires_grad=True)
+        a = t * 2.0
+        b = t * 5.0
+        (a + b).backward()
+        assert t.grad == pytest.approx(7.0)
+
+    def test_deep_chain(self):
+        t = Tensor(np.array(1.0), requires_grad=True)
+        out = t
+        for _ in range(50):
+            out = out * 1.1
+        out.backward()
+        assert t.grad == pytest.approx(1.1**50, rel=1e-9)
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor(np.array(1.0), requires_grad=True)
+        (t * 3.0).backward()
+        (t * 3.0).backward()
+        assert t.grad == pytest.approx(6.0)
+
+    def test_zero_grad_resets(self):
+        t = Tensor(np.array(1.0), requires_grad=True)
+        (t * 3.0).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_suppresses_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_restores_on_exception(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        out = (t * 2.0).sum()
+        assert out.requires_grad
+
+    def test_detach_severs_graph(self):
+        t = Tensor(np.array(2.0), requires_grad=True)
+        d = (t * 3.0).detach()
+        out = d * 5.0
+        assert not out.requires_grad
+
+    def test_constant_operand_gets_no_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        c = Tensor(np.ones(3))
+        (t * c).sum().backward()
+        assert c.grad is None
+        np.testing.assert_allclose(t.grad, np.ones(3))
+
+    def test_unbroadcast_sums_over_new_axes(self):
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        x = Tensor(np.ones((5, 4)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 5.0))
+
+    def test_unbroadcast_sums_over_size_one_axes(self):
+        col = Tensor(np.zeros((3, 1)), requires_grad=True)
+        x = Tensor(np.ones((3, 4)))
+        (x * (col + 1.0)).sum().backward()
+        np.testing.assert_allclose(col.grad, np.full((3, 1), 4.0))
+
+
+class TestTensorBasics:
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor(np.array(1.0), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.array(1.0)))
+
+    def test_shape_ndim_size_len(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert len(t) == 3
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(2.5)).item() == pytest.approx(2.5)
+
+    def test_numpy_returns_underlying_array(self):
+        data = np.ones(3)
+        t = Tensor(data)
+        assert t.numpy().shape == (3,)
+
+    def test_data_is_float64(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64

@@ -1,0 +1,96 @@
+"""Gradient and semantic tests for the extended op set."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+
+RNG = np.random.default_rng(11)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+def distinct(*shape):
+    """Values with no ties (for extremum gradients)."""
+    n = int(np.prod(shape))
+    return (np.arange(n) * 0.317 + RNG.standard_normal(n) * 0.01).reshape(shape)
+
+
+class TestMinVarStd:
+    def test_min_gradient(self):
+        check_gradients(lambda a: a.min(axis=1).sum(), [distinct(3, 4)])
+
+    def test_min_all(self):
+        check_gradients(lambda a: a.min() * 2.0, [distinct(3, 3)])
+
+    def test_min_forward(self):
+        t = Tensor(np.array([[3.0, 1.0, 2.0]]))
+        assert t.min(axis=1).data[0] == 1.0
+
+    def test_var_matches_numpy(self):
+        x = randn(4, 5)
+        np.testing.assert_allclose(Tensor(x).var(axis=1).data, x.var(axis=1), atol=1e-12)
+
+    def test_var_gradient(self):
+        check_gradients(lambda a: a.var(axis=1).sum(), [randn(3, 5)])
+
+    def test_var_all_elements(self):
+        x = randn(3, 4)
+        assert Tensor(x).var().item() == pytest.approx(x.var())
+
+    def test_std_matches_numpy(self):
+        x = randn(4, 5)
+        np.testing.assert_allclose(Tensor(x).std(axis=0).data, x.std(axis=0), atol=1e-6)
+
+    def test_std_gradient(self):
+        check_gradients(lambda a: a.std(axis=1).sum(), [randn(3, 5)], atol=1e-4)
+
+
+class TestWhere:
+    def test_forward(self):
+        cond = np.array([True, False, True])
+        out = Tensor.where(cond, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        np.testing.assert_array_equal(out.data, [1.0, 0.0, 1.0])
+
+    def test_gradient_routes_by_mask(self):
+        cond = np.array([True, False])
+        a = Tensor(np.zeros(2), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        Tensor.where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0])
+
+    def test_gradcheck(self):
+        cond = RNG.random((3, 4)) > 0.5
+        check_gradients(
+            lambda a, b: Tensor.where(cond, a, b).sum(), [randn(3, 4), randn(3, 4)]
+        )
+
+
+class TestElementwiseExtrema:
+    def test_maximum_forward(self):
+        out = Tensor(np.array([1.0, 5.0])).maximum(Tensor(np.array([3.0, 2.0])))
+        np.testing.assert_array_equal(out.data, [3.0, 5.0])
+
+    def test_maximum_gradient(self):
+        check_gradients(
+            lambda a, b: a.maximum(b).sum(), [distinct(3, 3), distinct(3, 3)[::-1]]
+        )
+
+    def test_minimum_gradient(self):
+        check_gradients(
+            lambda a, b: a.minimum(b).sum(), [distinct(3, 3), distinct(3, 3)[::-1]]
+        )
+
+    def test_tie_splits_gradient(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+    def test_maximum_with_scalar(self):
+        out = Tensor(np.array([-1.0, 1.0])).maximum(0.0)
+        np.testing.assert_array_equal(out.data, [0.0, 1.0])

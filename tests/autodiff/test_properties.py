@@ -1,0 +1,99 @@
+"""Hypothesis property tests for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autodiff import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64)
+
+
+def small_arrays(min_side=1, max_side=4):
+    shapes = st.tuples(
+        st.integers(min_side, max_side), st.integers(min_side, max_side)
+    )
+    return shapes.flatmap(lambda s: arrays(np.float64, s, elements=finite_floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_is_probability_distribution(x):
+    probs = Tensor(x).softmax(axis=1).data
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_log_softmax_exp_matches_softmax(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(
+        np.exp(t.log_softmax(axis=1).data), t.softmax(axis=1).data, atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_shift_invariance(x):
+    a = Tensor(x).softmax(axis=1).data
+    b = Tensor(x + 100.0).softmax(axis=1).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+def test_linearity_of_gradients(x, c):
+    t1 = Tensor(x, requires_grad=True)
+    (t1 * c).sum().backward()
+    np.testing.assert_allclose(t1.grad, np.full_like(x, c), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(x):
+    once = Tensor(x).relu().data
+    twice = Tensor(once).relu().data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_symmetry(x):
+    s_pos = Tensor(x).sigmoid().data
+    s_neg = Tensor(-x).sigmoid().data
+    np.testing.assert_allclose(s_pos + s_neg, 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_tanh_bounded(x):
+    out = Tensor(x).tanh().data
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_logsumexp_bounds(x):
+    # max(x) <= logsumexp(x) <= max(x) + log(n)
+    lse = Tensor(x).logsumexp(axis=1).data
+    mx = x.max(axis=1)
+    n = x.shape[1]
+    assert np.all(lse >= mx - 1e-9)
+    assert np.all(lse <= mx + np.log(n) + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_size(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.mean().data, t.sum().data / x.size, atol=1e-9)

@@ -1,0 +1,213 @@
+"""Per-operator gradient checks against central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+def randpos(*shape):
+    return RNG.uniform(0.5, 2.0, size=shape)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradients(lambda a, b: (a + b).sum(), [randn(3, 4), randn(3, 4)])
+
+    def test_add_broadcast_row(self):
+        check_gradients(lambda a, b: (a + b).sum(), [randn(3, 4), randn(4)])
+
+    def test_add_broadcast_scalar(self):
+        check_gradients(lambda a: (a + 2.5).sum(), [randn(3, 4)])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: (a - b).sum(), [randn(2, 3), randn(2, 3)])
+
+    def test_rsub(self):
+        check_gradients(lambda a: (1.0 - a).sum(), [randn(5)])
+
+    def test_mul(self):
+        check_gradients(lambda a, b: (a * b).sum(), [randn(3, 4), randn(3, 4)])
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: (a * b).sum(), [randn(3, 4), randn(3, 1)])
+
+    def test_div(self):
+        check_gradients(lambda a, b: (a / b).sum(), [randn(3, 3), randpos(3, 3)])
+
+    def test_rdiv(self):
+        check_gradients(lambda a: (1.0 / a).sum(), [randpos(4)])
+
+    def test_neg(self):
+        check_gradients(lambda a: (-a).sum(), [randn(3)])
+
+    def test_pow(self):
+        check_gradients(lambda a: (a**3.0).sum(), [randn(3, 3)])
+
+    def test_pow_negative_exponent(self):
+        check_gradients(lambda a: (a**-2.0).sum(), [randpos(4)])
+
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: (a @ b).sum(), [randn(3, 4), randn(4, 2)])
+
+    def test_matmul_chain(self):
+        check_gradients(
+            lambda a, b, c: ((a @ b) @ c).sum(), [randn(2, 3), randn(3, 4), randn(4, 2)]
+        )
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        check_gradients(lambda a: a.exp().sum(), [randn(3, 3)])
+
+    def test_log(self):
+        check_gradients(lambda a: a.log().sum(), [randpos(3, 3)])
+
+    def test_sqrt(self):
+        check_gradients(lambda a: a.sqrt().sum(), [randpos(4)])
+
+    def test_abs(self):
+        # Keep away from the kink at zero.
+        check_gradients(lambda a: a.abs().sum(), [randpos(4)])
+
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh().sum(), [randn(3, 3)])
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid().sum(), [randn(3, 3)])
+
+    def test_relu(self):
+        check_gradients(lambda a: a.relu().sum(), [randpos(3, 3)])
+
+    def test_leaky_relu(self):
+        check_gradients(lambda a: a.leaky_relu(0.1).sum(), [randpos(3, 3) - 3.0])
+
+    def test_softplus(self):
+        check_gradients(lambda a: a.softplus().sum(), [randn(3, 3)])
+
+    def test_clip_interior(self):
+        check_gradients(lambda a: a.clip(-10.0, 10.0).sum(), [randn(3, 3)])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [randn(3, 4)])
+
+    def test_sum_axis0(self):
+        check_gradients(lambda a: (a.sum(axis=0) ** 2.0).sum(), [randn(3, 4)])
+
+    def test_sum_axis1_keepdims(self):
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) ** 2.0).sum(), [randn(3, 4)])
+
+    def test_mean_all(self):
+        check_gradients(lambda a: a.mean(), [randn(3, 4)])
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: (a.mean(axis=1) ** 2.0).sum(), [randn(3, 4)])
+
+    def test_max_axis(self):
+        # Distinct values avoid tie-splitting ambiguity in finite differences.
+        base = np.arange(12).reshape(3, 4) * 0.37 + randn(3, 4) * 0.01
+        check_gradients(lambda a: a.max(axis=1).sum(), [base])
+
+    def test_logsumexp(self):
+        check_gradients(lambda a: a.logsumexp(axis=1).sum(), [randn(3, 4)])
+
+    def test_logsumexp_keepdims(self):
+        check_gradients(lambda a: (a.logsumexp(axis=1, keepdims=True) ** 2.0).sum(), [randn(3, 4)])
+
+
+class TestSoftmaxGradients:
+    def test_log_softmax(self):
+        weights = randn(3, 4)
+        check_gradients(lambda a: (a.log_softmax(axis=1) * weights).sum(), [randn(3, 4)])
+
+    def test_softmax(self):
+        weights = randn(3, 4)
+        check_gradients(lambda a: (a.softmax(axis=1) * weights).sum(), [randn(3, 4)])
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = Tensor(randn(5, 7)).softmax(axis=1)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_stability_large_logits(self):
+        logits = Tensor(np.array([[1e4, 0.0, -1e4]]))
+        out = logits.log_softmax(axis=1)
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_gradients(lambda a: (a.reshape(6) ** 2.0).sum(), [randn(2, 3)])
+
+    def test_transpose(self):
+        check_gradients(lambda a: (a.T @ a).sum(), [randn(3, 4)])
+
+    def test_getitem_rows(self):
+        check_gradients(lambda a: (a[0] ** 2.0).sum(), [randn(3, 4)])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda a: (a[idx] ** 2.0).sum(), [randn(3, 4)])
+
+    def test_getitem_pair_indexing(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 0, 3])
+        check_gradients(lambda a: a[rows, cols].sum(), [randn(3, 4)])
+
+    def test_concatenate(self):
+        check_gradients(
+            lambda a, b: (Tensor.concatenate([a, b], axis=0) ** 2.0).sum(),
+            [randn(2, 3), randn(4, 3)],
+        )
+
+    def test_concatenate_axis1(self):
+        check_gradients(
+            lambda a, b: (Tensor.concatenate([a, b], axis=1) ** 2.0).sum(),
+            [randn(3, 2), randn(3, 5)],
+        )
+
+    def test_stack(self):
+        check_gradients(
+            lambda a, b: (Tensor.stack([a, b], axis=0) ** 2.0).sum(), [randn(3), randn(3)]
+        )
+
+
+class TestOpSemantics:
+    def test_relu_forward(self):
+        t = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(t.relu().data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_bounds(self):
+        out = Tensor(np.array([-1000.0, 0.0, 1000.0])).sigmoid().data
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_clip_values(self):
+        out = Tensor(np.array([-2.0, 0.5, 3.0])).clip(0.0, 1.0).data
+        np.testing.assert_array_equal(out, [0.0, 0.5, 1.0])
+
+    def test_logsumexp_matches_scipy(self):
+        from scipy.special import logsumexp
+
+        x = randn(4, 6)
+        np.testing.assert_allclose(
+            Tensor(x).logsumexp(axis=1).data, logsumexp(x, axis=1), atol=1e-12
+        )
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([[1.0, 1.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5]])
+
+    def test_tensor_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(3)) ** Tensor(np.ones(3))

@@ -1,0 +1,73 @@
+"""Mechanism tests for the RL and adversarial baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DPLAN, PIAWAL, REPEN
+from repro.metrics import auroc
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(5)
+    normal = np.vstack([
+        rng.normal(0, 0.4, size=(250, 6)) + np.r_[2, 2, 0, 0, 0, 0],
+        rng.normal(0, 0.4, size=(250, 6)) - np.r_[2, 2, 0, 0, 0, 0],
+    ])
+    anomalies = rng.normal(0, 0.4, size=(60, 6)) + np.r_[0, 0, 4, 4, 0, 0]
+    return normal, anomalies
+
+
+class TestREPENMechanism:
+    def test_learned_space_separates_better_than_random_projection(self, workload):
+        normal, anomalies = workload
+        det = REPEN(random_state=0, epochs=10, n_triplets=600)
+        det.fit(np.vstack([normal, anomalies[:10]]))
+        X = np.vstack([normal[:100], anomalies[10:]])
+        y = np.r_[np.zeros(100), np.ones(50)]
+        assert auroc(y, det.decision_function(X)) > 0.85
+
+    def test_embedding_dimension_respected(self, workload):
+        normal, _ = workload
+        det = REPEN(random_state=0, epochs=2, n_triplets=100, embedding_dim=7)
+        det.fit(normal)
+        assert det._X_ref.shape[1] == 7
+
+
+class TestDPLANMechanism:
+    def test_q_values_higher_for_anomalies(self, workload):
+        normal, anomalies = workload
+        det = DPLAN(random_state=0, n_steps=1200)
+        det.fit(normal, anomalies[:15], np.zeros(15, dtype=np.int64))
+        q_anom = det.decision_function(anomalies[15:]).mean()
+        q_norm = det.decision_function(normal[:100]).mean()
+        assert q_anom > q_norm
+
+    def test_external_reward_dominates(self, workload):
+        """Labeled anomalies must be flagged reliably (reward +1 for action 1)."""
+        normal, anomalies = workload
+        det = DPLAN(random_state=0, n_steps=1500)
+        det.fit(normal, anomalies[:15], np.zeros(15, dtype=np.int64))
+        q = det.decision_function(anomalies[:15])
+        X = np.vstack([normal[:50], anomalies[:15]])
+        y = np.r_[np.zeros(50), np.ones(15)]
+        assert auroc(y, det.decision_function(X)) > 0.9
+
+
+class TestPIAWALMechanism:
+    def test_generator_learns_data_support(self, workload):
+        normal, anomalies = workload
+        det = PIAWAL(random_state=0, gan_epochs=6, epochs=8)
+        det.fit(normal, anomalies[:15], np.zeros(15, dtype=np.int64))
+        # Scorer separates held-out anomalies from normals.
+        X = np.vstack([normal[:100], anomalies[15:]])
+        y = np.r_[np.zeros(100), np.ones(45)]
+        assert auroc(y, det.decision_function(X)) > 0.85
+
+    def test_peripheral_weighting_in_unit_interval(self, workload):
+        # White-box: the stage-2 weights live in [0, 1] by construction; we
+        # validate through a full fit not raising and producing finite scores.
+        normal, anomalies = workload
+        det = PIAWAL(random_state=1, gan_epochs=3, epochs=4, n_generated=64)
+        det.fit(normal, anomalies[:10], np.zeros(10, dtype=np.int64))
+        assert np.isfinite(det.decision_function(normal[:10])).all()

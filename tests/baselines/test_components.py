@@ -1,0 +1,64 @@
+"""Sub-components of the baselines: LeSiNN scores, LSH filtering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pumad import lsh_reliable_normals
+from repro.baselines.repen import lesinn_scores
+
+
+class TestLeSiNN:
+    def test_outliers_score_higher(self, blobs):
+        inliers, outliers = blobs
+        rng = np.random.default_rng(0)
+        s_in = lesinn_scores(inliers, inliers, rng=rng)
+        s_out = lesinn_scores(outliers, inliers, rng=np.random.default_rng(0))
+        assert s_out.mean() > 2 * s_in.mean()
+
+    def test_scores_nonnegative(self, blobs):
+        inliers, _ = blobs
+        scores = lesinn_scores(inliers[:50], inliers, rng=np.random.default_rng(1))
+        assert np.all(scores >= 0)
+
+    def test_subsample_capped_at_reference_size(self):
+        X = np.random.default_rng(0).standard_normal((10, 3))
+        scores = lesinn_scores(X, X[:4], subsample=100, rng=np.random.default_rng(0))
+        assert scores.shape == (10,)
+
+    def test_deterministic_with_seed(self, blobs):
+        inliers, _ = blobs
+        a = lesinn_scores(inliers[:30], inliers, rng=np.random.default_rng(3))
+        b = lesinn_scores(inliers[:30], inliers, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLSHFilter:
+    def test_far_normals_are_reliable(self, blobs):
+        inliers, outliers = blobs
+        reliable = lsh_reliable_normals(inliers, outliers, rng=np.random.default_rng(0))
+        # Most inliers should never collide with the far-away anomalies.
+        assert reliable.mean() > 0.6
+
+    def test_anomalies_themselves_are_unreliable(self, blobs):
+        inliers, outliers = blobs
+        X_unlabeled = np.vstack([inliers, outliers])
+        reliable = lsh_reliable_normals(X_unlabeled, outliers, rng=np.random.default_rng(0))
+        anomaly_part = reliable[len(inliers):]
+        # An anomaly always collides with itself in every table.
+        assert anomaly_part.mean() < 0.2
+
+    def test_returns_boolean_mask(self, blobs):
+        inliers, outliers = blobs
+        reliable = lsh_reliable_normals(inliers, outliers, rng=np.random.default_rng(1))
+        assert reliable.dtype == bool
+        assert reliable.shape == (len(inliers),)
+
+    def test_more_tables_filter_more(self, blobs):
+        inliers, outliers = blobs
+        rate_few = lsh_reliable_normals(
+            inliers, outliers, n_tables=1, rng=np.random.default_rng(2)
+        ).mean()
+        rate_many = lsh_reliable_normals(
+            inliers, outliers, n_tables=16, rng=np.random.default_rng(2)
+        ).mean()
+        assert rate_many <= rate_few + 1e-9

@@ -1,0 +1,113 @@
+"""Extra unsupervised detectors (LOF, ECOD, DeepSVDD, kNN).
+
+These are not in the paper's Table II but are cited in its related work;
+they share the same detector contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ECOD, DeepSVDD, KNNDetector, LocalOutlierFactor
+from repro.metrics import auroc
+
+EXTRA = {
+    "LOF": lambda seed: LocalOutlierFactor(random_state=seed),
+    "ECOD": lambda seed: ECOD(random_state=seed),
+    "DeepSVDD": lambda seed: DeepSVDD(random_state=seed, pretrain_epochs=5, epochs=10),
+    "kNN": lambda seed: KNNDetector(random_state=seed),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(42)
+    blob1 = gen.normal(0.0, 0.5, size=(200, 6)) + np.array([2, 2, 0, 0, 0, 0])
+    blob2 = gen.normal(0.0, 0.5, size=(200, 6)) + np.array([-2, -2, 0, 0, 0, 0])
+    inliers = np.vstack([blob1, blob2])
+    outliers = gen.normal(0.0, 0.5, size=(30, 6)) + np.array([0, 0, 6, 6, 0, 0])
+    X_test = np.vstack([inliers[:100], outliers])
+    y_test = np.array([0] * 100 + [1] * 30)
+    return inliers, X_test, y_test
+
+
+@pytest.mark.parametrize("name", list(EXTRA))
+class TestExtraDetectorContract:
+    def test_detects_planted_outliers(self, name, workload):
+        inliers, X_test, y_test = workload
+        det = EXTRA[name](0).fit(inliers)
+        assert auroc(y_test, det.decision_function(X_test)) > 0.9
+
+    def test_scores_finite(self, name, workload):
+        inliers, X_test, _ = workload
+        det = EXTRA[name](0).fit(inliers)
+        assert np.all(np.isfinite(det.decision_function(X_test)))
+
+    def test_unsupervised_flag(self, name, workload):
+        det = EXTRA[name](0)
+        assert det.supervision == "unsupervised"
+
+    def test_deterministic(self, name, workload):
+        inliers, X_test, _ = workload
+        s1 = EXTRA[name](3).fit(inliers).decision_function(X_test)
+        s2 = EXTRA[name](3).fit(inliers).decision_function(X_test)
+        np.testing.assert_allclose(s1, s2)
+
+
+class TestLOFSpecifics:
+    def test_inliers_score_near_one(self, workload):
+        inliers, _, _ = workload
+        det = LocalOutlierFactor(random_state=0).fit(inliers)
+        scores = det.decision_function(inliers[:50])
+        assert np.median(scores) == pytest.approx(1.0, abs=0.25)
+
+    def test_subsamples_large_reference(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((5000, 4))
+        det = LocalOutlierFactor(max_train=500, random_state=0).fit(X)
+        assert len(det._X_ref) == 500
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(n_neighbors=0)
+
+
+class TestECODSpecifics:
+    def test_extreme_value_scores_high(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((500, 3))
+        det = ECOD().fit(X)
+        center = det.decision_function(np.zeros((1, 3)))
+        extreme = det.decision_function(np.full((1, 3), 10.0))
+        assert extreme[0] > center[0] + 1.0
+
+    def test_symmetric_tails(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((2000, 1))
+        det = ECOD().fit(X)
+        low = det.decision_function(np.array([[-4.0]]))[0]
+        high = det.decision_function(np.array([[4.0]]))[0]
+        assert low == pytest.approx(high, rel=0.2)
+
+
+class TestKNNSpecifics:
+    def test_max_aggregation_ge_mean(self, workload):
+        inliers, X_test, _ = workload
+        s_mean = KNNDetector(aggregation="mean", random_state=0).fit(inliers).decision_function(X_test)
+        s_max = KNNDetector(aggregation="max", random_state=0).fit(inliers).decision_function(X_test)
+        assert np.all(s_max >= s_mean - 1e-12)
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            KNNDetector(aggregation="median")
+
+
+class TestDeepSVDDSpecifics:
+    def test_ignores_labels(self, workload):
+        inliers, X_test, _ = workload
+        labels = np.zeros(10, dtype=np.int64)
+        fake_anoms = inliers[:10] + 5.0
+        a = DeepSVDD(random_state=0, pretrain_epochs=3, epochs=5).fit(inliers)
+        b = DeepSVDD(random_state=0, pretrain_epochs=3, epochs=5).fit(
+            inliers, fake_anoms, labels
+        )
+        np.testing.assert_allclose(a.decision_function(X_test), b.decision_function(X_test))

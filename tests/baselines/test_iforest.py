@@ -1,0 +1,67 @@
+"""Isolation forest behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.iforest import IsolationForest, average_path_length
+from repro.metrics import auroc
+
+
+class TestAveragePathLength:
+    def test_known_values(self):
+        # c(2) = 1; c(1) = 0 (leaf of size 1 adds nothing).
+        np.testing.assert_allclose(average_path_length(np.array([2.0])), [1.0])
+        np.testing.assert_allclose(average_path_length(np.array([1.0])), [0.0])
+
+    def test_grows_logarithmically(self):
+        c = average_path_length(np.array([16.0, 256.0, 4096.0]))
+        diffs = np.diff(c)
+        # Each 16x increase adds roughly 2*ln(16); allow slack.
+        assert np.all(diffs > 4.0) and np.all(diffs < 7.0)
+
+
+class TestIsolationForest:
+    def test_detects_planted_outliers(self, blobs):
+        inliers, outliers = blobs
+        forest = IsolationForest(n_estimators=50, random_state=0).fit(inliers)
+        X = np.vstack([inliers, outliers])
+        y = np.array([0] * len(inliers) + [1] * len(outliers))
+        assert auroc(y, forest.decision_function(X)) > 0.95
+
+    def test_scores_in_unit_interval(self, blobs):
+        inliers, _ = blobs
+        forest = IsolationForest(n_estimators=20, random_state=0).fit(inliers)
+        scores = forest.decision_function(inliers)
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_outliers_score_above_half(self, blobs):
+        inliers, outliers = blobs
+        forest = IsolationForest(n_estimators=50, random_state=0).fit(inliers)
+        assert forest.decision_function(outliers).mean() > 0.55
+
+    def test_ignores_labels(self, blobs):
+        inliers, outliers = blobs
+        a = IsolationForest(n_estimators=10, random_state=0).fit(inliers)
+        b = IsolationForest(n_estimators=10, random_state=0).fit(
+            inliers, X_labeled=outliers, y_labeled=np.zeros(len(outliers))
+        )
+        np.testing.assert_array_equal(a.decision_function(inliers), b.decision_function(inliers))
+
+    def test_deterministic(self, blobs):
+        inliers, _ = blobs
+        s1 = IsolationForest(n_estimators=10, random_state=5).fit(inliers).decision_function(inliers)
+        s2 = IsolationForest(n_estimators=10, random_state=5).fit(inliers).decision_function(inliers)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_constant_data_degenerates_gracefully(self):
+        X = np.zeros((50, 3))
+        forest = IsolationForest(n_estimators=5, random_state=0).fit(X)
+        assert np.all(np.isfinite(forest.decision_function(X)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValueError):
+            IsolationForest(max_samples=1)
+        with pytest.raises(RuntimeError):
+            IsolationForest().decision_function(np.zeros((2, 2)))

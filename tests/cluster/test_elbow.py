@@ -1,0 +1,52 @@
+"""Elbow-method k selection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import select_k_elbow
+from repro.cluster.elbow import inertia_curve
+
+
+def blob_data(rng, k_true, n_per=60, sep=12.0, d=4):
+    # Deterministic well-separated centers (orthogonal axes scaled by sep)
+    # so the inertia curve has an unambiguous elbow exactly at k_true.
+    centers = np.zeros((k_true, d))
+    for i in range(k_true):
+        centers[i, i % d] = sep * (1 + i // d)
+        centers[i, (i + 1) % d] = -sep if i % 2 else sep
+    return np.vstack([rng.normal(0, 0.4, (n_per, d)) + c for c in centers])
+
+
+class TestElbow:
+    @pytest.mark.parametrize("k_true", [2, 3, 4])
+    def test_finds_true_k_on_separated_blobs(self, k_true):
+        rng = np.random.default_rng(k_true)
+        X = blob_data(rng, k_true)
+        k, _ = select_k_elbow(X, k_min=1, k_max=8, random_state=0)
+        assert k == k_true
+
+    def test_returns_inertia_curve(self):
+        rng = np.random.default_rng(0)
+        X = blob_data(rng, 2)
+        k, inertias = select_k_elbow(X, 1, 6, random_state=0)
+        assert len(inertias) == 6
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            select_k_elbow(np.zeros((10, 2)), k_min=3, k_max=2)
+        with pytest.raises(ValueError):
+            select_k_elbow(np.zeros((10, 2)), k_min=0, k_max=2)
+
+    def test_two_candidates_returns_first(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((30, 2))
+        k, inertias = select_k_elbow(X, 1, 2, random_state=0)
+        assert k == 1
+        assert len(inertias) == 2
+
+    def test_inertia_curve_subsamples_large_input(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((10_000, 3))
+        inertias = inertia_curve(X, [1, 2], random_state=0, sample_cap=500)
+        assert len(inertias) == 2

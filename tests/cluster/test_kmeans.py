@@ -1,0 +1,116 @@
+"""k-means correctness and robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import KMeans
+
+
+def make_blobs(rng, centers, n_per=50, std=0.2):
+    parts = [rng.normal(0, std, size=(n_per, len(c))) + np.asarray(c) for c in centers]
+    labels = np.repeat(np.arange(len(centers)), n_per)
+    return np.vstack(parts), labels
+
+
+class TestKMeansCorrectness:
+    def test_recovers_separated_blobs(self, rng):
+        X, true = make_blobs(rng, [[0, 0], [10, 10], [-10, 10]])
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # Perfect clustering up to label permutation: each true cluster maps
+        # to exactly one predicted cluster.
+        for t in range(3):
+            assert len(np.unique(km.labels_[true == t])) == 1
+        assert len(np.unique(km.labels_)) == 3
+
+    def test_centers_near_true_means(self, rng):
+        centers = [[0, 0], [8, 8]]
+        X, _ = make_blobs(rng, centers, n_per=200)
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        found = sorted(km.cluster_centers_.tolist())
+        np.testing.assert_allclose(found[0], [0, 0], atol=0.15)
+        np.testing.assert_allclose(found[1], [8, 8], atol=0.15)
+
+    def test_predict_assigns_nearest_center(self, rng):
+        X, _ = make_blobs(rng, [[0, 0], [10, 10]])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        label_origin = km.predict(np.array([[0.1, -0.1]]))[0]
+        label_far = km.predict(np.array([[9.8, 10.2]]))[0]
+        assert label_origin != label_far
+
+    def test_fit_predict_matches_labels(self, rng):
+        X, _ = make_blobs(rng, [[0, 0], [5, 5]])
+        km = KMeans(n_clusters=2, random_state=0)
+        labels = km.fit_predict(X)
+        np.testing.assert_array_equal(labels, km.labels_)
+
+    def test_transform_distances(self, rng):
+        X, _ = make_blobs(rng, [[0, 0], [10, 0]])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        dists = km.transform(np.array([[0.0, 0.0]]))
+        assert dists.shape == (1, 2)
+        np.testing.assert_allclose(sorted(dists[0]), [0.0, 10.0], atol=0.3)
+
+    def test_single_cluster(self, rng):
+        X = rng.standard_normal((30, 3))
+        km = KMeans(n_clusters=1, random_state=0).fit(X)
+        np.testing.assert_allclose(km.cluster_centers_[0], X.mean(axis=0), atol=1e-9)
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = rng.standard_normal((100, 4))
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_ for k in (1, 2, 4, 8)
+        ]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_duplicate_points_dont_crash(self):
+        X = np.zeros((20, 3))
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.standard_normal((80, 4))
+        a = KMeans(n_clusters=4, random_state=1).fit(X)
+        b = KMeans(n_clusters=4, random_state=1).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+
+class TestKMeansValidation:
+    def test_more_clusters_than_points_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros(10))
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, n_init=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((2, 2)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(10, 60),
+    d=st.integers(1, 5),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 100),
+)
+def test_kmeans_invariants(n, d, k, seed):
+    """Labels are in range, every cluster label appears, inertia matches labels."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    km = KMeans(n_clusters=k, random_state=seed).fit(X)
+    assert km.labels_.min() >= 0 and km.labels_.max() < k
+    # Recompute inertia from final labels/centers.
+    manual = sum(
+        ((X[km.labels_ == j] - km.cluster_centers_[j]) ** 2).sum() for j in range(k)
+    )
+    assert km.inertia_ == pytest.approx(manual, rel=1e-9)

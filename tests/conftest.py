@@ -1,0 +1,71 @@
+"""Shared fixtures: small synthetic populations and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.splits import TableISpec, build_split
+from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_tiny_generator(random_state: int = 0, n_numeric: int = 12) -> SyntheticTabularGenerator:
+    """A small, easy population: 2 normal groups, 2 target + 1 non-target family."""
+    return SyntheticTabularGenerator(
+        n_numeric=n_numeric,
+        categorical_cardinalities=(3,),
+        normal_groups=[
+            NormalGroupSpec("normal_a", weight=0.6, signature_size=4),
+            NormalGroupSpec("normal_b", weight=0.4, signature_size=4),
+        ],
+        anomaly_families=[
+            AnomalyFamilySpec("tgt_easy", is_target=True, n_affected=5, shift=6.0),
+            AnomalyFamilySpec("tgt_hard", is_target=True, n_affected=4, shift=4.0, difficulty=0.2),
+            AnomalyFamilySpec("nontgt", is_target=False, n_affected=4, shift=5.0),
+        ],
+        correlation_rank=2,
+        shared_anomaly_dims=3,
+        random_state=random_state,
+    )
+
+
+TINY_SPEC = TableISpec(
+    name="tiny",
+    n_labeled=40,
+    n_unlabeled=900,
+    val_counts=(200, 20, 15),
+    test_counts=(300, 30, 20),
+    contamination=0.08,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_split():
+    """A small preprocessed split shared (read-only) across tests."""
+    generator = make_tiny_generator(0)
+    return build_split(generator, TINY_SPEC, scale=1.0, random_state=0)
+
+
+@pytest.fixture
+def tiny_generator():
+    return make_tiny_generator(0)
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    """Two well-separated Gaussian blobs plus planted outliers.
+
+    Returns ``(X_inliers, X_outliers)`` with 400 inliers in 2 clusters and
+    20 far-away outliers — the standard sanity workload for detectors.
+    """
+    gen = np.random.default_rng(42)
+    blob1 = gen.normal(0.0, 0.5, size=(200, 6)) + np.array([2, 2, 0, 0, 0, 0])
+    blob2 = gen.normal(0.0, 0.5, size=(200, 6)) + np.array([-2, -2, 0, 0, 0, 0])
+    inliers = np.vstack([blob1, blob2])
+    outliers = gen.normal(0.0, 0.5, size=(20, 6)) + np.array([0, 0, 6, 6, 0, 0])
+    return inliers, outliers

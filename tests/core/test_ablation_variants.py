@@ -1,0 +1,47 @@
+"""Ablation-switch behaviour of the TargAD config (Table III extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+
+FAST = dict(k=2, ae_lr=3e-3, ae_epochs=8, clf_epochs=6)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+
+class TestAblationVariants:
+    def test_uniform_oe_label_style_runs(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, oe_label_style="uniform", **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        scores = model.decision_function(tiny.X_test)
+        assert np.all(np.isfinite(scores))
+
+    def test_label_styles_change_predictions(self, tiny):
+        def run(style):
+            model = TargAD(TargADConfig(random_state=0, oe_label_style=style, **FAST))
+            model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+            return model.decision_function(tiny.X_test)
+
+        assert not np.allclose(run("targad"), run("uniform"))
+
+    def test_invalid_label_style_rejected(self):
+        with pytest.raises(ValueError):
+            TargADConfig(oe_label_style="flat")
+
+    def test_no_weighting_uses_unit_weights(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, use_weighting=False, **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        assert len(model.weight_history) == 1
+        np.testing.assert_array_equal(model.weight_history[0], 1.0)
+
+    def test_weighting_produces_epoch_history(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, use_weighting=True, **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        assert len(model.weight_history) == FAST["clf_epochs"]

@@ -1,0 +1,39 @@
+"""Hypothesis property tests for candidate-selection invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate_selection import CandidateSelector
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(60, 200),
+    d=st.integers(4, 10),
+    alpha=st.floats(0.02, 0.3),
+    k=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_candidate_selection_invariants(n, d, alpha, k, seed):
+    """For arbitrary data: the α-cut size, the partition, and threshold
+    semantics all hold regardless of structure."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    selector = CandidateSelector(k=k, alpha=alpha, ae_epochs=1, random_state=seed)
+    selection = selector.fit(X, None)
+
+    expected = max(int(round(alpha * n)), 1)
+    assert selection.candidate_mask.sum() == expected
+    # Partition property.
+    assert len(selection.candidate_indices) + len(selection.normal_indices) == n
+    assert not set(selection.candidate_indices) & set(selection.normal_indices)
+    # Threshold separates the two sides in selection-score space.
+    scores = selection.selection_scores
+    assert scores[selection.candidate_mask].min() >= selection.threshold - 1e-9
+    if (~selection.candidate_mask).any():
+        assert scores[~selection.candidate_mask].max() <= selection.threshold + 1e-9
+    # Errors are non-negative; cluster labels in range.
+    assert np.all(selection.errors >= 0)
+    assert selection.cluster_labels.max() < selection.k

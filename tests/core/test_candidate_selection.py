@@ -1,0 +1,102 @@
+"""Candidate selection (Algorithm 1, lines 1-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate_selection import CandidateSelector
+
+
+class TestCandidateSelector:
+    def test_selects_alpha_fraction(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.1, ae_epochs=3, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        expected = round(0.1 * len(tiny_split.X_unlabeled))
+        assert sel.candidate_mask.sum() == expected
+
+    def test_candidates_and_normals_partition(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=3, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        union = np.concatenate([sel.candidate_indices, sel.normal_indices])
+        assert sorted(union.tolist()) == list(range(len(tiny_split.X_unlabeled)))
+
+    def test_candidates_have_highest_selection_scores(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=3, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        assert (
+            sel.selection_scores[sel.candidate_mask].min()
+            >= sel.selection_scores[~sel.candidate_mask].max()
+        )
+
+    def test_raw_error_ordering_without_normalization(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=3,
+                                     normalize_errors=False, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        np.testing.assert_array_equal(sel.selection_scores, sel.errors)
+        assert sel.errors[sel.candidate_mask].min() >= sel.errors[~sel.candidate_mask].max()
+
+    def test_threshold_equals_last_candidate_score(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=3, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        assert sel.threshold == pytest.approx(sel.selection_scores[sel.candidate_mask].min())
+
+    def test_normalization_standardizes_per_cluster(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=3, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        for cluster in range(sel.k):
+            mask = sel.cluster_labels == cluster
+            assert sel.selection_scores[mask].mean() == pytest.approx(0.0, abs=1e-9)
+            assert sel.selection_scores[mask].std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_candidates_enrich_anomalies(self, tiny_split):
+        """Core claim: top-α% by recon error over-represents anomalies."""
+        selector = CandidateSelector(k=2, alpha=0.08, ae_lr=3e-3, ae_epochs=30, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        kinds = tiny_split.unlabeled_kind
+        base_rate = (kinds > 0).mean()
+        candidate_rate = (kinds[sel.candidate_mask] > 0).mean()
+        assert candidate_rate > 2 * base_rate
+
+    def test_elbow_when_k_none(self, tiny_split):
+        selector = CandidateSelector(k=None, alpha=0.05, ae_epochs=2, k_max=4, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        assert 1 <= sel.k <= 4
+
+    def test_cluster_labels_in_range(self, tiny_split):
+        selector = CandidateSelector(k=3, alpha=0.05, ae_epochs=2, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        assert sel.cluster_labels.min() >= 0 and sel.cluster_labels.max() < 3
+
+    def test_assign_clusters_for_new_data(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=2, random_state=0)
+        selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        clusters = selector.assign_clusters(tiny_split.X_test)
+        assert clusters.shape == (len(tiny_split.X_test),)
+
+    def test_reconstruction_error_for_new_data(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=10, random_state=0)
+        selector.fit(tiny_split.X_unlabeled, tiny_split.X_labeled)
+        errors = selector.reconstruction_error(tiny_split.X_test)
+        assert errors.shape == (len(tiny_split.X_test),)
+        assert np.all(errors >= 0)
+
+    def test_unfitted_raises(self):
+        selector = CandidateSelector(k=2)
+        with pytest.raises(RuntimeError):
+            selector.assign_clusters(np.zeros((2, 4)))
+        with pytest.raises(RuntimeError):
+            selector.reconstruction_error(np.zeros((2, 4)))
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateSelector(alpha=0.0)
+        with pytest.raises(ValueError):
+            CandidateSelector(alpha=1.0)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateSelector(k=1).fit(np.zeros((1, 3)), None)
+
+    def test_works_without_labeled_data(self, tiny_split):
+        selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=2, random_state=0)
+        sel = selector.fit(tiny_split.X_unlabeled, None)
+        assert sel.candidate_mask.sum() > 0

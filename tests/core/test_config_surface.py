@@ -1,0 +1,64 @@
+"""TargADConfig surface: defaults track the paper, validation is complete."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import TargADConfig
+
+
+class TestPaperDefaults:
+    """Section IV-C parameter setup (with documented deviations)."""
+
+    def test_alpha_default_five_percent(self):
+        assert TargADConfig().alpha == 0.05
+
+    def test_eta_default_one(self):
+        assert TargADConfig().eta == 1.0
+
+    def test_lambda_defaults(self):
+        cfg = TargADConfig()
+        assert cfg.lambda1 == 0.1
+        assert cfg.lambda2 == 1.0
+
+    def test_batch_sizes_match_paper(self):
+        cfg = TargADConfig()
+        assert cfg.ae_batch_size == 256
+        assert cfg.clf_batch_size == 128
+
+    def test_k_defaults_to_elbow(self):
+        assert TargADConfig().k is None
+
+    def test_all_loss_terms_on_by_default(self):
+        cfg = TargADConfig()
+        assert cfg.use_oe_loss and cfg.use_re_loss and cfg.use_weighting
+        assert cfg.oe_label_style == "targad"
+        assert cfg.clf_dropout == 0.0
+
+
+class TestValidationCompleteness:
+    @pytest.mark.parametrize("field,bad", [
+        ("alpha", 0.0),
+        ("alpha", 1.0),
+        ("eta", -0.1),
+        ("lambda1", -1.0),
+        ("lambda2", -1.0),
+        ("k", 0),
+        ("k_max", 0),
+        ("oe_label_style", "nope"),
+        ("clf_dropout", 1.0),
+    ])
+    def test_invalid_values_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            TargADConfig(**{field: bad})
+
+    def test_config_is_a_dataclass(self):
+        assert dataclasses.is_dataclass(TargADConfig)
+
+    def test_config_roundtrips_via_asdict(self):
+        cfg = TargADConfig(k=3, alpha=0.08, random_state=5)
+        rebuilt = TargADConfig(**{
+            key: tuple(v) if isinstance(v, list) else v
+            for key, v in dataclasses.asdict(cfg).items()
+        })
+        assert rebuilt == cfg

@@ -1,0 +1,50 @@
+"""The opt-in classifier dropout knob."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.nn.regularization import Dropout
+
+FAST = dict(k=2, ae_lr=3e-3, ae_epochs=5, clf_epochs=5)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+
+class TestClassifierDropout:
+    def test_dropout_layers_inserted(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, clf_dropout=0.3, **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        dropouts = [m for m in model.network_.modules if isinstance(m, Dropout)]
+        assert len(dropouts) == 2  # one per hidden activation
+
+    def test_inference_is_deterministic(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, clf_dropout=0.3, **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        s1 = model.decision_function(tiny.X_test)
+        s2 = model.decision_function(tiny.X_test)
+        np.testing.assert_array_equal(s1, s2)
+
+    def test_dropout_off_by_default(self, tiny):
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        assert not any(isinstance(m, Dropout) for m in model.network_.modules)
+
+    def test_invalid_dropout_rejected(self):
+        with pytest.raises(ValueError):
+            TargADConfig(clf_dropout=1.0)
+
+    def test_training_still_learns_with_dropout(self, tiny):
+        from repro.metrics import auroc
+
+        model = TargAD(TargADConfig(random_state=0, clf_dropout=0.2, k=2,
+                                    ae_lr=3e-3, ae_epochs=10, clf_epochs=15))
+        model.fit(tiny.X_unlabeled, tiny.X_labeled, tiny.y_labeled)
+        scores = model.decision_function(tiny.X_test)
+        assert auroc(tiny.y_test_binary, scores) > 0.8

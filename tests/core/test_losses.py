@@ -1,0 +1,156 @@
+"""The composite classifier loss (Eqs. 3, 6, 7, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.core.losses import (
+    classifier_loss,
+    cross_entropy_term,
+    entropy_regularizer_term,
+    outlier_exposure_term,
+)
+from repro.core.pseudo_labels import normal_pseudo_labels, ood_pseudo_label, target_pseudo_labels
+from repro.nn.layers import mlp
+
+RNG = np.random.default_rng(0)
+
+
+def make_net(d_in=6, d_out=5):
+    return mlp([d_in, 8, d_out], rng=np.random.default_rng(1))
+
+
+class TestCrossEntropyTerm:
+    def test_sums_pool_means(self):
+        logits_l = Tensor(RNG.standard_normal((3, 5)))
+        logits_n = Tensor(RNG.standard_normal((7, 5)))
+        t_l = target_pseudo_labels(np.array([0, 1, 0]), m=2, k=3)
+        t_n = normal_pseudo_labels(np.array([0, 1, 2, 0, 1, 2, 0]), m=2, k=3)
+        combined = cross_entropy_term(logits_l, t_l, logits_n, t_n).item()
+        from repro.nn.losses import soft_cross_entropy
+
+        expected = soft_cross_entropy(logits_l, t_l).item() + soft_cross_entropy(logits_n, t_n).item()
+        assert combined == pytest.approx(expected)
+
+    def test_single_pool_allowed(self):
+        logits = Tensor(RNG.standard_normal((3, 5)))
+        targets = target_pseudo_labels(np.array([0, 1, 0]), m=2, k=3)
+        assert np.isfinite(cross_entropy_term(logits, targets, None, None).item())
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy_term(None, None, None, None)
+
+
+class TestOutlierExposureTerm:
+    def test_minimized_by_uniform_over_target_dims(self):
+        m, k = 2, 3
+        ood = np.tile(ood_pseudo_label(m, k), (2, 1))
+        weights = np.ones(2)
+        # Logits realizing exactly (1/2, 1/2, 0, 0, 0)-ish distribution:
+        good = np.array([[5.0, 5.0, -5.0, -5.0, -5.0]] * 2)
+        bad = np.array([[5.0, -5.0, -5.0, -5.0, -5.0]] * 2)
+        loss_good = outlier_exposure_term(Tensor(good), ood, weights).item()
+        loss_bad = outlier_exposure_term(Tensor(bad), ood, weights).item()
+        assert loss_good < loss_bad
+
+    def test_zero_weight_removes_instance(self):
+        m, k = 2, 2
+        ood = np.tile(ood_pseudo_label(m, k), (2, 1))
+        logits = Tensor(RNG.standard_normal((2, 4)))
+        loss = outlier_exposure_term(logits, ood, np.array([0.0, 0.0])).item()
+        assert loss == pytest.approx(0.0)
+
+
+class TestEntropyRegularizer:
+    def test_union_mean_weighting(self):
+        logits_l = Tensor(RNG.standard_normal((2, 4)))
+        logits_n = Tensor(RNG.standard_normal((6, 4)))
+        from repro.nn.losses import negative_entropy
+
+        expected = (2 * negative_entropy(logits_l).item() + 6 * negative_entropy(logits_n).item()) / 8
+        assert entropy_regularizer_term(logits_l, logits_n).item() == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_regularizer_term(None, None)
+
+
+class TestClassifierLoss:
+    def _inputs(self, m=2, k=3, d=6):
+        X_l = RNG.standard_normal((4, d))
+        t_l = target_pseudo_labels(np.array([0, 1, 1, 0]), m, k)
+        X_n = RNG.standard_normal((8, d))
+        t_n = normal_pseudo_labels(RNG.integers(0, k, 8), m, k)
+        X_a = RNG.standard_normal((5, d))
+        t_a = np.tile(ood_pseudo_label(m, k), (5, 1))
+        w = RNG.random(5)
+        return X_l, t_l, X_n, t_n, X_a, t_a, w
+
+    def test_full_loss_is_finite_scalar(self):
+        net = make_net()
+        loss = classifier_loss(net, *self._inputs())
+        assert loss.data.shape == ()
+        assert np.isfinite(loss.item())
+
+    def test_ablation_flags_change_value(self):
+        net = make_net()
+        inputs = self._inputs()
+        full = classifier_loss(net, *inputs).item()
+        no_oe = classifier_loss(net, *inputs, use_oe=False).item()
+        no_re = classifier_loss(net, *inputs, use_re=False).item()
+        assert full != pytest.approx(no_oe)
+        assert full != pytest.approx(no_re)
+
+    def test_lambda_zero_equals_flag_off(self):
+        net = make_net()
+        inputs = self._inputs()
+        assert classifier_loss(net, *inputs, lambda1=0.0).item() == pytest.approx(
+            classifier_loss(net, *inputs, use_oe=False).item()
+        )
+        assert classifier_loss(net, *inputs, lambda2=0.0).item() == pytest.approx(
+            classifier_loss(net, *inputs, use_re=False).item()
+        )
+
+    def test_empty_candidate_batch_tolerated(self):
+        net = make_net()
+        X_l, t_l, X_n, t_n, _, _, _ = self._inputs()
+        loss = classifier_loss(
+            net, X_l, t_l, X_n, t_n, np.empty((0, 6)), np.empty((0, 5)), np.empty(0)
+        )
+        assert np.isfinite(loss.item())
+
+    def test_gradients_flow_to_network(self):
+        net = make_net()
+        loss = classifier_loss(net, *self._inputs())
+        loss.backward()
+        assert all(p.grad is not None for p in net.parameters())
+
+    def test_composite_loss_gradcheck_through_linear_net(self):
+        # Treat the network weight itself as the differentiated input.
+        m, k, d = 2, 2, 3
+        X_l = RNG.standard_normal((2, d))
+        t_l = target_pseudo_labels(np.array([0, 1]), m, k)
+        X_n = RNG.standard_normal((3, d))
+        t_n = normal_pseudo_labels(np.array([0, 1, 0]), m, k)
+        X_a = RNG.standard_normal((2, d))
+        t_a = np.tile(ood_pseudo_label(m, k), (2, 1))
+        w = np.array([0.5, 1.0])
+
+        def loss_of_weight(W):
+            logits_l = Tensor(X_l) @ W
+            logits_n = Tensor(X_n) @ W
+            logits_a = Tensor(X_a) @ W
+            from repro.core.losses import (
+                cross_entropy_term,
+                entropy_regularizer_term,
+                outlier_exposure_term,
+            )
+
+            return (
+                cross_entropy_term(logits_l, t_l, logits_n, t_n)
+                + 0.1 * outlier_exposure_term(logits_a, t_a, w)
+                + 1.0 * entropy_regularizer_term(logits_l, logits_n)
+            )
+
+        check_gradients(loss_of_weight, [RNG.standard_normal((d, m + k))])

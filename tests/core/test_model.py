@@ -1,0 +1,161 @@
+"""End-to-end TargAD behaviour on the tiny split."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.metrics import auprc, auroc
+
+FAST = dict(k=2, ae_lr=3e-3, ae_epochs=30, clf_epochs=30)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_split_module):
+    model = TargAD(TargADConfig(random_state=0, **FAST))
+    model.fit(tiny_split_module.X_unlabeled, tiny_split_module.X_labeled,
+              tiny_split_module.y_labeled)
+    return model
+
+
+@pytest.fixture(scope="module")
+def tiny_split_module():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+
+class TestTargADFit:
+    def test_detects_targets_well(self, fitted, tiny_split_module):
+        scores = fitted.decision_function(tiny_split_module.X_test)
+        assert auprc(tiny_split_module.y_test_binary, scores) > 0.7
+        assert auroc(tiny_split_module.y_test_binary, scores) > 0.9
+
+    def test_targets_outscore_nontargets(self, fitted, tiny_split_module):
+        scores = fitted.decision_function(tiny_split_module.X_test)
+        kinds = tiny_split_module.test_kind
+        assert scores[kinds == KIND_TARGET].mean() > scores[kinds == KIND_NONTARGET].mean()
+        assert scores[kinds == KIND_NONTARGET].mean() >= scores[kinds == KIND_NORMAL].mean() - 0.05
+
+    def test_m_and_k_inferred(self, fitted):
+        assert fitted.m_ == 2
+        assert fitted.k_ == 2
+
+    def test_loss_history_recorded(self, fitted):
+        assert len(fitted.loss_history) == FAST["clf_epochs"]
+        assert fitted.loss_history[-1] < fitted.loss_history[0]
+
+    def test_weight_history_one_per_epoch(self, fitted):
+        assert len(fitted.weight_history) == FAST["clf_epochs"]
+        n_candidates = fitted.selection_.candidate_mask.sum()
+        assert all(len(w) == n_candidates for w in fitted.weight_history)
+
+    def test_scores_in_unit_interval(self, fitted, tiny_split_module):
+        scores = fitted.decision_function(tiny_split_module.X_test)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_full_proba_shape(self, fitted, tiny_split_module):
+        probs = fitted.predict_proba_full(tiny_split_module.X_test)
+        assert probs.shape == (len(tiny_split_module.X_test), fitted.m_ + fitted.k_)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_predict_binary(self, fitted, tiny_split_module):
+        pred = fitted.predict(tiny_split_module.X_test)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_predict_target_class_range(self, fitted, tiny_split_module):
+        classes = fitted.predict_target_class(tiny_split_module.X_test)
+        assert classes.min() >= 0 and classes.max() < fitted.m_
+
+
+class TestTriclass:
+    @pytest.mark.parametrize("strategy", ["msp", "es", "ed"])
+    def test_output_codes(self, fitted, tiny_split_module, strategy):
+        tri = fitted.predict_triclass(tiny_split_module.X_test, strategy=strategy)
+        assert set(np.unique(tri)) <= {KIND_NORMAL, KIND_TARGET, KIND_NONTARGET}
+
+    def test_triclass_better_than_chance(self, fitted, tiny_split_module):
+        tri = fitted.predict_triclass(tiny_split_module.X_test, strategy="ed")
+        accuracy = (tri == tiny_split_module.test_kind).mean()
+        assert accuracy > 0.7  # dominated by the normal class
+
+    def test_normals_mostly_classified_normal(self, fitted, tiny_split_module):
+        tri = fitted.predict_triclass(tiny_split_module.X_test)
+        normals = tiny_split_module.test_kind == KIND_NORMAL
+        assert (tri[normals] == KIND_NORMAL).mean() > 0.85
+
+    def test_unknown_strategy_rejected(self, fitted, tiny_split_module):
+        with pytest.raises(KeyError):
+            fitted.predict_triclass(tiny_split_module.X_test, strategy="banana")
+
+    def test_ed_usable_with_single_target_class(self, tiny_split_module):
+        """Regression: ED over one target logit is identically zero; with
+        m = 1 the strategy must widen or tri-class routes nothing to
+        non-target."""
+        from tests.conftest import TINY_SPEC, make_tiny_generator
+        from repro.data.splits import build_split
+
+        split = build_split(
+            make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0,
+            target_families=["tgt_easy"],
+        )
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        assert model.m_ == 1
+        tri = model.predict_triclass(split.X_test, strategy="ed")
+        # The strategy must be able to emit non-target decisions at all.
+        strategy = model._get_strategy("ed")
+        scores = strategy.ood_score(model.logits(split.X_test))
+        assert scores.std() > 0.0
+
+
+class TestTargADValidation:
+    def test_unfitted_raises(self):
+        model = TargAD(TargADConfig())
+        with pytest.raises(RuntimeError):
+            model.decision_function(np.zeros((2, 4)))
+
+    def test_requires_labeled_anomalies(self, tiny_split_module):
+        model = TargAD(TargADConfig(**FAST))
+        with pytest.raises(ValueError):
+            model.fit(tiny_split_module.X_unlabeled, np.empty((0, 15)), np.empty(0, dtype=int))
+
+    def test_label_length_mismatch(self, tiny_split_module):
+        model = TargAD(TargADConfig(**FAST))
+        with pytest.raises(ValueError):
+            model.fit(tiny_split_module.X_unlabeled, tiny_split_module.X_labeled, np.array([0]))
+
+    def test_config_or_kwargs_not_both(self):
+        with pytest.raises(ValueError):
+            TargAD(TargADConfig(), alpha=0.1)
+
+    def test_kwargs_construction(self):
+        model = TargAD(alpha=0.07, random_state=3)
+        assert model.config.alpha == 0.07
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TargADConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            TargADConfig(lambda1=-1.0)
+        with pytest.raises(ValueError):
+            TargADConfig(k=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_scores(self, tiny_split_module):
+        def run():
+            m = TargAD(TargADConfig(random_state=11, **FAST))
+            m.fit(tiny_split_module.X_unlabeled, tiny_split_module.X_labeled,
+                  tiny_split_module.y_labeled)
+            return m.decision_function(tiny_split_module.X_test)
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_epoch_callback_invoked(self, tiny_split_module):
+        calls = []
+        m = TargAD(TargADConfig(random_state=0, k=2, ae_epochs=2, clf_epochs=4))
+        m.fit(tiny_split_module.X_unlabeled, tiny_split_module.X_labeled,
+              tiny_split_module.y_labeled, epoch_callback=lambda e, model: calls.append(e))
+        assert calls == [0, 1, 2, 3]

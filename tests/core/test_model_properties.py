@@ -1,0 +1,82 @@
+"""Property-style invariants of a fitted TargAD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TargAD, TargADConfig
+from repro.core.scoring import is_normal_rule, softmax, target_anomaly_score
+
+
+@pytest.fixture(scope="module")
+def fitted_pair():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=10, clf_epochs=10))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+class TestScoreInvariants:
+    def test_scores_bounded_by_softmax(self, fitted_pair):
+        model, split = fitted_pair
+        scores = model.decision_function(split.X_test)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0)
+
+    def test_score_equals_max_target_prob(self, fitted_pair):
+        model, split = fitted_pair
+        probs = model.predict_proba_full(split.X_test)
+        np.testing.assert_allclose(
+            model.decision_function(split.X_test),
+            probs[:, : model.m_].max(axis=1),
+        )
+
+    def test_normal_rule_consistent_with_triclass(self, fitted_pair):
+        model, split = fitted_pair
+        probs = model.predict_proba_full(split.X_test)
+        normal_mask = is_normal_rule(probs, model.m_, model.k_)
+        tri = model.predict_triclass(split.X_test)
+        np.testing.assert_array_equal(tri == 0, normal_mask)
+
+    def test_predict_threshold_monotonicity(self, fitted_pair):
+        model, split = fitted_pair
+        loose = model.predict(split.X_test, threshold=0.3).sum()
+        strict = model.predict(split.X_test, threshold=0.7).sum()
+        assert strict <= loose
+
+    def test_weight_history_values_bounded(self, fitted_pair):
+        model, _ = fitted_pair
+        for weights in model.weight_history:
+            assert np.all(weights >= 0.0) and np.all(weights <= 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 4),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 500),
+)
+def test_scoring_rules_consistent_for_any_distribution(m, k, seed):
+    """For any probability matrix: the normal rule and Eq. 9 are coherent.
+
+    A perfectly confident normal (all mass in a normal dim) must be
+    classified normal and get S_tar ~ 0; a perfectly confident target must
+    be anomalous with S_tar ~ 1.
+    """
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(0, 1, size=(8, m + k))
+    # Construct extremes.
+    confident_target = np.full(m + k, -30.0)
+    confident_target[rng.integers(m)] = 30.0
+    confident_normal = np.full(m + k, -30.0)
+    confident_normal[m + rng.integers(k)] = 30.0
+    probs = softmax(np.vstack([logits, confident_target, confident_normal]))
+
+    s = target_anomaly_score(probs, m)
+    normal = is_normal_rule(probs, m, k)
+    assert s[-2] > 0.99 and not normal[-2]
+    assert s[-1] < 0.01 and normal[-1]
+    assert np.all((s >= 0) & (s <= 1))

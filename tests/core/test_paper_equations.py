@@ -1,0 +1,118 @@
+"""Direct numeric checks of the paper's equations (Eqs. 1-9).
+
+Each test evaluates one equation on tiny hand-constructed inputs and
+compares the library's computation to an explicit transcription of the
+formula from the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core.losses import (
+    cross_entropy_term,
+    entropy_regularizer_term,
+    outlier_exposure_term,
+)
+from repro.core.pseudo_labels import normal_pseudo_label, ood_pseudo_label, target_pseudo_label
+from repro.core.scoring import is_normal_rule, softmax, target_anomaly_score
+from repro.core.weighting import initial_weights, update_weights
+from repro.nn.autoencoder import SADAutoencoder
+from repro.nn.losses import reconstruction_errors
+
+
+def manual_softmax(z):
+    e = np.exp(z - z.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class TestEq1And2Reconstruction:
+    def test_eq2_srec_is_squared_l2(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        x_hat = np.array([[1.0, 1.0, 1.0]])
+        expected = (0.0**2 + 1.0**2 + 2.0**2)
+        got = reconstruction_errors(Tensor(x_hat), Tensor(x)).data[0]
+        assert got == pytest.approx(expected)
+
+    def test_eq1_inverse_term_direction(self, rng):
+        """The η-term of Eq. 1 penalizes *low* labeled reconstruction error:
+        training with it must push labeled errors up relative to η = 0."""
+        X = rng.normal(0.5, 0.05, size=(300, 6))
+        labeled = rng.normal(0.7, 0.05, size=(15, 6))
+        plain = SADAutoencoder(eta=0.0, hidden_sizes=(8, 2), lr=3e-3, epochs=25, random_state=0)
+        plain.fit(X, labeled)
+        sad = SADAutoencoder(eta=10.0, hidden_sizes=(8, 2), lr=3e-3, epochs=25, random_state=0)
+        sad.fit(X, labeled)
+        assert sad.reconstruction_error(labeled).mean() > plain.reconstruction_error(labeled).mean()
+
+
+class TestEq3CrossEntropy:
+    def test_matches_formula(self):
+        m, k = 2, 2
+        z_l = np.array([[1.0, -1.0, 0.0, 0.5]])
+        z_n = np.array([[0.2, 0.1, 2.0, -0.3]])
+        y_t = target_pseudo_label(0, m, k)
+        y_n = normal_pseudo_label(0, m, k)
+        p_l = manual_softmax(z_l)
+        p_n = manual_softmax(z_n)
+        expected = -(y_t * np.log(p_l)).sum() - (y_n * np.log(p_n)).sum()
+        got = cross_entropy_term(Tensor(z_l), y_t[None], Tensor(z_n), y_n[None]).item()
+        assert got == pytest.approx(expected)
+
+
+class TestEq4And5Weights:
+    def test_eq5_formula(self):
+        errors = np.array([2.0, 8.0, 5.0])
+        expected = (8.0 - errors) / (8.0 - 2.0)
+        np.testing.assert_allclose(initial_weights(errors), expected)
+
+    def test_eq4_formula(self):
+        probs = np.array([[0.7, 0.2, 0.1], [0.4, 0.35, 0.25], [0.5, 0.3, 0.2]])
+        eps = probs.max(axis=1)  # [0.7, 0.4, 0.5]
+        expected = (eps.max() - eps) / (eps.max() - eps.min())
+        np.testing.assert_allclose(update_weights(probs), expected)
+
+
+class TestEq6OutlierExposure:
+    def test_matches_formula(self):
+        m, k = 2, 2
+        z = np.array([[0.3, -0.7, 1.2, 0.1], [0.0, 0.0, 0.0, 0.0]])
+        w = np.array([0.5, 1.5])
+        y_o = ood_pseudo_label(m, k)
+        p = manual_softmax(z)
+        per_instance = -(y_o[None] * np.log(p)).sum(axis=1)
+        expected = (w * per_instance).mean()
+        got = outlier_exposure_term(Tensor(z), np.tile(y_o, (2, 1)), w).item()
+        assert got == pytest.approx(expected)
+
+
+class TestEq7EntropyRegularizer:
+    def test_matches_formula(self):
+        z_l = np.array([[1.0, 0.0, -1.0]])
+        z_n = np.array([[0.5, 0.5, 0.5], [2.0, -2.0, 0.0]])
+        p_l = manual_softmax(z_l)
+        p_n = manual_softmax(z_n)
+        all_p = np.vstack([p_l, p_n])
+        expected = (all_p * np.log(all_p)).sum(axis=1).mean()
+        got = entropy_regularizer_term(Tensor(z_l), Tensor(z_n)).item()
+        assert got == pytest.approx(expected)
+
+
+class TestEq9AndTriClassRule:
+    def test_eq9_formula(self):
+        m = 2
+        probs = np.array([[0.15, 0.45, 0.3, 0.1]])
+        assert target_anomaly_score(probs, m)[0] == pytest.approx(0.45)
+
+    def test_section3c_threshold(self):
+        m, k = 2, 3
+        # The cut sits at k/(m+k) = 0.6: just below -> anomalous, just
+        # above -> normal. (Exact equality is untestable in floating point.)
+        below = np.array([[0.205, 0.2, 0.2, 0.2, 0.195]])   # normal mass 0.595
+        above = np.array([[0.195, 0.2, 0.2, 0.2, 0.205]])   # normal mass 0.605
+        assert not is_normal_rule(below, m, k)[0]
+        assert is_normal_rule(above, m, k)[0]
+
+    def test_softmax_matches_manual(self, rng):
+        z = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(softmax(z), manual_softmax(z), atol=1e-12)

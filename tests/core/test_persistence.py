@@ -1,0 +1,75 @@
+"""Save/load roundtrip of a fitted TargAD."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig, load_model, save_model
+
+FAST = dict(k=2, ae_lr=3e-3, ae_epochs=10, clf_epochs=8)
+
+
+@pytest.fixture(scope="module")
+def fitted_and_split():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, **FAST))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+class TestPersistence:
+    def test_scores_identical_after_roundtrip(self, fitted_and_split, tmp_path):
+        model, split = fitted_and_split
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.decision_function(split.X_test),
+            model.decision_function(split.X_test),
+        )
+
+    def test_triclass_identical_after_roundtrip(self, fitted_and_split, tmp_path):
+        model, split = fitted_and_split
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        for strategy in ("msp", "es", "ed"):
+            np.testing.assert_array_equal(
+                loaded.predict_triclass(split.X_test, strategy=strategy),
+                model.predict_triclass(split.X_test, strategy=strategy),
+            )
+
+    def test_config_preserved(self, fitted_and_split, tmp_path):
+        model, split = fitted_and_split
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.config == model.config
+        assert loaded.m_ == model.m_
+        assert loaded.k_ == model.k_
+
+    def test_selection_state_preserved(self, fitted_and_split, tmp_path):
+        model, split = fitted_and_split
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(
+            loaded.selection_.candidate_mask, model.selection_.candidate_mask
+        )
+        np.testing.assert_allclose(loaded.selection_.errors, model.selection_.errors)
+
+    def test_reconstruction_error_preserved(self, fitted_and_split, tmp_path):
+        model, split = fitted_and_split
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        np.testing.assert_allclose(
+            loaded.selector_.reconstruction_error(split.X_test[:20]),
+            model.selector_.reconstruction_error(split.X_test[:20]),
+        )
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_model(TargAD(TargADConfig()), tmp_path / "x.npz")

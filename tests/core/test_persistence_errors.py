@@ -1,0 +1,64 @@
+"""Persistence error paths and forward-compatibility guards."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig, load_model, save_model
+from repro.data.export import load_split, save_split
+
+
+@pytest.fixture(scope="module")
+def saved_model(tmp_path_factory):
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_epochs=3, clf_epochs=3))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    path = tmp_path_factory.mktemp("models") / "model.npz"
+    save_model(model, path)
+    return path, split
+
+
+def _rewrite_header(src_path, dst_path, mutate):
+    archive = dict(np.load(src_path, allow_pickle=False))
+    header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    mutate(header)
+    archive["header"] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    with open(dst_path, "wb") as fh:
+        np.savez_compressed(fh, **archive)
+
+
+class TestModelPersistenceErrors:
+    def test_future_format_version_rejected(self, saved_model, tmp_path):
+        src, _ = saved_model
+        bad = tmp_path / "future.npz"
+        _rewrite_header(src, bad, lambda h: h.update(format_version=99))
+        with pytest.raises(ValueError, match="format version"):
+            load_model(bad)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.npz")
+
+    def test_loaded_model_is_usable_for_all_inference(self, saved_model):
+        path, split = saved_model
+        model = load_model(path)
+        assert model.predict(split.X_test[:10]).shape == (10,)
+        assert model.predict_target_class(split.X_test[:10]).shape == (10,)
+
+
+class TestSplitExportErrors:
+    def test_future_format_version_rejected(self, tmp_path):
+        from tests.conftest import TINY_SPEC, make_tiny_generator
+        from repro.data.splits import build_split
+
+        split = build_split(make_tiny_generator(0), TINY_SPEC, scale=0.5, random_state=0)
+        src = tmp_path / "split.npz"
+        save_split(split, src)
+        bad = tmp_path / "future-split.npz"
+        _rewrite_header(src, bad, lambda h: h.update(format_version=42))
+        with pytest.raises(ValueError, match="format version"):
+            load_split(bad)

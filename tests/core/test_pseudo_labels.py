@@ -1,0 +1,75 @@
+"""Pseudo-label construction (Section III-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pseudo_labels import (
+    normal_pseudo_label,
+    normal_pseudo_labels,
+    oe_uniform_pseudo_label,
+    ood_pseudo_label,
+    target_pseudo_label,
+    target_pseudo_labels,
+)
+
+
+class TestTargetLabel:
+    def test_onehot_in_first_m_dims(self):
+        label = target_pseudo_label(1, m=3, k=4)
+        assert label.shape == (7,)
+        assert label[1] == 1.0 and label.sum() == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            target_pseudo_label(3, m=3, k=4)
+        with pytest.raises(ValueError):
+            target_pseudo_label(-1, m=3, k=4)
+
+    def test_vectorized_matches_scalar(self):
+        y = np.array([0, 2, 1])
+        batch = target_pseudo_labels(y, m=3, k=2)
+        for row, cls in zip(batch, y):
+            np.testing.assert_array_equal(row, target_pseudo_label(cls, 3, 2))
+
+    def test_vectorized_range_check(self):
+        with pytest.raises(ValueError):
+            target_pseudo_labels(np.array([5]), m=3, k=2)
+
+
+class TestNormalLabel:
+    def test_onehot_in_last_k_dims(self):
+        label = normal_pseudo_label(2, m=3, k=4)
+        assert label[3 + 2] == 1.0 and label.sum() == 1.0
+        assert label[:3].sum() == 0.0
+
+    def test_cluster_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            normal_pseudo_label(4, m=3, k=4)
+
+    def test_vectorized(self):
+        clusters = np.array([0, 3, 1])
+        batch = normal_pseudo_labels(clusters, m=2, k=4)
+        assert batch.shape == (3, 6)
+        np.testing.assert_array_equal(batch.sum(axis=1), np.ones(3))
+        np.testing.assert_array_equal(batch[:, :2], 0.0)
+
+
+class TestOODLabel:
+    def test_uniform_over_target_dims_only(self):
+        label = ood_pseudo_label(m=4, k=3)
+        np.testing.assert_allclose(label[:4], 0.25)
+        np.testing.assert_array_equal(label[4:], 0.0)
+
+    def test_sums_to_one(self):
+        assert ood_pseudo_label(3, 5).sum() == pytest.approx(1.0)
+
+    def test_oe_uniform_is_flat_over_all(self):
+        label = oe_uniform_pseudo_label(m=2, k=3)
+        np.testing.assert_allclose(label, 1 / 5)
+
+    def test_invalid_m_k_rejected(self):
+        for fn in (ood_pseudo_label, oe_uniform_pseudo_label):
+            with pytest.raises(ValueError):
+                fn(0, 3)
+            with pytest.raises(ValueError):
+                fn(3, 0)

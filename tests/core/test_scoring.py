@@ -1,0 +1,61 @@
+"""Eq. 9 scoring and the Section III-C normality rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import is_normal_rule, softmax, target_anomaly_score
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).standard_normal((5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_stable_for_huge_logits(self):
+        probs = softmax(np.array([[1e6, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestTargetAnomalyScore:
+    def test_takes_max_over_first_m(self):
+        probs = np.array([[0.1, 0.6, 0.2, 0.1]])
+        assert target_anomaly_score(probs, m=2)[0] == pytest.approx(0.6)
+
+    def test_ignores_normal_dims(self):
+        probs = np.array([[0.1, 0.05, 0.85]])
+        assert target_anomaly_score(probs, m=2)[0] == pytest.approx(0.1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            target_anomaly_score(np.ones((3, 2)), m=2)  # needs k >= 1
+
+    def test_ood_calibrated_instance_scores_one_over_m(self):
+        # A perfectly OE-calibrated non-target: uniform over the m dims.
+        m, k = 3, 4
+        probs = np.zeros((1, m + k))
+        probs[0, :m] = 1 / m
+        assert target_anomaly_score(probs, m)[0] == pytest.approx(1 / m)
+
+
+class TestNormalRule:
+    def test_confident_normal_classified_normal(self):
+        m, k = 2, 3
+        probs = np.array([[0.02, 0.03, 0.9, 0.03, 0.02]])
+        assert is_normal_rule(probs, m, k)[0]
+
+    def test_confident_target_classified_anomalous(self):
+        m, k = 2, 3
+        probs = np.array([[0.9, 0.02, 0.04, 0.02, 0.02]])
+        assert not is_normal_rule(probs, m, k)[0]
+
+    def test_threshold_is_k_over_m_plus_k(self):
+        m, k = 2, 2
+        just_above = np.array([[0.24, 0.25, 0.26, 0.25]])  # normal mass 0.51 > 0.5
+        just_below = np.array([[0.26, 0.25, 0.25, 0.24]])  # normal mass 0.49 < 0.5
+        assert is_normal_rule(just_above, m, k)[0]
+        assert not is_normal_rule(just_below, m, k)[0]
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            is_normal_rule(np.ones((2, 4)), m=2, k=3)

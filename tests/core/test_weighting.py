@@ -1,0 +1,70 @@
+"""The Eq. 4/5 weight mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.weighting import initial_weights, update_weights
+
+
+class TestInitialWeights:
+    def test_low_error_gets_high_weight(self):
+        w = initial_weights(np.array([1.0, 5.0, 10.0]))
+        assert w[0] == pytest.approx(1.0)
+        assert w[2] == pytest.approx(0.0)
+        assert w[0] > w[1] > w[2]
+
+    def test_constant_errors_give_uniform_ones(self):
+        np.testing.assert_array_equal(initial_weights(np.full(5, 3.0)), np.ones(5))
+
+    def test_empty_input(self):
+        assert len(initial_weights(np.array([]))) == 0
+
+
+class TestUpdateWeights:
+    def test_confident_predictions_get_low_weight(self):
+        probs = np.array([
+            [0.9, 0.05, 0.05],   # confident -> likely normal/target -> low w
+            [0.34, 0.33, 0.33],  # uniform -> likely non-target -> high w
+        ])
+        w = update_weights(probs)
+        assert w[0] == pytest.approx(0.0)
+        assert w[1] == pytest.approx(1.0)
+
+    def test_monotone_in_max_prob(self):
+        probs = np.array([[0.9, 0.1], [0.7, 0.3], [0.55, 0.45]])
+        w = update_weights(probs)
+        assert w[0] < w[1] < w[2]
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            update_weights(np.array([0.5, 0.5]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 30), st.integers(2, 6)),
+        elements=st.floats(0.01, 10.0, allow_nan=False, width=64),
+    )
+)
+def test_update_weights_properties(raw):
+    """Weights are in [0,1]; ordering is inverse to the row max."""
+    probs = raw / raw.sum(axis=1, keepdims=True)
+    w = update_weights(probs)
+    assert np.all(w >= 0.0) and np.all(w <= 1.0)
+    eps = probs.max(axis=1)
+    order = np.argsort(eps)
+    assert np.all(np.diff(w[order]) <= 1e-12)  # weight non-increasing in eps
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 40), elements=st.floats(0.0, 100.0, allow_nan=False, width=64))
+)
+def test_initial_weights_bounds(errors):
+    w = initial_weights(errors)
+    assert np.all(w >= 0.0) and np.all(w <= 1.0)

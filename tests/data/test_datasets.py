@@ -1,0 +1,77 @@
+"""The four dataset analogs: Table I fidelity and registry access."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_NAMES, get_generator, load_dataset
+from repro.data import kddcup99, nsl_kdd, sqb, unsw_nb15
+
+# (module, expected post-one-hot dimensionality from Table I, m)
+DATASETS = [
+    ("unsw_nb15", unsw_nb15, 196, 3),
+    ("kddcup99", kddcup99, 32, 2),
+    ("nsl_kdd", nsl_kdd, 41, 2),
+    ("sqb", sqb, 182, 2),
+]
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        assert set(DATASET_NAMES) == {"unsw_nb15", "kddcup99", "nsl_kdd", "sqb"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+        with pytest.raises(KeyError):
+            get_generator("mnist")
+
+
+@pytest.mark.parametrize("name,module,dims,m", DATASETS)
+class TestDatasetFidelity:
+    def test_dimensionality_matches_table1(self, name, module, dims, m):
+        split = load_dataset(name, random_state=0, scale=0.02)
+        assert split.n_features == dims
+
+    def test_target_class_count(self, name, module, dims, m):
+        split = load_dataset(name, random_state=0, scale=0.02)
+        assert split.n_target_classes == m
+        assert split.target_families == module.TARGET_FAMILIES
+
+    def test_nontarget_families(self, name, module, dims, m):
+        split = load_dataset(name, random_state=0, scale=0.02)
+        assert split.nontarget_families == module.NONTARGET_FAMILIES
+
+    def test_split_sizes_scale_with_table1(self, name, module, dims, m):
+        split = load_dataset(name, random_state=0, scale=0.02)
+        s = split.summary()
+        assert s["unlabeled"] == pytest.approx(module.SPEC.n_unlabeled * 0.02, rel=0.05)
+
+    def test_generator_population_fixed_by_seed(self, name, module, dims, m):
+        g1 = get_generator(name, random_state=5)
+        g2 = get_generator(name, random_state=5)
+        d1 = g1.sample_normal(10, np.random.default_rng(0))
+        d2 = g2.sample_normal(10, np.random.default_rng(0))
+        np.testing.assert_array_equal(d1.X, d2.X)
+
+
+class TestDatasetSemantics:
+    def test_unsw_has_seven_anomaly_families(self):
+        gen = get_generator("unsw_nb15", random_state=0)
+        assert len(gen.family_names) == 7
+
+    def test_kdd_family_names(self):
+        gen = get_generator("kddcup99", random_state=0)
+        assert gen.target_family_names == ["R2L", "DoS"]
+        assert gen.nontarget_family_names == ["Probe"]
+
+    def test_sqb_test_set_dwarfs_targets(self):
+        split = load_dataset("sqb", random_state=0, scale=0.02)
+        s = split.summary()["testing"]
+        # Extreme imbalance, as in the paper: targets ≪ non-targets ≪ normal.
+        assert s["target"] < s["non-target"] < s["normal"]
+
+    def test_unsw_nontarget_ratio_matches_table1(self):
+        split = load_dataset("unsw_nb15", random_state=0, scale=0.05)
+        s = split.summary()["testing"]
+        # Table I: 1666 targets vs 2335 non-targets (ratio ~0.71).
+        assert s["target"] / s["non-target"] == pytest.approx(1666 / 2335, rel=0.1)

@@ -1,0 +1,40 @@
+"""Split save/load round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.data.export import load_split, save_split
+
+
+class TestSplitExport:
+    def test_roundtrip_arrays(self, tiny_split, tmp_path):
+        path = tmp_path / "split.npz"
+        save_split(tiny_split, path)
+        loaded = load_split(path)
+        np.testing.assert_array_equal(loaded.X_test, tiny_split.X_test)
+        np.testing.assert_array_equal(loaded.y_labeled, tiny_split.y_labeled)
+        np.testing.assert_array_equal(loaded.unlabeled_kind, tiny_split.unlabeled_kind)
+
+    def test_roundtrip_families_and_metadata(self, tiny_split, tmp_path):
+        path = tmp_path / "split.npz"
+        save_split(tiny_split, path)
+        loaded = load_split(path)
+        assert loaded.name == tiny_split.name
+        assert loaded.target_families == tiny_split.target_families
+        assert list(loaded.test_family) == list(tiny_split.test_family)
+        assert loaded.metadata == tiny_split.metadata
+
+    def test_summary_preserved(self, tiny_split, tmp_path):
+        path = tmp_path / "split.npz"
+        save_split(tiny_split, path)
+        assert load_split(path).summary() == tiny_split.summary()
+
+    def test_loaded_split_trains_model(self, tiny_split, tmp_path):
+        from repro.core import TargAD, TargADConfig
+
+        path = tmp_path / "split.npz"
+        save_split(tiny_split, path)
+        loaded = load_split(path)
+        model = TargAD(TargADConfig(random_state=0, k=2, ae_epochs=2, clf_epochs=2))
+        model.fit(loaded.X_unlabeled, loaded.X_labeled, loaded.y_labeled)
+        assert np.isfinite(model.decision_function(loaded.X_test)).all()

@@ -1,0 +1,116 @@
+"""Min-max scaling, one-hot encoding, and the combined preprocessor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import MinMaxScaler, OneHotEncoder, TabularPreprocessor
+
+
+class TestMinMaxScaler:
+    def test_output_in_unit_interval(self, rng):
+        X = rng.normal(5, 10, size=(50, 4))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_train_extremes_map_to_bounds(self, rng):
+        X = rng.normal(0, 1, size=(50, 3))
+        scaler = MinMaxScaler().fit(X)
+        out = scaler.transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((10, 2), 3.0)
+        out = MinMaxScaler().fit_transform(X)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_out_of_range_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        out = scaler.transform(np.array([[-5.0], [5.0]]))
+        np.testing.assert_array_equal(out.ravel(), [0.0, 1.0])
+
+    def test_clip_disabled(self):
+        scaler = MinMaxScaler(clip=False).fit(np.array([[0.0], [1.0]]))
+        assert scaler.transform(np.array([[2.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(2, 3, size=(30, 4))
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.zeros(5))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([[0], [1], [2], [1]])
+        out = OneHotEncoder().fit_transform(X)
+        expected = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_multiple_columns(self):
+        X = np.array([[0, 5], [1, 7]])
+        enc = OneHotEncoder().fit(X)
+        assert enc.n_output_features == 4
+        out = enc.transform(X)
+        assert out.shape == (2, 4)
+        np.testing.assert_array_equal(out.sum(axis=1), [2.0, 2.0])
+
+    def test_unseen_category_maps_to_zeros(self):
+        enc = OneHotEncoder().fit(np.array([[0], [1]]))
+        out = enc.transform(np.array([[9]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0]])
+
+    def test_column_count_mismatch_rejected(self):
+        enc = OneHotEncoder().fit(np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([[0]]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(np.zeros((1, 1)))
+
+
+class TestTabularPreprocessor:
+    def test_expands_categoricals_and_scales(self, rng):
+        numeric = rng.normal(0, 5, size=(40, 3))
+        cats = rng.integers(0, 3, size=(40, 2)).astype(float)
+        X = np.concatenate([numeric, cats], axis=1)
+        pre = TabularPreprocessor(categorical_columns=[3, 4])
+        out = pre.fit_transform(X)
+        assert out.shape == (40, 3 + 6)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_numeric_only(self, rng):
+        X = rng.normal(size=(20, 4))
+        out = TabularPreprocessor().fit_transform(X)
+        assert out.shape == (20, 4)
+
+    def test_transform_consistent_with_fit_transform(self, rng):
+        X = rng.normal(size=(20, 4))
+        pre = TabularPreprocessor()
+        a = pre.fit_transform(X)
+        b = pre.transform(X)
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 5)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+    )
+)
+def test_minmax_always_in_unit_interval(X):
+    out = MinMaxScaler().fit_transform(X)
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)

@@ -1,0 +1,58 @@
+"""DatasetSplit/GeneratedData container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    KIND_NAMES,
+    KIND_NONTARGET,
+    KIND_NORMAL,
+    KIND_TARGET,
+    DatasetSplit,
+)
+
+
+class TestKindConstants:
+    def test_codes(self):
+        assert (KIND_NORMAL, KIND_TARGET, KIND_NONTARGET) == (0, 1, 2)
+
+    def test_names_cover_all_codes(self):
+        assert set(KIND_NAMES) == {0, 1, 2}
+
+
+class TestDatasetSplit:
+    def test_binary_labels_only_targets_positive(self, tiny_split):
+        labels = tiny_split.binary_labels(np.array([0, 1, 2, 1]))
+        np.testing.assert_array_equal(labels, [0, 1, 0, 1])
+
+    def test_n_features_matches_matrices(self, tiny_split):
+        assert tiny_split.n_features == tiny_split.X_test.shape[1]
+        assert tiny_split.n_features == tiny_split.X_labeled.shape[1]
+
+    def test_summary_counts_consistent(self, tiny_split):
+        s = tiny_split.summary()
+        test_total = sum(s["testing"].values())
+        assert test_total == len(tiny_split.X_test)
+        unlabeled_total = sum(s["unlabeled_composition"].values())
+        assert unlabeled_total == s["unlabeled"]
+
+    def test_y_properties_match_binary_labels(self, tiny_split):
+        np.testing.assert_array_equal(
+            tiny_split.y_test_binary, tiny_split.binary_labels(tiny_split.test_kind)
+        )
+        np.testing.assert_array_equal(
+            tiny_split.y_val_binary, tiny_split.binary_labels(tiny_split.val_kind)
+        )
+
+    def test_family_arrays_are_object_strings(self, tiny_split):
+        assert tiny_split.test_family.dtype == object
+        assert all(isinstance(f, str) for f in tiny_split.test_family[:10])
+
+    def test_kind_and_family_consistent(self, tiny_split):
+        targets = set(tiny_split.target_families)
+        nontargets = set(tiny_split.nontarget_families)
+        for kind, fam in zip(tiny_split.test_kind, tiny_split.test_family):
+            if kind == KIND_TARGET:
+                assert fam in targets
+            elif kind == KIND_NONTARGET:
+                assert fam in nontargets

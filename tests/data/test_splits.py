@@ -1,0 +1,152 @@
+"""Split assembly: Table I composition, experiment knobs, preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.data.splits import TableISpec, build_split, default_scale
+from tests.conftest import TINY_SPEC, make_tiny_generator
+
+
+class TestBuildSplitComposition:
+    def test_counts_match_spec(self, tiny_split):
+        s = tiny_split.summary()
+        # labeled scale floor is 1/3, here scale=1.0 so exact counts hold
+        assert s["labeled_target"] == TINY_SPEC.n_labeled
+        assert s["unlabeled"] == TINY_SPEC.n_unlabeled
+        assert s["validation"]["normal"] == TINY_SPEC.val_counts[0]
+        assert s["testing"]["target"] == TINY_SPEC.test_counts[1]
+
+    def test_contamination_rate(self, tiny_split):
+        comp = tiny_split.summary()["unlabeled_composition"]
+        n_anom = comp["target"] + comp["non-target"]
+        assert n_anom == pytest.approx(TINY_SPEC.contamination * TINY_SPEC.n_unlabeled, abs=2)
+
+    def test_labeled_classes_cover_all_targets(self, tiny_split):
+        assert set(tiny_split.y_labeled) == {0, 1}
+        assert tiny_split.n_target_classes == 2
+
+    def test_labeled_families_match_class_mapping(self, tiny_split):
+        for cls, fam in zip(tiny_split.y_labeled, tiny_split.labeled_family):
+            assert tiny_split.target_families[cls] == fam
+
+    def test_features_in_unit_interval(self, tiny_split):
+        for X in (tiny_split.X_labeled, tiny_split.X_unlabeled, tiny_split.X_val, tiny_split.X_test):
+            assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_onehot_expansion(self, tiny_split):
+        # 12 numeric + one categorical of cardinality 3.
+        assert tiny_split.n_features == 15
+
+    def test_binary_labels(self, tiny_split):
+        y = tiny_split.y_test_binary
+        assert set(np.unique(y)) <= {0, 1}
+        assert y.sum() == (tiny_split.test_kind == KIND_TARGET).sum()
+
+
+class TestSplitKnobs:
+    def test_contamination_override(self):
+        gen = make_tiny_generator(0)
+        split = build_split(gen, TINY_SPEC, scale=1.0, random_state=0, contamination=0.15)
+        comp = split.summary()["unlabeled_composition"]
+        assert comp["target"] + comp["non-target"] == pytest.approx(0.15 * 900, abs=2)
+
+    def test_n_labeled_override(self):
+        gen = make_tiny_generator(0)
+        split = build_split(gen, TINY_SPEC, scale=1.0, random_state=0, n_labeled=10)
+        assert len(split.X_labeled) == 10
+
+    def test_target_families_override_redesignates(self):
+        gen = make_tiny_generator(0)
+        split = build_split(
+            gen, TINY_SPEC, scale=1.0, random_state=0, target_families=["nontgt"]
+        )
+        assert split.target_families == ["nontgt"]
+        assert set(split.nontarget_families) == {"tgt_easy", "tgt_hard"}
+        # Labeled data comes from the new target family.
+        assert set(split.labeled_family) == {"nontgt"}
+        # Test targets are exactly the redesignated family's instances.
+        target_mask = split.test_kind == KIND_TARGET
+        assert set(split.test_family[target_mask]) == {"nontgt"}
+
+    def test_train_nontarget_restriction(self):
+        gen = make_tiny_generator(0)
+        split = build_split(
+            gen, TINY_SPEC, scale=1.0, random_state=0, train_nontarget_families=[]
+        )
+        # No non-target anomalies in training, but the test set keeps them.
+        assert (split.unlabeled_kind == KIND_NONTARGET).sum() == 0
+        assert (split.test_kind == KIND_NONTARGET).sum() > 0
+
+    def test_unknown_target_family_rejected(self):
+        gen = make_tiny_generator(0)
+        with pytest.raises(ValueError):
+            build_split(gen, TINY_SPEC, random_state=0, target_families=["missing"])
+
+    def test_bad_train_nontarget_rejected(self):
+        gen = make_tiny_generator(0)
+        with pytest.raises(ValueError):
+            build_split(gen, TINY_SPEC, random_state=0, train_nontarget_families=["tgt_easy"])
+
+    def test_bad_contamination_rejected(self):
+        gen = make_tiny_generator(0)
+        with pytest.raises(ValueError):
+            build_split(gen, TINY_SPEC, random_state=0, contamination=1.5)
+
+    def test_bad_scale_rejected(self):
+        gen = make_tiny_generator(0)
+        with pytest.raises(ValueError):
+            build_split(gen, TINY_SPEC, random_state=0, scale=0.0)
+
+    def test_scale_shrinks_split(self):
+        gen = make_tiny_generator(0)
+        split = build_split(gen, TINY_SPEC, scale=0.5, random_state=0)
+        assert split.summary()["unlabeled"] == 450
+
+    def test_labeled_floor_protects_small_scales(self):
+        gen = make_tiny_generator(0)
+        split = build_split(gen, TINY_SPEC, scale=0.1, random_state=0)
+        # 40 * max(0.1, 1/3) ≈ 13, not 4.
+        assert len(split.X_labeled) >= 12
+
+    def test_seed_determinism(self):
+        gen1 = make_tiny_generator(0)
+        gen2 = make_tiny_generator(0)
+        s1 = build_split(gen1, TINY_SPEC, scale=1.0, random_state=3)
+        s2 = build_split(gen2, TINY_SPEC, scale=1.0, random_state=3)
+        np.testing.assert_array_equal(s1.X_test, s2.X_test)
+        np.testing.assert_array_equal(s1.test_kind, s2.test_kind)
+
+    def test_different_seeds_resample(self):
+        gen = make_tiny_generator(0)
+        s1 = build_split(gen, TINY_SPEC, scale=1.0, random_state=1)
+        s2 = build_split(gen, TINY_SPEC, scale=1.0, random_state=2)
+        assert not np.allclose(s1.X_test, s2.X_test)
+
+
+class TestEvalNormalContamination:
+    def test_hidden_anomalies_keep_normal_label(self):
+        gen = make_tiny_generator(0)
+        spec = TableISpec(
+            name="tiny-hidden",
+            n_labeled=40,
+            n_unlabeled=900,
+            val_counts=(200, 20, 15),
+            test_counts=(300, 30, 20),
+            contamination=0.08,
+            eval_normal_contamination=0.1,
+        )
+        split = build_split(gen, spec, scale=1.0, random_state=0)
+        normal_mask = split.test_kind == KIND_NORMAL
+        # Composition counts are unchanged...
+        assert normal_mask.sum() == 300
+        # ...but some "normal" rows carry anomaly family names.
+        families = set(split.test_family[normal_mask])
+        assert families & {"tgt_easy", "tgt_hard", "nontgt"}
+
+
+def test_default_scale_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+    assert default_scale() == 0.25
+    monkeypatch.delenv("REPRO_SCALE")
+    assert default_scale() == 0.125

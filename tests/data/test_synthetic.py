@@ -1,0 +1,176 @@
+"""Synthetic population generator behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET, GeneratedData
+from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+from tests.conftest import make_tiny_generator
+
+
+class TestGeneratorBasics:
+    def test_raw_column_count(self, tiny_generator):
+        assert tiny_generator.n_raw_columns == 12 + 1
+
+    def test_family_name_properties(self, tiny_generator):
+        assert tiny_generator.target_family_names == ["tgt_easy", "tgt_hard"]
+        assert tiny_generator.nontarget_family_names == ["nontgt"]
+
+    def test_sample_normal_shapes_and_kinds(self, tiny_generator, rng):
+        data = tiny_generator.sample_normal(50, rng)
+        assert data.X.shape == (50, 13)
+        assert np.all(data.kind == KIND_NORMAL)
+        assert set(data.family) <= {"normal_a", "normal_b"}
+
+    def test_sample_family_kinds(self, tiny_generator, rng):
+        tgt = tiny_generator.sample_family("tgt_easy", 20, rng)
+        assert np.all(tgt.kind == KIND_TARGET)
+        non = tiny_generator.sample_family("nontgt", 20, rng)
+        assert np.all(non.kind == KIND_NONTARGET)
+
+    def test_unknown_family_rejected(self, tiny_generator, rng):
+        with pytest.raises(KeyError):
+            tiny_generator.sample_family("nope", 5, rng)
+
+    def test_zero_count_sampling(self, tiny_generator, rng):
+        assert len(tiny_generator.sample_normal(0, rng)) == 0
+        assert len(tiny_generator.sample_family("nontgt", 0, rng)) == 0
+
+    def test_sample_mixture_composition(self, tiny_generator, rng):
+        data = tiny_generator.sample_mixture(100, {"tgt_easy": 10, "nontgt": 5}, rng)
+        assert len(data) == 115
+        assert (data.kind == KIND_NORMAL).sum() == 100
+        assert (data.kind == KIND_TARGET).sum() == 10
+        assert (data.kind == KIND_NONTARGET).sum() == 5
+
+    def test_anomalies_deviate_from_normals(self, tiny_generator, rng):
+        normal = tiny_generator.sample_normal(300, rng)
+        anom = tiny_generator.sample_family("tgt_easy", 300, rng)
+        # Mean displacement on the numeric block must be visible.
+        diff = np.abs(anom.X[:, :12].mean(axis=0) - normal.X[:, :12].mean(axis=0))
+        assert diff.max() > 0.2
+
+    def test_population_structure_is_seed_deterministic(self, rng):
+        g1 = make_tiny_generator(7)
+        g2 = make_tiny_generator(7)
+        d1 = g1.sample_normal(20, np.random.default_rng(0))
+        d2 = g2.sample_normal(20, np.random.default_rng(0))
+        np.testing.assert_array_equal(d1.X, d2.X)
+
+    def test_different_population_seeds_differ(self):
+        g1 = make_tiny_generator(1)
+        g2 = make_tiny_generator(2)
+        d1 = g1.sample_normal(20, np.random.default_rng(0))
+        d2 = g2.sample_normal(20, np.random.default_rng(0))
+        assert not np.allclose(d1.X, d2.X)
+
+
+class TestGeneratorValidation:
+    def test_duplicate_family_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            SyntheticTabularGenerator(
+                n_numeric=10,
+                normal_groups=[NormalGroupSpec("n")],
+                anomaly_families=[
+                    AnomalyFamilySpec("a", is_target=True),
+                    AnomalyFamilySpec("a", is_target=False),
+                ],
+            )
+
+    def test_needs_groups_and_families(self):
+        with pytest.raises(ValueError):
+            SyntheticTabularGenerator(10, [], [AnomalyFamilySpec("a", is_target=True)])
+        with pytest.raises(ValueError):
+            SyntheticTabularGenerator(10, [NormalGroupSpec("n")], [])
+
+    def test_tiny_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTabularGenerator(
+                2, [NormalGroupSpec("n")], [AnomalyFamilySpec("a", is_target=True)]
+            )
+
+    def test_bad_direction_agreement_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTabularGenerator(
+                10,
+                [NormalGroupSpec("n")],
+                [AnomalyFamilySpec("a", is_target=True)],
+                direction_agreement=1.5,
+            )
+
+
+class TestStructuralKnobs:
+    def _base(self, **kwargs):
+        return SyntheticTabularGenerator(
+            n_numeric=20,
+            normal_groups=[NormalGroupSpec("n", signature_size=4)],
+            anomaly_families=[
+                AnomalyFamilySpec("t", is_target=True, n_affected=6, shift=5.0, **kwargs.pop("family", {})),
+                AnomalyFamilySpec("o", is_target=False, n_affected=6, shift=5.0),
+            ],
+            random_state=0,
+            **kwargs,
+        )
+
+    def test_shared_dims_shift_all_families(self):
+        gen = SyntheticTabularGenerator(
+            n_numeric=20,
+            normal_groups=[NormalGroupSpec("n")],
+            anomaly_families=[
+                AnomalyFamilySpec("t", is_target=True, n_affected=4, shift=0.0, shared_shift=6.0),
+            ],
+            shared_anomaly_dims=5,
+            random_state=0,
+        )
+        rng = np.random.default_rng(0)
+        normal = gen.sample_normal(500, rng)
+        anom = gen.sample_family("t", 500, rng)
+        diff = np.abs(anom.X[:, :20].mean(axis=0) - normal.X[:, :20].mean(axis=0))
+        assert (diff > 0.1).sum() == 5  # exactly the shared dims move
+
+    def test_family_dim_pool_restricts_signatures(self):
+        gen = self._base(family_dim_pool=8)
+        pool_union = set()
+        for struct in gen._family_structs.values():
+            pool_union.update(struct.affected.tolist())
+        assert len(pool_union) <= 8
+
+    def test_activation_rate_creates_partial_patterns(self):
+        gen_full = SyntheticTabularGenerator(
+            n_numeric=20,
+            normal_groups=[NormalGroupSpec("n", noise_scale=0.01)],
+            anomaly_families=[AnomalyFamilySpec("t", is_target=True, n_affected=10,
+                                                shift=20.0, activation_rate=1.0)],
+            random_state=0,
+        )
+        gen_half = SyntheticTabularGenerator(
+            n_numeric=20,
+            normal_groups=[NormalGroupSpec("n", noise_scale=0.01)],
+            anomaly_families=[AnomalyFamilySpec("t", is_target=True, n_affected=10,
+                                                shift=20.0, activation_rate=0.5)],
+            random_state=0,
+        )
+        rng = np.random.default_rng(1)
+        full = gen_full.sample_family("t", 200, rng)
+        half = gen_half.sample_family("t", 200, np.random.default_rng(1))
+        dims = gen_full._family_structs["t"].affected
+        # Count strongly-displaced entries (shift*noise = 0.2 ≫ noise 0.01):
+        # ~100% of signature entries fire vs ~50%.
+        frac_full = (np.abs(full.X[:, dims] - 0.5) > 0.1).mean()
+        frac_half = (np.abs(half.X[:, dims] - 0.5) > 0.1).mean()
+        assert frac_half < frac_full * 0.75
+
+
+class TestGeneratedData:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratedData(np.zeros((3, 2)), np.zeros(2, dtype=np.int64), np.array(["a", "b", "c"], dtype=object))
+
+    def test_subset(self, tiny_generator, rng):
+        data = tiny_generator.sample_normal(10, rng)
+        sub = data.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratedData.concatenate([])

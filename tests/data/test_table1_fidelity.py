@@ -1,0 +1,52 @@
+"""Full-scale Table I fidelity.
+
+At ``scale=1.0`` the splits must match the paper's Table I counts exactly
+(up to the ±1 rounding of even family allocation). Generation is pure
+numpy so this is seconds, not minutes; the memory-heavy datasets are
+checked at scale 0.5 with proportional expectations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.kddcup99 import SPEC as KDD_SPEC
+from repro.data.nsl_kdd import SPEC as NSL_SPEC
+from repro.data.sqb import SPEC as SQB_SPEC
+from repro.data.unsw_nb15 import SPEC as UNSW_SPEC
+
+
+class TestFullScaleCounts:
+    @pytest.mark.parametrize("name,spec", [("kddcup99", KDD_SPEC), ("nsl_kdd", NSL_SPEC)])
+    def test_exact_table1_counts(self, name, spec):
+        split = load_dataset(name, random_state=0, scale=1.0)
+        s = split.summary()
+        assert s["labeled_target"] == spec.n_labeled
+        assert s["unlabeled"] == spec.n_unlabeled
+        assert s["validation"]["normal"] == spec.val_counts[0]
+        assert s["validation"]["target"] == spec.val_counts[1]
+        assert s["validation"]["non-target"] == spec.val_counts[2]
+        assert s["testing"]["normal"] == spec.test_counts[0]
+        assert s["testing"]["target"] == spec.test_counts[1]
+        assert s["testing"]["non-target"] == spec.test_counts[2]
+
+    @pytest.mark.parametrize("name,spec", [("unsw_nb15", UNSW_SPEC), ("sqb", SQB_SPEC)])
+    def test_half_scale_counts(self, name, spec):
+        split = load_dataset(name, random_state=0, scale=0.5)
+        s = split.summary()
+        assert s["unlabeled"] == round(spec.n_unlabeled * 0.5)
+        assert s["testing"]["target"] == round(spec.test_counts[1] * 0.5)
+        assert s["testing"]["non-target"] == round(spec.test_counts[2] * 0.5)
+
+    def test_contamination_at_full_scale(self):
+        split = load_dataset("kddcup99", random_state=0, scale=1.0)
+        comp = split.summary()["unlabeled_composition"]
+        anomalies = comp["target"] + comp["non-target"]
+        assert anomalies == pytest.approx(0.05 * KDD_SPEC.n_unlabeled, abs=2)
+
+    def test_labeled_fraction_in_paper_band(self):
+        """The paper states labeled anomalies are 0.16%-0.48% of training."""
+        for name in ("kddcup99", "nsl_kdd"):
+            split = load_dataset(name, random_state=0, scale=1.0)
+            fraction = len(split.X_labeled) / (len(split.X_labeled) + len(split.X_unlabeled))
+            assert 0.001 < fraction < 0.006

@@ -1,0 +1,164 @@
+"""CSV ingestion and real-data split assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.data.tabular import assemble_split, infer_schema, read_csv, to_matrix
+
+CSV_CONTENT = """amount,count,proto,label
+10.5,3,tcp,normal
+11.0,2,tcp,normal
+250.0,90,udp,attack_a
+9.8,4,icmp,normal
+300.0,80,udp,attack_b
+"""
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV_CONTENT)
+    return path
+
+
+class TestReadCSV:
+    def test_parses_columns(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.columns == ["amount", "count", "proto", "label"]
+        assert len(table) == 5
+        assert table.cells["proto"][2] == "udp"
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="expected 2 fields"):
+            read_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path)
+
+
+class TestInferSchema:
+    def test_detects_types(self, csv_file):
+        table = read_csv(csv_file)
+        schema = infer_schema(table)
+        assert schema["amount"] == "numeric"
+        assert schema["proto"] == "categorical"
+        assert schema["label"] == "categorical"
+        # Low-cardinality integers are categorical.
+        assert schema["count"] == "categorical"
+
+    def test_high_cardinality_integers_numeric(self, tmp_path):
+        rows = "\n".join(str(i) for i in range(100))
+        path = tmp_path / "ints.csv"
+        path.write_text("x\n" + rows + "\n")
+        schema = infer_schema(read_csv(path))
+        assert schema["x"] == "numeric"
+
+
+class TestToMatrix:
+    def test_encodes_categoricals(self, csv_file):
+        table = read_csv(csv_file)
+        matrix, cat_idx, names = to_matrix(table, exclude=["label"])
+        assert matrix.shape == (5, 3)
+        assert names == ["amount", "count", "proto"]
+        proto_col = names.index("proto")
+        assert proto_col in cat_idx
+        # tcp=0, udp=1, icmp=2 (first-appearance order).
+        np.testing.assert_array_equal(matrix[:, proto_col], [0, 0, 1, 2, 1])
+
+    def test_missing_numeric_imputed(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("x,y\n1.5,0.1\n,0.9\n2.5,0.4\n")
+        table = read_csv(path)
+        matrix, _, _ = to_matrix(table, schema={"x": "numeric", "y": "numeric"})
+        assert matrix[1, 0] == pytest.approx(2.0)  # median of {1.5, 2.5}
+
+
+class TestAssembleSplit:
+    @pytest.fixture
+    def real_like(self):
+        rng = np.random.default_rng(0)
+        X_normal = rng.normal(0.3, 0.1, size=(600, 5))
+        X_a = rng.normal(0.8, 0.1, size=(80, 5))
+        X_b = rng.normal(0.1, 0.05, size=(60, 5))
+        X = np.vstack([X_normal, X_a, X_b])
+        family = np.array(
+            ["normal"] * 600 + ["attack_a"] * 80 + ["attack_b"] * 60, dtype=object
+        )
+        return X, family
+
+    def test_split_structure(self, real_like):
+        X, family = real_like
+        split = assemble_split(X, family, target_families=["attack_a"],
+                               n_labeled=20, random_state=0)
+        assert split.n_target_classes == 1
+        assert split.nontarget_families == ["attack_b"]
+        assert len(split.X_labeled) == 20
+        assert set(split.labeled_family) == {"attack_a"}
+
+    def test_contamination_respected(self, real_like):
+        X, family = real_like
+        split = assemble_split(X, family, target_families=["attack_a"],
+                               contamination=0.05, random_state=0)
+        kinds = split.unlabeled_kind
+        rate = (kinds != KIND_NORMAL).mean()
+        assert rate == pytest.approx(0.05, abs=0.02)
+
+    def test_eval_sets_contain_both_anomaly_kinds(self, real_like):
+        X, family = real_like
+        split = assemble_split(X, family, target_families=["attack_a"], random_state=0)
+        assert (split.test_kind == KIND_TARGET).sum() > 0
+        assert (split.test_kind == KIND_NONTARGET).sum() > 0
+
+    def test_features_preprocessed_to_unit_interval(self, real_like):
+        X, family = real_like
+        split = assemble_split(X, family, target_families=["attack_a"], random_state=0)
+        assert split.X_unlabeled.min() >= 0.0 and split.X_unlabeled.max() <= 1.0
+
+    def test_model_trains_on_assembled_split(self, real_like):
+        from repro.core import TargAD, TargADConfig
+        from repro.metrics import auroc
+
+        X, family = real_like
+        split = assemble_split(X, family, target_families=["attack_a"],
+                               n_labeled=20, random_state=0)
+        model = TargAD(TargADConfig(random_state=0, k=2, ae_epochs=10, clf_epochs=10))
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        scores = model.decision_function(split.X_test)
+        assert auroc(split.y_test_binary, scores) > 0.9
+
+    def test_unknown_target_family_rejected(self, real_like):
+        X, family = real_like
+        with pytest.raises(ValueError, match="not present"):
+            assemble_split(X, family, target_families=["nope"])
+
+    def test_missing_normal_label_rejected(self, real_like):
+        X, family = real_like
+        with pytest.raises(ValueError, match="no rows labeled"):
+            assemble_split(X, family, target_families=["attack_a"],
+                           normal_label="benign")
+
+    def test_csv_to_model_end_to_end(self, tmp_path):
+        # Full path: CSV -> matrix -> split -> model.
+        rng = np.random.default_rng(1)
+        lines = ["f1,f2,kind"]
+        for _ in range(300):
+            lines.append(f"{rng.normal(0.3, 0.05):.4f},{rng.normal(0.5, 0.05):.4f},normal")
+        for _ in range(40):
+            lines.append(f"{rng.normal(0.9, 0.05):.4f},{rng.normal(0.5, 0.05):.4f},bad")
+        path = tmp_path / "flow.csv"
+        path.write_text("\n".join(lines) + "\n")
+
+        table = read_csv(path)
+        matrix, cat_idx, names = to_matrix(table, exclude=["kind"])
+        family = np.array(table.cells["kind"], dtype=object)
+        split = assemble_split(matrix, family, target_families=["bad"],
+                               n_labeled=10, categorical_columns=cat_idx,
+                               random_state=0)
+        assert split.n_features == 2
+        assert (split.test_kind == KIND_TARGET).sum() > 0

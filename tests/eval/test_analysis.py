@@ -1,0 +1,82 @@
+"""Score-distribution analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.analysis import ScoreStats, queue_composition, score_stats_by_kind, separation_ratio
+
+
+@pytest.fixture
+def scored():
+    # normals ~0.1, targets ~0.9, non-targets ~0.5
+    kinds = np.array([0] * 50 + [1] * 10 + [2] * 20)
+    rng = np.random.default_rng(0)
+    scores = np.concatenate([
+        rng.normal(0.1, 0.02, 50), rng.normal(0.9, 0.02, 10), rng.normal(0.5, 0.02, 20)
+    ])
+    return scores, kinds
+
+
+class TestScoreStats:
+    def test_of_basic(self):
+        stats = ScoreStats.of(np.array([1.0, 2.0, 3.0]))
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.median == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreStats.of(np.array([]))
+
+    def test_by_kind(self, scored):
+        scores, kinds = scored
+        stats = score_stats_by_kind(scores, kinds)
+        assert set(stats) == {"normal", "target", "non-target"}
+        assert stats["target"].mean > stats["non-target"].mean > stats["normal"].mean
+
+    def test_shape_mismatch(self, scored):
+        scores, kinds = scored
+        with pytest.raises(ValueError):
+            score_stats_by_kind(scores[:-1], kinds)
+
+
+class TestQueueComposition:
+    def test_top_of_queue_is_targets(self, scored):
+        scores, kinds = scored
+        comp = queue_composition(scores, kinds, depth=10)
+        assert comp["by_kind"]["target"] == 10
+        assert comp["target_precision"] == pytest.approx(1.0)
+
+    def test_deeper_queue_dilutes(self, scored):
+        scores, kinds = scored
+        comp = queue_composition(scores, kinds, depth=30)
+        assert comp["by_kind"]["target"] == 10
+        assert comp["by_kind"]["non-target"] == 20
+        assert comp["target_precision"] == pytest.approx(1 / 3)
+
+    def test_family_breakdown(self, scored):
+        scores, kinds = scored
+        families = np.array(["n"] * 50 + ["fraud"] * 10 + ["spam"] * 20, dtype=object)
+        comp = queue_composition(scores, kinds, depth=15, families=families)
+        assert comp["by_family"]["fraud"] == 10
+        assert comp["by_family"]["spam"] == 5
+
+    def test_invalid_depth(self, scored):
+        scores, kinds = scored
+        with pytest.raises(ValueError):
+            queue_composition(scores, kinds, depth=0)
+
+
+class TestSeparationRatio:
+    def test_ratios_reflect_priority(self, scored):
+        scores, kinds = scored
+        ratios = separation_ratio(scores, kinds)
+        assert ratios["target_vs_nontarget"] > 1.5
+        assert ratios["target_vs_normal"] > ratios["nontarget_vs_normal"]
+
+    def test_missing_kind_tolerated(self):
+        scores = np.array([0.1, 0.9])
+        kinds = np.array([0, 1])  # no non-targets
+        ratios = separation_ratio(scores, kinds)
+        assert "target_vs_nontarget" not in ratios
+        assert "target_vs_normal" in ratios

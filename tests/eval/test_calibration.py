@@ -1,0 +1,109 @@
+"""Rank normalization, ensembling, and probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.eval.calibration import BinnedCalibrator, rank_normalize, unify_scores
+from repro.metrics import auroc
+
+
+class TestRankNormalize:
+    def test_bounds_and_order(self):
+        out = rank_normalize(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.5])
+
+    def test_ties_average(self):
+        out = rank_normalize(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_preserves_auroc(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200) + 0.3 * y
+        assert auroc(y, rank_normalize(s)) == pytest.approx(auroc(y, s), abs=1e-12)
+
+    def test_single_value(self):
+        np.testing.assert_allclose(rank_normalize(np.array([7.0])), [0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_normalize(np.array([]))
+
+
+class TestUnifyScores:
+    def test_combines_complementary_detectors(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 400)
+        # Two weak detectors with independent noise.
+        s1 = y + rng.normal(0, 1.5, 400)
+        s2 = y + rng.normal(0, 1.5, 400)
+        combined = unify_scores([s1, s2])
+        assert auroc(y, combined) > max(auroc(y, s1), auroc(y, s2)) - 0.01
+
+    def test_weighting(self):
+        s1 = np.array([0.0, 1.0])
+        s2 = np.array([1.0, 0.0])
+        heavy_first = unify_scores([s1, s2], weights=[10.0, 1.0])
+        assert heavy_first[1] > heavy_first[0]
+
+    def test_scale_invariance(self):
+        s1 = np.array([1.0, 5.0, 2.0])
+        combined_a = unify_scores([s1, s1 * 1000.0])
+        combined_b = unify_scores([s1, s1])
+        np.testing.assert_allclose(combined_a, combined_b)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            unify_scores([np.ones(3), np.ones(4)])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            unify_scores([np.ones(3)], weights=[0.0])
+
+
+class TestBinnedCalibrator:
+    def _data(self, n=2000, seed=2):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        # True probability increases with the score.
+        y = (rng.random(n) < scores**2).astype(int)
+        return scores, y
+
+    def test_outputs_probabilities(self):
+        scores, y = self._data()
+        cal = BinnedCalibrator(n_bins=10).fit(scores, y)
+        probs = cal.predict_proba(scores)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_monotone_in_score(self):
+        scores, y = self._data()
+        cal = BinnedCalibrator(n_bins=10).fit(scores, y)
+        grid = np.linspace(0, 1, 50)
+        probs = cal.predict_proba(grid)
+        assert np.all(np.diff(probs) >= -1e-12)
+
+    def test_calibration_quality(self):
+        scores, y = self._data(n=5000)
+        cal = BinnedCalibrator(n_bins=10).fit(scores, y)
+        probs = cal.predict_proba(scores)
+        # Mean calibrated probability tracks the true prevalence.
+        assert probs.mean() == pytest.approx(y.mean(), abs=0.02)
+        # And per-region: high-score region must be near its true rate.
+        high = scores > 0.8
+        assert probs[high].mean() == pytest.approx(y[high].mean(), abs=0.05)
+
+    def test_pav_fixes_nonmonotone_bins(self):
+        # Construct data where a middle bin is accidentally inverted.
+        scores = np.concatenate([np.full(50, 0.1), np.full(50, 0.5), np.full(50, 0.9)])
+        y = np.concatenate([np.zeros(50), np.ones(50), np.zeros(50) + 0.0])
+        y[100:150] = [1, 0] * 25  # high bin rate 0.5 < middle bin rate 1.0
+        cal = BinnedCalibrator(n_bins=3).fit(scores, y)
+        assert np.all(np.diff(cal.bin_probs_) >= -1e-12)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            BinnedCalibrator().predict_proba(np.array([0.5]))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedCalibrator(n_bins=10).fit(np.ones(5), np.ones(5))

@@ -1,0 +1,90 @@
+"""Evaluation registry, protocol, and result formatting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaseDetector, IsolationForest
+from repro.core import TargAD
+from repro.eval import (
+    DETECTOR_NAMES,
+    ResultTable,
+    evaluate_detector,
+    format_mean_std,
+    make_detector,
+    run_comparison,
+)
+from repro.eval.registry import DATASET_K
+
+
+class TestRegistry:
+    def test_twelve_detectors(self):
+        assert len(DETECTOR_NAMES) == 12
+        assert "TargAD" in DETECTOR_NAMES
+
+    def test_all_names_constructible(self):
+        for name in DETECTOR_NAMES:
+            det = make_detector(name, random_state=0)
+            assert isinstance(det, (BaseDetector, TargAD))
+
+    def test_targad_gets_dataset_k(self):
+        model = make_detector("TargAD", random_state=0, dataset="unsw_nb15")
+        assert model.config.k == DATASET_K["unsw_nb15"]
+
+    def test_targad_k_override_wins(self):
+        model = make_detector("TargAD", random_state=0, dataset="unsw_nb15", k=7)
+        assert model.config.k == 7
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_detector("NotARealDetector")
+
+    def test_extra_detectors_constructible(self):
+        from repro.eval.registry import EXTRA_DETECTOR_NAMES
+
+        for name in EXTRA_DETECTOR_NAMES:
+            det = make_detector(name, random_state=0)
+            assert det.supervision == "unsupervised"
+
+    def test_overrides_forwarded(self):
+        det = make_detector("iForest", n_estimators=7)
+        assert isinstance(det, IsolationForest)
+        assert det.n_estimators == 7
+
+
+class TestProtocol:
+    def test_evaluate_detector_aggregates_seeds(self):
+        result = evaluate_detector(
+            "iForest", "kddcup99", seeds=(0, 1), scale=0.01,
+            detector_kwargs={"n_estimators": 10},
+        )
+        assert len(result.auprc_values) == 2
+        assert 0.0 <= result.auprc_mean <= 1.0
+        assert result.auprc_std >= 0.0
+        assert 0.0 <= result.auroc_mean <= 1.0
+
+    def test_run_comparison_cartesian(self):
+        results = run_comparison(
+            ["iForest"], ["kddcup99", "nsl_kdd"], seeds=(0,), scale=0.01
+        )
+        assert len(results) == 2
+        assert {r.dataset for r in results} == {"kddcup99", "nsl_kdd"}
+
+
+class TestResults:
+    def test_format_mean_std(self):
+        assert format_mean_std(0.8041, 0.0012) == "0.804±0.001"
+
+    def test_table_renders_all_cells(self):
+        table = ResultTable("T", columns=["A", "B"])
+        table.add_row("row1", {"A": "1", "B": "2"})
+        table.add_row("row2", {"A": "3"})
+        text = table.render()
+        assert "T" in text and "row1" in text and "row2" in text
+        assert "-" in text.splitlines()[-2]  # missing B cell rendered as '-'
+
+    def test_table_alignment_consistent(self):
+        table = ResultTable("Title", columns=["col"])
+        table.add_row("a-very-long-label", {"col": "x"})
+        table.add_row("b", {"col": "y"})
+        lines = [l for l in table.render().splitlines() if l and not set(l) <= {"-"}]
+        assert len({len(l.rstrip()) for l in lines[1:]}) <= 2

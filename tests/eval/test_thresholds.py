@@ -1,0 +1,68 @@
+"""Threshold-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
+
+
+class TestBestF1:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        threshold, f1 = best_f1_threshold(y, s)
+        assert f1 == pytest.approx(1.0)
+        assert 0.2 < threshold <= 0.8
+
+    def test_applying_threshold_achieves_reported_f1(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200) + 0.5 * y
+        threshold, f1 = best_f1_threshold(y, s)
+        pred = (s >= threshold).astype(int)
+        tp = ((pred == 1) & (y == 1)).sum()
+        precision = tp / max(pred.sum(), 1)
+        recall = tp / y.sum()
+        manual_f1 = 2 * precision * recall / max(precision + recall, 1e-12)
+        assert manual_f1 == pytest.approx(f1, abs=1e-9)
+
+
+class TestRecallThreshold:
+    def test_full_recall_is_min_positive_score(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.1, 0.5, 0.3, 0.9])
+        threshold = recall_threshold(y, s, 1.0)
+        assert ((s >= threshold) & (y == 1)).sum() == 2
+        assert threshold == pytest.approx(0.5)
+
+    def test_partial_recall_is_looser(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 300)
+        s = rng.random(300) + y
+        t_half = recall_threshold(y, s, 0.5)
+        t_full = recall_threshold(y, s, 1.0)
+        assert t_half >= t_full
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            recall_threshold([0, 1], [0.1, 0.9], 0.0)
+        with pytest.raises(ValueError):
+            recall_threshold([0, 1], [0.1, 0.9], 1.5)
+
+
+class TestBudgetThreshold:
+    def test_flags_at_most_budget(self):
+        rng = np.random.default_rng(2)
+        s = rng.random(100)
+        threshold = budget_threshold(s, 10)
+        assert (s >= threshold).sum() == 10
+
+    def test_budget_equals_n(self):
+        s = np.array([0.5, 0.1, 0.9])
+        assert budget_threshold(s, 3) == pytest.approx(0.1)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            budget_threshold(np.ones(5), 0)
+        with pytest.raises(ValueError):
+            budget_threshold(np.ones(5), 6)

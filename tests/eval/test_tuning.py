@@ -1,0 +1,55 @@
+"""Validation-based grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargADConfig
+from repro.eval.tuning import TuningResult, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        grid = expand_grid({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(grid) == 6
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_single_axis(self):
+        assert expand_grid({"a": [1]}) == [{"a": 1}]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({})
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def split(self):
+        from tests.conftest import TINY_SPEC, make_tiny_generator
+        from repro.data.splits import build_split
+
+        return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+    def test_finds_best_by_validation(self, split):
+        base = TargADConfig(k=2, ae_lr=3e-3, ae_epochs=5, clf_epochs=8, random_state=0)
+        result = grid_search(split, {"lambda1": [0.1, 1.0]}, base_config=base)
+        assert result.best_params["lambda1"] in (0.1, 1.0)
+        assert len(result.trials) == 2
+        assert result.best_score == max(t["score"] for t in result.trials)
+
+    def test_top_ordering(self, split):
+        base = TargADConfig(k=2, ae_lr=3e-3, ae_epochs=3, clf_epochs=4, random_state=0)
+        result = grid_search(split, {"alpha": [0.05, 0.1, 0.2]}, base_config=base)
+        top = result.top(2)
+        assert len(top) == 2
+        assert top[0]["score"] >= top[1]["score"]
+
+    def test_custom_detector_factory(self, split):
+        from repro.baselines import IsolationForest
+
+        result = grid_search(
+            split,
+            {"n_estimators": [10, 30]},
+            detector_factory=lambda p: IsolationForest(random_state=0, **p),
+        )
+        assert set(result.best_params) == {"n_estimators"}
+        assert len(result.trials) == 2

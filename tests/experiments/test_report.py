@@ -1,0 +1,47 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.experiments.report import _md_table, generate_report
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[3] == "| 3 | 4 |"
+
+
+class TestGenerateReport:
+    def test_writes_complete_report(self, tmp_path):
+        path = generate_report(
+            tmp_path / "report.md",
+            datasets=("kddcup99",),
+            detectors=("iForest", "TargAD"),
+            seeds=(0,),
+            scale=0.015,
+        )
+        text = path.read_text()
+        assert "# TargAD experiment report" in text
+        assert "## Overall comparison" in text
+        assert "## Convergence" in text
+        assert "## Contamination robustness" in text
+        assert "TargAD" in text and "iForest" in text
+        assert "Best AUPRC" in text
+
+    def test_sections_optional(self, tmp_path):
+        path = generate_report(
+            tmp_path / "short.md",
+            datasets=("kddcup99",),
+            detectors=("iForest",),
+            seeds=(0,),
+            scale=0.015,
+            include_convergence=False,
+            include_robustness=False,
+        )
+        text = path.read_text()
+        assert "## Convergence" not in text
+        assert "## Contamination robustness" not in text
+        assert "## Overall comparison" in text

@@ -1,0 +1,59 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import auprc
+from repro.metrics.bootstrap import bootstrap_auprc, bootstrap_auroc, bootstrap_metric
+
+
+def make_scored(n=400, signal=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    s = rng.random(n) + signal * y
+    return y, s
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self):
+        y, s = make_scored()
+        result = bootstrap_auprc(y, s, n_resamples=200, random_state=0)
+        assert result.lower <= result.estimate <= result.upper
+
+    def test_estimate_matches_plain_metric(self):
+        y, s = make_scored()
+        result = bootstrap_auprc(y, s, n_resamples=50, random_state=0)
+        assert result.estimate == pytest.approx(auprc(y, s))
+
+    def test_more_data_tightens_interval(self):
+        # Moderate signal so the metric is strictly inside (0.5, 1) and the
+        # interval has nonzero width.
+        y_small, s_small = make_scored(n=100, signal=0.4, seed=1)
+        y_large, s_large = make_scored(n=3000, signal=0.4, seed=1)
+        r_small = bootstrap_auroc(y_small, s_small, n_resamples=200, random_state=0)
+        r_large = bootstrap_auroc(y_large, s_large, n_resamples=200, random_state=0)
+        assert (r_large.upper - r_large.lower) < (r_small.upper - r_small.lower)
+
+    def test_confidence_widens_interval(self):
+        y, s = make_scored()
+        narrow = bootstrap_auroc(y, s, confidence=0.5, n_resamples=300, random_state=0)
+        wide = bootstrap_auroc(y, s, confidence=0.99, n_resamples=300, random_state=0)
+        assert (wide.upper - wide.lower) > (narrow.upper - narrow.lower)
+
+    def test_deterministic_under_seed(self):
+        y, s = make_scored()
+        a = bootstrap_auprc(y, s, n_resamples=100, random_state=5)
+        b = bootstrap_auprc(y, s, n_resamples=100, random_state=5)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_str_format(self):
+        y, s = make_scored()
+        text = str(bootstrap_auprc(y, s, n_resamples=50, random_state=0))
+        assert "95% CI" in text and "[" in text
+
+    def test_validation(self):
+        y, s = make_scored()
+        with pytest.raises(ValueError):
+            bootstrap_metric(auprc, y, s, confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_metric(auprc, y, s, n_resamples=5)

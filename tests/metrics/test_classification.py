@@ -1,0 +1,81 @@
+"""Confusion-matrix metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import classification_report, confusion_matrix, precision_recall_f1
+
+
+class TestConfusionMatrix:
+    def test_hand_example(self):
+        y_true = [0, 0, 1, 1, 2]
+        y_pred = [0, 1, 1, 1, 0]
+        m = confusion_matrix(y_true, y_pred, labels=[0, 1, 2])
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(m, expected)
+
+    def test_diagonal_for_perfect_prediction(self):
+        y = [0, 1, 2, 0, 1]
+        m = confusion_matrix(y, y)
+        np.testing.assert_array_equal(m, np.diag([2, 2, 1]))
+
+    def test_infers_labels_from_union(self):
+        m = confusion_matrix([0, 0], [1, 1])
+        assert m.shape == (2, 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+    def test_string_labels(self):
+        m = confusion_matrix(["a", "b"], ["a", "a"], labels=["a", "b"])
+        np.testing.assert_array_equal(m, [[1, 0], [1, 0]])
+
+
+class TestPrecisionRecallF1:
+    def test_hand_example(self):
+        y_true = [0, 0, 0, 1, 1]
+        y_pred = [0, 0, 1, 1, 0]
+        out = precision_recall_f1(y_true, y_pred, labels=[0, 1])
+        assert out[0]["precision"] == pytest.approx(2 / 3)
+        assert out[0]["recall"] == pytest.approx(2 / 3)
+        assert out[1]["precision"] == pytest.approx(1 / 2)
+        assert out[1]["recall"] == pytest.approx(1 / 2)
+        assert out[0]["support"] == 3
+
+    def test_zero_division_yields_zero(self):
+        out = precision_recall_f1([0, 0], [1, 1], labels=[0, 1])
+        assert out[0]["precision"] == 0.0  # nothing predicted 0
+        assert out[1]["recall"] == 0.0  # no true 1s
+        assert out[1]["f1"] == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        out = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1], labels=[0, 1])
+        p, r = out[1]["precision"], out[1]["recall"]
+        assert out[1]["f1"] == pytest.approx(2 * p * r / (p + r))
+
+
+class TestClassificationReport:
+    def test_macro_average_is_unweighted_mean(self):
+        y_true = [0] * 8 + [1] * 2
+        y_pred = [0] * 7 + [1] + [1, 0]
+        rep = classification_report(y_true, y_pred, labels=[0, 1])
+        per_class_f1 = [rep[0]["f1"], rep[1]["f1"]]
+        assert rep["macro avg"]["f1"] == pytest.approx(np.mean(per_class_f1))
+
+    def test_weighted_average_uses_support(self):
+        y_true = [0] * 8 + [1] * 2
+        y_pred = [0] * 7 + [1] + [1, 0]
+        rep = classification_report(y_true, y_pred, labels=[0, 1])
+        expected = (8 * rep[0]["f1"] + 2 * rep[1]["f1"]) / 10
+        assert rep["weighted avg"]["f1"] == pytest.approx(expected)
+
+    def test_total_support(self):
+        rep = classification_report([0, 1, 1], [0, 1, 0])
+        assert rep["macro avg"]["support"] == 3
+
+    def test_perfect_prediction_scores_one(self):
+        y = [0, 1, 2] * 5
+        rep = classification_report(y, y)
+        assert rep["macro avg"]["f1"] == pytest.approx(1.0)
+        assert rep["weighted avg"]["precision"] == pytest.approx(1.0)

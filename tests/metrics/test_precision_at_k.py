@@ -1,0 +1,31 @@
+"""precision@k."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import precision_at_k
+
+
+class TestPrecisionAtK:
+    def test_perfect_ranking(self):
+        y = [0, 0, 1, 1]
+        s = [0.1, 0.2, 0.8, 0.9]
+        assert precision_at_k(y, s, 2) == pytest.approx(1.0)
+
+    def test_mixed_top(self):
+        y = [1, 0, 1, 0]
+        s = [0.9, 0.8, 0.7, 0.1]
+        assert precision_at_k(y, s, 2) == pytest.approx(0.5)
+        assert precision_at_k(y, s, 3) == pytest.approx(2 / 3)
+
+    def test_k_equals_n_gives_prevalence(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 100)
+        s = rng.random(100)
+        assert precision_at_k(y, s, 100) == pytest.approx(y.mean())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([0, 1], [0.1, 0.2], 0)
+        with pytest.raises(ValueError):
+            precision_at_k([0, 1], [0.1, 0.2], 3)

@@ -1,0 +1,140 @@
+"""AUROC / AUPRC correctness against hand-computed values and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import auprc, auroc, average_precision, precision_recall_curve, roc_curve
+
+
+class TestAUROC:
+    def test_perfect_ranking(self):
+        assert auroc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        assert auroc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.random(5000)
+        assert auroc(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_hand_computed_example(self):
+        # y:     1    0    1    0
+        # s:    0.9  0.8  0.7  0.1
+        # Pairs: (1@0.9 > both 0s) + (1@0.7 > 0@0.1, < 0@0.8) = 3/4
+        assert auroc([1, 0, 1, 0], [0.9, 0.8, 0.7, 0.1]) == pytest.approx(0.75)
+
+    def test_ties_get_half_credit(self):
+        # All scores equal: AUROC must be exactly 0.5.
+        assert auroc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_matches_mann_whitney(self):
+        from scipy.stats import mannwhitneyu
+
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 300)
+        s = rng.random(300) + 0.3 * y
+        u = mannwhitneyu(s[y == 1], s[y == 0]).statistic
+        expected = u / ((y == 1).sum() * (y == 0).sum())
+        assert auroc(y, s) == pytest.approx(expected, abs=1e-9)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auroc([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            auroc([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            auroc([0, 1], [0.1, 0.2, 0.3])
+
+
+class TestROCCurve:
+    def test_starts_at_origin_ends_at_one_one(self):
+        fpr, tpr, _ = roc_curve([0, 1, 0, 1], [0.1, 0.9, 0.3, 0.8])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 100)
+        s = rng.random(100)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestAUPRC:
+    def test_perfect_ranking(self):
+        assert auprc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_hand_computed_example(self):
+        # Ranked: 1, 0, 1, 0 -> AP = 1/2 * (P@1 + P@3) = (1 + 2/3) / 2
+        assert auprc([1, 0, 1, 0], [0.9, 0.8, 0.7, 0.1]) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_all_negatives_rank_top(self):
+        # Positives at the bottom of the ranking: AP = baseline-ish low.
+        val = auprc([1, 1, 0, 0, 0, 0], [0.1, 0.2, 0.5, 0.6, 0.7, 0.8])
+        # P at the two positives: 1/5 and 2/6.
+        assert val == pytest.approx(0.5 * (1 / 5 + 2 / 6))
+
+    def test_random_scores_near_prevalence(self):
+        rng = np.random.default_rng(3)
+        y = (rng.random(5000) < 0.1).astype(int)
+        s = rng.random(5000)
+        assert auprc(y, s) == pytest.approx(0.1, abs=0.03)
+
+    def test_average_precision_alias(self):
+        y = [0, 1, 0, 1]
+        s = [0.1, 0.9, 0.3, 0.8]
+        assert auprc(y, s) == average_precision(y, s)
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            auprc([0, 0], [0.1, 0.2])
+
+
+class TestPRCurve:
+    def test_anchor_point(self):
+        precision, recall, _ = precision_recall_curve([0, 1], [0.2, 0.8])
+        assert precision[-1] == 1.0 and recall[-1] == 0.0
+
+    def test_recall_reaches_one(self):
+        precision, recall, _ = precision_recall_curve([0, 1, 1], [0.5, 0.4, 0.9])
+        assert recall[len(recall) - 2] == 1.0  # before the appended anchor
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(5, 80),
+    seed=st.integers(0, 1000),
+)
+def test_ranking_metric_properties(n, seed):
+    """AUROC/AUPRC in [0,1]; invariant to strictly monotone score transforms."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    if y.sum() == 0 or y.sum() == n:
+        y[0], y[-1] = 0, 1
+    s = rng.random(n)
+    a1, p1 = auroc(y, s), auprc(y, s)
+    assert 0.0 <= a1 <= 1.0 and 0.0 <= p1 <= 1.0
+    transformed = np.exp(3.0 * s) + 7.0
+    assert auroc(y, transformed) == pytest.approx(a1, abs=1e-12)
+    assert auprc(y, transformed) == pytest.approx(p1, abs=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(5, 50), seed=st.integers(0, 1000))
+def test_auroc_complement_symmetry(n, seed):
+    """Negating scores flips AUROC around 0.5 (when there are no ties)."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    if y.sum() == 0 or y.sum() == n:
+        y[0], y[-1] = 0, 1
+    s = rng.permutation(n).astype(float)  # distinct scores
+    assert auroc(y, -s) == pytest.approx(1.0 - auroc(y, s), abs=1e-12)

@@ -1,0 +1,48 @@
+"""Gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.optimizers import clip_grad_norm
+
+
+def params_with_grads(*grads):
+    out = []
+    for g in grads:
+        p = Tensor(np.zeros_like(np.asarray(g, dtype=float)), requires_grad=True)
+        p.grad = np.asarray(g, dtype=float)
+        out.append(p)
+    return out
+
+
+class TestClipGradNorm:
+    def test_no_clip_when_under_limit(self):
+        params = params_with_grads([0.3, 0.4])  # norm 0.5
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(params[0].grad, [0.3, 0.4])
+
+    def test_clips_to_max_norm(self):
+        params = params_with_grads([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        new_norm = np.sqrt((params[0].grad ** 2).sum())
+        assert new_norm == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        params = params_with_grads([3.0], [4.0])  # global norm 5
+        clip_grad_norm(params, max_norm=1.0)
+        total = sum(float((p.grad ** 2).sum()) for p in params)
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)
+
+    def test_skips_gradless_params(self):
+        p1 = params_with_grads([3.0, 4.0])[0]
+        p2 = Tensor(np.zeros(2), requires_grad=True)  # no grad
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert p2.grad is None
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

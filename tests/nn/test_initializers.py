@@ -1,0 +1,38 @@
+"""Weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import get_initializer, he_normal, xavier_uniform, zeros
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        W = xavier_uniform(100, 50, rng)
+        limit = np.sqrt(6.0 / 150)
+        assert W.shape == (100, 50)
+        assert np.all(np.abs(W) <= limit)
+
+    def test_he_std(self):
+        rng = np.random.default_rng(0)
+        W = he_normal(200, 100, rng)
+        assert W.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.1)
+        assert abs(W.mean()) < 0.02
+
+    def test_zeros(self):
+        W = zeros(5, 3, np.random.default_rng(0))
+        np.testing.assert_array_equal(W, np.zeros((5, 3)))
+
+    def test_registry_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+        assert get_initializer("xavier_uniform") is xavier_uniform
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError, match="unknown initializer"):
+            get_initializer("orthogonal")
+
+    def test_deterministic_under_seed(self):
+        a = he_normal(10, 10, np.random.default_rng(7))
+        b = he_normal(10, 10, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,132 @@
+"""Dense / Activation / Sequential / mlp builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Activation, Dense, Sequential, mlp
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_map_matches_manual(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_parameters_require_grad(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        assert all(p.requires_grad for p in layer.parameters())
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+    def test_deterministic_init_with_seeded_rng(self):
+        a = Dense(4, 2, rng=np.random.default_rng(3))
+        b = Dense(4, 2, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_flow_to_weights(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        out = layer(Tensor(np.ones((3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.weight.grad, np.full((4, 2), 3.0))
+
+
+class TestActivation:
+    def test_known_names(self):
+        for name in ["relu", "tanh", "sigmoid", "leaky_relu", "softplus", "linear"]:
+            Activation(name)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            Activation("gelu")
+
+    def test_linear_is_identity(self):
+        x = np.array([[1.0, -2.0]])
+        np.testing.assert_array_equal(Activation("linear")(Tensor(x)).data, x)
+
+    def test_relu_applies(self):
+        out = Activation("relu")(Tensor(np.array([-1.0, 3.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 3.0])
+
+
+class TestSequential:
+    def test_chains_modules(self, rng):
+        model = Sequential(Dense(4, 8, rng=rng), Activation("relu"), Dense(8, 2, rng=rng))
+        out = model(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_collects_parameters(self, rng):
+        model = Sequential(Dense(4, 8, rng=rng), Activation("relu"), Dense(8, 2, rng=rng))
+        assert len(model.parameters()) == 4  # two weights + two biases
+
+    def test_append(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng))
+        model.append(Dense(4, 2, rng=rng))
+        assert model(Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+    def test_state_dict_roundtrip(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng), Dense(3, 2, rng=rng))
+        state = model.state_dict()
+        x = np.ones((2, 4))
+        before = model(Tensor(x)).data.copy()
+        for p in model.parameters():
+            p.data = p.data + 1.0
+        assert not np.allclose(model(Tensor(x)).data, before)
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model(Tensor(x)).data, before)
+
+    def test_load_state_dict_length_mismatch(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+        with pytest.raises(ValueError, match="parameters"):
+            model.load_state_dict([np.zeros((4, 3))])  # missing bias
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict([np.zeros((3, 4)), np.zeros(3)])
+
+    def test_zero_grad_clears_all(self, rng):
+        model = Sequential(Dense(4, 2, rng=rng))
+        model(Tensor(np.ones((2, 4)))).sum().backward()
+        assert model.parameters()[0].grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestMLPBuilder:
+    def test_structure(self, rng):
+        model = mlp([10, 16, 4], activation="relu", rng=rng)
+        # Dense, relu, Dense (no output activation)
+        assert len(model.modules) == 3
+
+    def test_output_activation(self, rng):
+        model = mlp([10, 16, 1], activation="relu", output_activation="sigmoid", rng=rng)
+        out = model(Tensor(np.random.default_rng(0).standard_normal((5, 10))))
+        assert np.all((out.data >= 0) & (out.data <= 1))
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            mlp([10])
+
+    def test_relu_nets_use_he_init(self, rng):
+        model = mlp([100, 50], activation="relu", rng=np.random.default_rng(0))
+        # He std for fan_in=100 is ~0.141; Xavier-uniform std would be ~0.08.
+        std = model.modules[0].weight.data.std()
+        assert 0.10 < std < 0.19

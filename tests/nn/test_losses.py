@@ -1,0 +1,146 @@
+"""Loss-function correctness against manual computations."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+from repro.nn.losses import (
+    binary_cross_entropy,
+    deviation_loss,
+    mse_loss,
+    negative_entropy,
+    reconstruction_errors,
+    soft_cross_entropy,
+    softmax_cross_entropy,
+)
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        x = Tensor(np.ones((3, 4)))
+        assert mse_loss(x, Tensor(np.ones((3, 4)))).item() == pytest.approx(0.0)
+
+    def test_matches_manual(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[0.0, 0.0]]))
+        assert mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal((3, 4))
+        check_gradients(lambda a: mse_loss(a, Tensor(target)), [rng.standard_normal((3, 4))])
+
+
+class TestReconstructionErrors:
+    def test_per_row_squared_l2(self):
+        pred = Tensor(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        target = Tensor(np.array([[0.0, 0.0], [0.0, 3.0]]))
+        np.testing.assert_allclose(reconstruction_errors(pred, target).data, [2.0, 9.0])
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual(self):
+        logits = np.array([[2.0, 0.0, 0.0]])
+        expected = -np.log(np.exp(2.0) / (np.exp(2.0) + 2.0))
+        assert softmax_cross_entropy(Tensor(logits), np.array([0])).item() == pytest.approx(expected)
+
+    def test_uniform_logits_give_log_c(self):
+        logits = np.zeros((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        assert softmax_cross_entropy(Tensor(logits), labels).item() == pytest.approx(np.log(4))
+
+    def test_gradient(self):
+        rng = np.random.default_rng(1)
+        labels = np.array([0, 2, 1])
+        check_gradients(
+            lambda a: softmax_cross_entropy(a, labels), [rng.standard_normal((3, 4))]
+        )
+
+
+class TestSoftCrossEntropy:
+    def test_reduces_to_hard_ce_for_onehot(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 3))
+        labels = np.array([0, 1, 2, 1])
+        onehot = np.eye(3)[labels]
+        hard = softmax_cross_entropy(Tensor(logits), labels).item()
+        soft = soft_cross_entropy(Tensor(logits), onehot).item()
+        assert soft == pytest.approx(hard)
+
+    def test_weights_scale_instances(self):
+        logits = Tensor(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        targets = np.eye(2)
+        unweighted = soft_cross_entropy(logits, targets).item()
+        weighted = soft_cross_entropy(logits, targets, weights=np.array([2.0, 0.0])).item()
+        # instance 0 doubled, instance 1 dropped
+        per0 = soft_cross_entropy(logits[np.array([0])], targets[:1]).item()
+        assert weighted == pytest.approx(per0)
+        assert weighted != pytest.approx(unweighted)
+
+    def test_gradient_with_weights(self):
+        rng = np.random.default_rng(3)
+        targets = np.array([[0.5, 0.5, 0.0], [0.0, 0.0, 1.0]])
+        weights = np.array([0.3, 1.7])
+        check_gradients(
+            lambda a: soft_cross_entropy(a, targets, weights=weights),
+            [rng.standard_normal((2, 3))],
+        )
+
+
+class TestNegativeEntropy:
+    def test_uniform_gives_minus_log_c(self):
+        logits = Tensor(np.zeros((3, 4)))
+        assert negative_entropy(logits).item() == pytest.approx(-np.log(4))
+
+    def test_peaked_approaches_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        assert negative_entropy(logits).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_minimizing_sharpens(self):
+        # Gradient descent on negative entropy should reduce entropy.
+        logits = Tensor(np.array([[0.2, 0.1, 0.0]]), requires_grad=True)
+        loss = negative_entropy(logits)
+        loss.backward()
+        updated = logits.data - 1.0 * logits.grad
+        before = negative_entropy(Tensor(logits.data)).item()
+        after = negative_entropy(Tensor(updated)).item()
+        assert after < before
+
+    def test_gradient(self):
+        rng = np.random.default_rng(4)
+        check_gradients(negative_entropy, [rng.standard_normal((3, 4))])
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        pred = Tensor(np.array([0.9, 0.1]))
+        targets = np.array([1.0, 0.0])
+        expected = -np.log(0.9)
+        assert binary_cross_entropy(pred, targets).item() == pytest.approx(expected, rel=1e-6)
+
+    def test_clipping_avoids_infinities(self):
+        pred = Tensor(np.array([0.0, 1.0]))
+        loss = binary_cross_entropy(pred, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestDeviationLoss:
+    def test_anomalies_above_margin_incur_no_outlier_loss(self):
+        scores = Tensor(np.array([10.0]))
+        loss = deviation_loss(scores, np.array([1.0]), margin=5.0,
+                              rng=np.random.default_rng(0))
+        assert loss.item() == pytest.approx(0.0, abs=0.1)
+
+    def test_anomaly_near_zero_penalized(self):
+        low = deviation_loss(Tensor(np.array([0.0])), np.array([1.0]),
+                             rng=np.random.default_rng(0)).item()
+        high = deviation_loss(Tensor(np.array([6.0])), np.array([1.0]),
+                              rng=np.random.default_rng(0)).item()
+        assert low > high
+
+    def test_normal_pushed_to_reference_mean(self):
+        at_mean = deviation_loss(Tensor(np.array([0.0])), np.array([0.0]),
+                                 rng=np.random.default_rng(0)).item()
+        off_mean = deviation_loss(Tensor(np.array([4.0])), np.array([0.0]),
+                                  rng=np.random.default_rng(0)).item()
+        assert at_mean < off_mean

@@ -1,0 +1,76 @@
+"""MLPClassifier behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLPClassifier
+
+
+def make_blobs_xy(rng, n=200):
+    X0 = rng.normal(0, 0.3, size=(n // 2, 2)) + [1, 1]
+    X1 = rng.normal(0, 0.3, size=(n // 2, 2)) + [-1, -1]
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestMLPClassifier:
+    def test_learns_separable_blobs(self):
+        rng = np.random.default_rng(0)
+        X, y = make_blobs_xy(rng)
+        clf = MLPClassifier(hidden_sizes=(16,), n_classes=2, epochs=40, random_state=0)
+        clf.fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.97
+
+    def test_learns_xor(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(hidden_sizes=(32, 16), epochs=150, lr=5e-3, random_state=0)
+        clf.fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_predict_proba_is_distribution(self):
+        rng = np.random.default_rng(2)
+        X, y = make_blobs_xy(rng)
+        clf = MLPClassifier(epochs=5, random_state=0).fit(X, y)
+        probs = clf.predict_proba(X)
+        assert np.all(probs >= 0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(3)
+        centers = np.array([[2, 0], [-2, 0], [0, 2]])
+        X = np.vstack([rng.normal(0, 0.3, (60, 2)) + c for c in centers])
+        y = np.repeat([0, 1, 2], 60)
+        clf = MLPClassifier(n_classes=3, epochs=60, random_state=0).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_loss_history_decreases(self):
+        rng = np.random.default_rng(4)
+        X, y = make_blobs_xy(rng)
+        clf = MLPClassifier(epochs=30, random_state=0).fit(X, y)
+        assert clf.loss_history[-1] < clf.loss_history[0]
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        X, y = make_blobs_xy(rng)
+        p1 = MLPClassifier(epochs=5, random_state=9).fit(X, y).predict_proba(X)
+        p2 = MLPClassifier(epochs=5, random_state=9).fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(n_classes=2).fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_n_classes_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(n_classes=1)

@@ -1,0 +1,126 @@
+"""Dropout, LR schedules, early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Dense, Sequential
+from repro.nn.optimizers import SGD
+from repro.nn.regularization import CosineLR, Dropout, EarlyStopping, StepLR, set_training
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.training = False
+        x = np.ones((4, 6))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_zeroes_roughly_p_fraction(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((200, 50)))).data
+        assert (out == 0).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.4, rng=np.random.default_rng(1))
+        out = layer(Tensor(np.ones((500, 40)))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_p_zero_is_identity(self):
+        layer = Dropout(0.0)
+        x = np.random.default_rng(0).standard_normal((3, 3))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_set_training_recursive(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(4, 4, rng=rng), Dropout(0.5), Dense(4, 2, rng=rng))
+        set_training(model, False)
+        assert model.modules[1].training is False
+        set_training(model, True)
+        assert model.modules[1].training is True
+
+    def test_gradient_flows_through_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(2))
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        layer(x).sum().backward()
+        # Gradient is the mask itself: zeros where dropped, 1/keep where kept.
+        assert set(np.unique(x.grad)) <= {0.0, 2.0}
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        return SGD([p], lr=lr)
+
+    def test_step_lr_decays(self):
+        opt = self._opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_min(self):
+        opt = self._opt(1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.05)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.05, abs=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt(1.0)
+        sched = CosineLR(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(self._opt(), total_epochs=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, direction="min")
+        assert not stopper.update(1.0, 0)
+        assert not stopper.update(1.1, 1)  # worse x1
+        assert stopper.update(1.2, 2)      # worse x2 -> stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, direction="min")
+        stopper.update(1.0, 0)
+        stopper.update(1.1, 1)
+        assert not stopper.update(0.9, 2)  # improvement
+        assert not stopper.update(1.0, 3)
+        assert stopper.update(1.0, 4)
+
+    def test_max_direction(self):
+        stopper = EarlyStopping(patience=1, direction="max")
+        stopper.update(0.5, 0)
+        assert stopper.update(0.4, 1)
+        assert stopper.best == 0.5 and stopper.best_epoch == 0
+
+    def test_restore_best_snapshot(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Dense(3, 2, rng=rng))
+        stopper = EarlyStopping(patience=5, direction="min").attach(model)
+        stopper.update(1.0, 0)
+        best_weights = model.parameters()[0].data.copy()
+        model.parameters()[0].data += 99.0
+        stopper.update(2.0, 1)  # no improvement -> snapshot unchanged
+        stopper.restore_best()
+        np.testing.assert_array_equal(model.parameters()[0].data, best_weights)
+
+    def test_restore_without_attach_raises(self):
+        with pytest.raises(RuntimeError):
+            EarlyStopping().restore_best()
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1, direction="min")
+        stopper.update(1.0, 0)
+        assert stopper.update(0.95, 1)  # within min_delta: not an improvement

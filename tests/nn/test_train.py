@@ -1,0 +1,71 @@
+"""Mini-batch utilities."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn.layers import mlp
+from repro.nn.optimizers import SGD
+from repro.nn.train import forward_in_batches, iterate_minibatches, train_epoch
+
+
+class TestIterateMinibatches:
+    def test_covers_all_indices_once(self):
+        seen = np.concatenate(list(iterate_minibatches(103, 10, rng=np.random.default_rng(0))))
+        assert sorted(seen.tolist()) == list(range(103))
+
+    def test_batch_sizes(self):
+        batches = list(iterate_minibatches(25, 10, rng=np.random.default_rng(0)))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_no_shuffle_is_sequential(self):
+        batches = list(iterate_minibatches(6, 4, shuffle=False))
+        np.testing.assert_array_equal(batches[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(batches[1], [4, 5])
+
+    def test_shuffle_deterministic_with_seed(self):
+        a = list(iterate_minibatches(20, 7, rng=np.random.default_rng(5)))
+        b = list(iterate_minibatches(20, 7, rng=np.random.default_rng(5)))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(0, 4))
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))
+
+
+class TestTrainEpoch:
+    def test_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((100, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        model = mlp([3, 1], activation="linear", rng=rng)
+        opt = SGD(model.parameters(), lr=0.05)
+
+        def loss_fn(idx):
+            pred = model(Tensor(X[idx])).reshape(-1)
+            return ((pred - Tensor(y[idx])) ** 2.0).mean()
+
+        first = train_epoch(model, opt, loss_fn, len(X), 16, rng=rng)
+        for _ in range(30):
+            last = train_epoch(model, opt, loss_fn, len(X), 16, rng=rng)
+        assert last < first / 10
+
+
+class TestForwardInBatches:
+    def test_matches_single_pass(self):
+        rng = np.random.default_rng(1)
+        model = mlp([4, 8, 2], rng=rng)
+        X = rng.standard_normal((50, 4))
+        full = model(Tensor(X)).data
+        batched = forward_in_batches(model, X, batch_size=7)
+        np.testing.assert_allclose(batched, full, atol=1e-12)
+
+    def test_builds_no_graph(self):
+        rng = np.random.default_rng(2)
+        model = mlp([4, 2], rng=rng)
+        forward_in_batches(model, rng.standard_normal((10, 4)))
+        # Parameters should have no gradient pathway activated.
+        assert all(p.grad is None for p in model.parameters())

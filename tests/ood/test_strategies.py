@@ -1,0 +1,88 @@
+"""OOD strategies: MSP, Energy Score, Energy Discrepancy."""
+
+import numpy as np
+import pytest
+
+from repro.ood import EnergyDiscrepancy, EnergyScore, MaxSoftmaxProbability, get_strategy
+
+PEAKED = np.array([[10.0, 0.0, 0.0, 0.0]])
+UNIFORM = np.array([[1.0, 1.0, 1.0, 1.0]])
+
+
+class TestScoreDirections:
+    """Every strategy must give UNIFORM (OOD-like) a higher score than PEAKED."""
+
+    @pytest.mark.parametrize("strategy_cls", [MaxSoftmaxProbability, EnergyDiscrepancy])
+    def test_uniform_scores_higher(self, strategy_cls):
+        strategy = strategy_cls()
+        assert strategy.ood_score(UNIFORM)[0] > strategy.ood_score(PEAKED)[0]
+
+    def test_energy_score_tracks_logit_magnitude(self):
+        # ES measures absolute energy: small logits (weak evidence) = OOD.
+        strong = np.array([[10.0, 9.0, 8.0]])
+        weak = np.array([[0.1, 0.0, -0.1]])
+        es = EnergyScore()
+        assert es.ood_score(weak)[0] > es.ood_score(strong)[0]
+
+    def test_msp_is_one_minus_max_prob(self):
+        msp = MaxSoftmaxProbability()
+        logits = np.array([[2.0, 0.0]])
+        probs = np.exp(2.0) / (np.exp(2.0) + 1.0)
+        assert msp.ood_score(logits)[0] == pytest.approx(1.0 - probs)
+
+    def test_ed_zero_for_peaked_log_c_for_uniform(self):
+        ed = EnergyDiscrepancy()
+        assert ed.ood_score(np.array([[1000.0, 0.0, 0.0]]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert ed.ood_score(np.array([[0.0, 0.0, 0.0]]))[0] == pytest.approx(np.log(3))
+
+    def test_ed_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ed = EnergyDiscrepancy()
+        assert np.all(ed.ood_score(rng.standard_normal((100, 5))) >= 0)
+
+
+class TestCalibration:
+    def test_threshold_separates_clean_sets(self):
+        rng = np.random.default_rng(1)
+        id_logits = rng.normal(0, 0.3, (50, 4))
+        id_logits[:, 0] += 8.0  # confident class 0
+        ood_logits = rng.normal(0, 0.3, (50, 4))  # near-uniform
+        for name in ["msp", "es", "ed"]:
+            strategy = get_strategy(name)
+            strategy.fit_threshold(id_logits, ood_logits)
+            assert strategy.is_ood(ood_logits).mean() > 0.9
+            assert strategy.is_ood(id_logits).mean() < 0.1
+
+    def test_is_ood_before_calibration_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxSoftmaxProbability().is_ood(PEAKED)
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            MaxSoftmaxProbability().fit_threshold(np.empty((0, 3)), PEAKED)
+
+    def test_identical_scores_degenerate(self):
+        strategy = MaxSoftmaxProbability()
+        threshold = strategy.fit_threshold(PEAKED, PEAKED)
+        assert np.isfinite(threshold)
+
+
+class TestRegistry:
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(get_strategy("MSP"), MaxSoftmaxProbability)
+        assert isinstance(get_strategy("es"), EnergyScore)
+        assert isinstance(get_strategy("Ed"), EnergyDiscrepancy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_strategy("mahalanobis")
+
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            EnergyScore(temperature=0.0)
+        with pytest.raises(ValueError):
+            EnergyDiscrepancy(temperature=-1.0)
+
+    def test_temperature_kwarg_via_registry(self):
+        strategy = get_strategy("es", temperature=2.0)
+        assert strategy.temperature == 2.0

@@ -1,0 +1,73 @@
+"""Hypothesis properties of the OOD scoring strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ood import EnergyDiscrepancy, EnergyScore, MaxSoftmaxProbability
+
+logit_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 12), st.integers(2, 6)),
+    elements=st.floats(-30, 30, allow_nan=False, width=64),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(logit_matrices)
+def test_msp_score_bounds(logits):
+    scores = MaxSoftmaxProbability().ood_score(logits)
+    c = logits.shape[1]
+    assert np.all(scores >= -1e-12)
+    assert np.all(scores <= 1.0 - 1.0 / c + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(logit_matrices)
+def test_ed_nonnegative_and_bounded(logits):
+    scores = EnergyDiscrepancy().ood_score(logits)
+    c = logits.shape[1]
+    assert np.all(scores >= -1e-9)
+    assert np.all(scores <= np.log(c) + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(logit_matrices)
+def test_ed_shift_invariance(logits):
+    ed = EnergyDiscrepancy()
+    np.testing.assert_allclose(
+        ed.ood_score(logits), ed.ood_score(logits + 7.5), atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(logit_matrices)
+def test_es_shift_covariance(logits):
+    """Adding a constant c to all logits lowers the energy score by c."""
+    es = EnergyScore()
+    np.testing.assert_allclose(
+        es.ood_score(logits + 2.0), es.ood_score(logits) - 2.0, atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(logit_matrices)
+def test_msp_is_monotone_function_of_full_ed(logits):
+    """The identity that motivated the subset restriction:
+    MSP = 1 − exp(−ED_full)."""
+    msp = MaxSoftmaxProbability().ood_score(logits)
+    ed = EnergyDiscrepancy().ood_score(logits)
+    np.testing.assert_allclose(msp, 1.0 - np.exp(-ed), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(logit_matrices, st.integers(1, 3))
+def test_ed_subset_uses_only_first_dims(logits, n_dims):
+    n_dims = min(n_dims, logits.shape[1])
+    ed = EnergyDiscrepancy(n_dims=n_dims)
+    scores = ed.ood_score(logits)
+    perturbed = logits.copy()
+    perturbed[:, n_dims:] += 100.0  # changing ignored dims must not matter
+    np.testing.assert_allclose(ed.ood_score(perturbed), scores, atol=1e-9)

@@ -1,0 +1,63 @@
+"""Drift monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.serving import DriftMonitor
+from repro.serving.drift import ks_statistic
+
+
+class TestKSStatistic:
+    def test_identical_samples_zero(self):
+        x = np.random.default_rng(0).standard_normal(300)
+        assert ks_statistic(x, x) == pytest.approx(0.0)
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic(np.zeros(50), np.ones(50)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import ks_2samp
+
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(200)
+        b = rng.standard_normal(150) + 0.4
+        assert ks_statistic(a, b) == pytest.approx(ks_2samp(a, b).statistic, abs=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.ones(3))
+
+
+class TestDriftMonitor:
+    def test_no_drift_on_same_distribution(self, rng):
+        reference = rng.normal(0, 1, size=(800, 4))
+        batch = rng.normal(0, 1, size=(400, 4))
+        report = DriftMonitor(threshold=0.15).fit(reference).check(batch)
+        assert not report.drifted
+
+    def test_detects_shifted_feature(self, rng):
+        reference = rng.normal(0, 1, size=(800, 4))
+        batch = rng.normal(0, 1, size=(400, 4))
+        batch[:, 2] += 2.0
+        report = DriftMonitor(threshold=0.15).fit(reference).check(batch)
+        assert report.drifted
+        assert report.drifted_features == [2]
+        assert "DRIFT" in report.summary()
+
+    def test_reference_subsampled(self, rng):
+        reference = rng.normal(0, 1, size=(10_000, 3))
+        monitor = DriftMonitor(max_reference=500, random_state=0).fit(reference)
+        assert len(monitor._reference) == 500
+
+    def test_feature_count_mismatch_rejected(self, rng):
+        monitor = DriftMonitor().fit(rng.normal(size=(100, 3)))
+        with pytest.raises(ValueError):
+            monitor.check(rng.normal(size=(10, 4)))
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            DriftMonitor().check(rng.normal(size=(10, 3)))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=0.0)

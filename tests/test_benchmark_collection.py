@@ -1,0 +1,65 @@
+"""The benchmark suite must stay collectible and complete.
+
+Running the benchmarks takes tens of minutes; this fast test catches the
+cheap failure modes — import errors, missing pytest-benchmark usage, an
+experiment index drifting from the files on disk — in the normal test run.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+EXPECTED_BENCHES = {
+    "bench_table2_overall.py",
+    "bench_table3_ablation.py",
+    "bench_table4_ood_strategies.py",
+    "bench_fig3_convergence.py",
+    "bench_fig4_robustness.py",
+    "bench_fig5_weights.py",
+    "bench_fig6_alpha_contamination.py",
+    "bench_fig7_tradeoffs.py",
+    "bench_ablation_design.py",
+    "bench_complexity_scaling.py",
+    "bench_active_learning.py",
+}
+
+
+def test_one_bench_per_table_and_figure():
+    present = {p.name for p in BENCH_DIR.glob("bench_*.py")}
+    assert present == EXPECTED_BENCHES
+
+
+def test_benchmarks_collect_without_errors():
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", str(BENCH_DIR), "--collect-only", "-q"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+    # Quiet collection prints "<file>: <count>" lines; 21 items over 11 files.
+    counts = [int(c) for c in re.findall(r"bench_\w+\.py: (\d+)", result.stdout)]
+    assert len(counts) == len(EXPECTED_BENCHES)
+    assert sum(counts) >= 20
+
+
+def test_every_bench_function_uses_benchmark_fixture():
+    for path in BENCH_DIR.glob("bench_*.py"):
+        source = path.read_text()
+        for signature in re.findall(r"def (test_\w+)\(([^)]*)\)", source):
+            name, params = signature
+            assert "benchmark" in params, f"{path.name}::{name} lacks the benchmark fixture"
+
+
+def test_every_bench_asserts_a_shape():
+    """Benches must verify the paper's qualitative shape, not just print."""
+    for path in BENCH_DIR.glob("bench_*.py"):
+        source = path.read_text()
+        assert re.search(r"^\s+assert ", source, re.MULTILINE), f"{path.name} has no assertions"

@@ -1,0 +1,65 @@
+"""CLI subcommands end-to-end (tiny scales)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info_single_dataset(self, capsys):
+        assert main(["info", "--dataset", "kddcup99", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["name"] == "KDDCUP99"
+        assert payload["D"] == 32
+
+    def test_train_reports_metrics(self, capsys):
+        code = main([
+            "train", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--k", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AUPRC=" in out and "test" in out
+
+    def test_train_save_then_evaluate(self, capsys, tmp_path):
+        model_path = str(tmp_path / "model.npz")
+        assert main([
+            "train", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--k", "3", "--output", model_path,
+        ]) == 0
+        assert main([
+            "evaluate", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--model", model_path, "--strategy", "ed",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Tri-class report (ED)" in out
+
+    def test_compare_subset(self, capsys):
+        code = main([
+            "compare", "--dataset", "kddcup99", "--scale", "0.01",
+            "--detectors", "iForest", "--n-seeds", "1",
+        ])
+        assert code == 0
+        assert "iForest" in capsys.readouterr().out
+
+    def test_compare_unknown_detector_errors(self, capsys):
+        code = main([
+            "compare", "--dataset", "kddcup99", "--detectors", "NotAModel",
+        ])
+        assert code == 2
+
+    def test_report_subcommand(self, capsys, tmp_path):
+        out = str(tmp_path / "rep.md")
+        code = main([
+            "report", "--output", out, "--datasets", "kddcup99",
+            "--detectors", "iForest", "--scale", "0.015",
+        ])
+        assert code == 0
+        assert "# TargAD experiment report" in open(out).read()
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,42 @@
+"""Every example script must run end-to-end.
+
+Executed as subprocesses with a reduced REPRO_SCALE so the whole module
+stays fast; each one asserts on a string the script is expected to print.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "AUPRC"),
+    ("payment_fraud_triage.py", "Analyst review queue"),
+    ("network_intrusion_unseen.py", "Scenario B"),
+    ("build_your_own_dataset.py", "Test AUPRC for firmware tampering"),
+    ("deployment_pipeline.py", "operating threshold"),
+    ("bring_your_own_csv.py", "inferred schema"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES)
+def test_example_runs(script, expected):
+    env = dict(os.environ, REPRO_SCALE="0.03")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {name for name, _ in CASES}

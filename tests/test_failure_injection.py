@@ -1,0 +1,117 @@
+"""Failure-injection and degenerate-input robustness tests.
+
+A production detector gets fed weird data: constant features, duplicated
+rows, single-class pools, extreme contamination, near-empty splits. These
+tests pin the library's behaviour on such inputs — either a clean error or
+a sane result, never a crash or silent NaN.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DevNet, IsolationForest
+from repro.core import TargAD, TargADConfig
+from repro.core.candidate_selection import CandidateSelector
+from repro.data import MinMaxScaler
+from repro.metrics import auprc, auroc
+
+FAST = dict(k=2, ae_epochs=3, clf_epochs=3)
+
+
+def tiny_workload(rng, n=300, d=8):
+    X_unlabeled = rng.normal(0.5, 0.1, size=(n, d))
+    X_labeled = rng.normal(0.9, 0.05, size=(10, d))
+    y_labeled = np.zeros(10, dtype=np.int64)
+    return X_unlabeled, X_labeled, y_labeled
+
+
+class TestConstantFeatures:
+    def test_targad_survives_constant_columns(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng)
+        X_u[:, 0] = 0.5
+        X_l[:, 0] = 0.5
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(X_u, X_l, y_l)
+        assert np.all(np.isfinite(model.decision_function(X_u[:20])))
+
+    def test_all_constant_data(self):
+        X = np.full((100, 4), 0.3)
+        forest = IsolationForest(n_estimators=5, random_state=0).fit(X)
+        assert np.all(np.isfinite(forest.decision_function(X)))
+
+    def test_scaler_on_constant_matrix(self):
+        out = MinMaxScaler().fit_transform(np.full((10, 3), 7.0))
+        assert np.all(out == 0.0)
+
+
+class TestDuplicatedRows:
+    def test_targad_with_heavy_duplication(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng, n=50)
+        X_u = np.repeat(X_u, 5, axis=0)  # 80% duplicates
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(X_u, X_l, y_l)
+        assert np.all(np.isfinite(model.decision_function(X_u[:20])))
+
+    def test_kmeans_inside_selector_with_duplicates(self, rng):
+        X = np.repeat(rng.normal(0.5, 0.1, size=(20, 4)), 10, axis=0)
+        selector = CandidateSelector(k=3, ae_epochs=2, random_state=0)
+        selection = selector.fit(X, None)
+        assert selection.candidate_mask.sum() >= 1
+
+
+class TestExtremeComposition:
+    def test_single_labeled_anomaly(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng)
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(X_u, X_l[:1], y_l[:1])
+        assert model.m_ == 1
+        assert np.all(np.isfinite(model.decision_function(X_u[:20])))
+
+    def test_tiny_unlabeled_pool(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng, n=30)
+        model = TargAD(TargADConfig(random_state=0, k=2, ae_epochs=2, clf_epochs=2))
+        model.fit(X_u, X_l, y_l)
+        assert np.all(np.isfinite(model.decision_function(X_u)))
+
+    def test_alpha_larger_than_pool_minimum(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng, n=40)
+        # alpha 0.9: nearly everything becomes a candidate.
+        model = TargAD(TargADConfig(random_state=0, k=2, alpha=0.9,
+                                    ae_epochs=2, clf_epochs=2))
+        model.fit(X_u, X_l, y_l)
+        assert model.selection_.candidate_mask.sum() == 36
+
+    def test_devnet_with_one_labeled_anomaly(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng)
+        det = DevNet(random_state=0, epochs=3)
+        det.fit(X_u, X_l[:1], y_l[:1])
+        assert np.all(np.isfinite(det.decision_function(X_u[:10])))
+
+
+class TestMetricEdgeCases:
+    def test_auroc_with_all_tied_scores(self):
+        assert auroc([0, 1, 0, 1], np.zeros(4)) == pytest.approx(0.5)
+
+    def test_auprc_single_positive(self):
+        assert auprc([0, 0, 1], [0.1, 0.2, 0.9]) == pytest.approx(1.0)
+
+    def test_auprc_single_positive_ranked_last(self):
+        assert auprc([1, 0, 0], [0.1, 0.2, 0.9]) == pytest.approx(1 / 3)
+
+
+class TestScoreStability:
+    def test_triclass_on_out_of_manifold_points(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng)
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(X_u, X_l, y_l)
+        # Points far outside [0, 1]: must classify without overflow.
+        weird = np.full((5, X_u.shape[1]), 100.0)
+        tri = model.predict_triclass(weird)
+        assert set(np.unique(tri)) <= {0, 1, 2}
+
+    def test_scores_finite_on_nan_free_extremes(self, rng):
+        X_u, X_l, y_l = tiny_workload(rng)
+        model = TargAD(TargADConfig(random_state=0, **FAST))
+        model.fit(X_u, X_l, y_l)
+        extremes = np.vstack([np.zeros(X_u.shape[1]), np.ones(X_u.shape[1]) * 1e6])
+        assert np.all(np.isfinite(model.decision_function(extremes)))

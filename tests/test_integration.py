@@ -1,0 +1,78 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import TargAD, TargADConfig, auprc, auroc, load_dataset
+from repro.eval import evaluate_detector, make_detector
+from repro.eval.protocol import fit_on_split
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        split = load_dataset("kddcup99", random_state=0, scale=0.03)
+        model = TargAD(TargADConfig(k=3, random_state=0))
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        return split, model
+
+    def test_detection_quality(self, run):
+        split, model = run
+        scores = model.decision_function(split.X_test)
+        assert auprc(split.y_test_binary, scores) > 0.6
+        assert auroc(split.y_test_binary, scores) > 0.9
+
+    def test_validation_and_test_consistent(self, run):
+        split, model = run
+        val_auprc = auprc(split.y_val_binary, model.decision_function(split.X_val))
+        test_auprc = auprc(split.y_test_binary, model.decision_function(split.X_test))
+        assert abs(val_auprc - test_auprc) < 0.35
+
+    def test_triclass_pipeline(self, run):
+        split, model = run
+        tri = model.predict_triclass(split.X_test, strategy="ed")
+        # Most normals kept out of the anomaly buckets.
+        normals = split.test_kind == 0
+        assert (tri[normals] == 0).mean() > 0.8
+
+
+class TestProtocolIntegration:
+    def test_registry_detector_on_real_split(self):
+        split = load_dataset("nsl_kdd", random_state=1, scale=0.02)
+        det = make_detector("DevNet", random_state=1, dataset="nsl_kdd", epochs=10)
+        fit_on_split(det, split)
+        scores = det.decision_function(split.X_test)
+        assert auroc(split.y_test_binary, scores) > 0.7
+
+    def test_evaluate_detector_seed_independence(self):
+        r1 = evaluate_detector("iForest", "kddcup99", seeds=(0,), scale=0.01)
+        r2 = evaluate_detector("iForest", "kddcup99", seeds=(0,), scale=0.01)
+        assert r1.auprc_values == r2.auprc_values
+
+    def test_split_reload_is_identical(self):
+        a = load_dataset("unsw_nb15", random_state=5, scale=0.02)
+        b = load_dataset("unsw_nb15", random_state=5, scale=0.02)
+        np.testing.assert_array_equal(a.X_test, b.X_test)
+        np.testing.assert_array_equal(a.unlabeled_kind, b.unlabeled_kind)
+
+
+class TestCrossDatasetSanity:
+    @pytest.mark.parametrize("name", ["unsw_nb15", "kddcup99", "nsl_kdd", "sqb"])
+    def test_targad_beats_random_on_each_dataset(self, name):
+        split = load_dataset(name, random_state=0, scale=0.03)
+        model = TargAD(TargADConfig(random_state=0))
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        scores = model.decision_function(split.X_test)
+        prevalence = split.y_test_binary.mean()
+        assert auprc(split.y_test_binary, scores) > 3 * prevalence
+        assert auroc(split.y_test_binary, scores) > 0.75

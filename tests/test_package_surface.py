@@ -1,0 +1,52 @@
+"""Package-surface integrity: every ``__all__`` entry must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.autodiff",
+    "repro.nn",
+    "repro.cluster",
+    "repro.metrics",
+    "repro.data",
+    "repro.core",
+    "repro.ood",
+    "repro.baselines",
+    "repro.eval",
+    "repro.experiments",
+    "repro.serving",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"{package}.__all__ has duplicates"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings_present(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, package
+
+
+def test_public_estimators_have_docstrings():
+    from repro.baselines import __all__ as detector_names
+    import repro.baselines as baselines
+
+    for name in detector_names:
+        obj = getattr(baselines, name)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"{name} lacks a class docstring"

@@ -1,0 +1,98 @@
+"""ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, heatmap, histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_min_max_glyphs(self):
+        out = sparkline([0, 10])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis(self):
+        out = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=5)
+        assert "● a" in out and "○ b" in out
+        assert "│" in out and "└" in out
+
+    def test_title_and_bounds(self):
+        out = line_chart({"x": [0.0, 1.0]}, title="T", width=10, height=4)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.000" in out and "0.000" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_row_count(self):
+        out = line_chart({"a": [1, 2]}, width=10, height=6)
+        # height rows + axis + legend
+        assert len(out.splitlines()) == 8
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_values_annotated(self):
+        out = bar_chart(["x"], [0.123], width=5)
+        assert "0.123" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "█" not in out
+
+
+class TestHeatmap:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), ["r"], ["c1", "c2"])
+
+    def test_contains_all_values(self):
+        m = np.array([[0.1, 0.9], [0.5, 0.3]])
+        out = heatmap(m, ["r1", "r2"], ["c1", "c2"])
+        for v in ("0.100", "0.900", "0.500", "0.300"):
+            assert v in out
+
+    def test_extremes_shaded_differently(self):
+        m = np.array([[0.0, 1.0]])
+        out = heatmap(m, ["r"], ["lo", "hi"])
+        row = out.splitlines()[1]
+        assert " 0.000" in row and "█ 1.000" in row
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        out = histogram(np.random.default_rng(0).random(100), bins=5)
+        assert len(out.splitlines()) == 5
+
+    def test_counts_sum(self):
+        values = [0.1] * 7 + [0.9] * 3
+        out = histogram(values, bins=2, value_range=(0, 1))
+        assert " 7" in out and " 3" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])

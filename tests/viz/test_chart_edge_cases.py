@@ -1,0 +1,51 @@
+"""Chart renderer edge cases beyond the basics."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, line_chart, sparkline
+
+
+class TestLineChartEdgeCases:
+    def test_single_point_series(self):
+        out = line_chart({"a": [0.5]}, width=10, height=4)
+        assert "● a" in out
+
+    def test_long_series_resampled_to_width(self):
+        values = np.sin(np.linspace(0, 10, 5000))
+        out = line_chart({"s": values}, width=30, height=6)
+        body_rows = [l for l in out.splitlines() if "│" in l]
+        assert all(len(row.split("│", 1)[1]) <= 30 for row in body_rows)
+
+    def test_constant_series_renders(self):
+        out = line_chart({"flat": [2.0, 2.0, 2.0]}, width=12, height=4)
+        assert "2.000" in out
+
+    def test_many_series_glyphs_cycle(self):
+        series = {f"s{i}": [i, i + 1] for i in range(10)}
+        out = line_chart(series, width=10, height=5)
+        for i in range(10):
+            assert f"s{i}" in out
+
+
+class TestHeatmapEdgeCases:
+    def test_constant_matrix(self):
+        out = heatmap(np.full((2, 2), 3.0), ["a", "b"], ["x", "y"])
+        assert "3.000" in out
+
+    def test_single_cell(self):
+        out = heatmap(np.array([[1.5]]), ["r"], ["c"])
+        assert "1.500" in out
+
+    def test_negative_values(self):
+        out = heatmap(np.array([[-2.0, 2.0]]), ["r"], ["lo", "hi"])
+        assert "-2.000" in out
+
+
+class TestSparklineEdgeCases:
+    def test_single_value(self):
+        assert len(sparkline([3.0])) == 1
+
+    def test_negative_values(self):
+        out = sparkline([-5.0, 0.0, 5.0])
+        assert out[0] == "▁" and out[-1] == "█"
