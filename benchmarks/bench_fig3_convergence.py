@@ -23,37 +23,47 @@ SEED = 0
 
 
 def run_convergence():
-    split = load_dataset("unsw_nb15", random_state=SEED, scale=BENCH_SCALE)
+    from repro.obs import PhaseTimer
+
+    timer = PhaseTimer()
+    with timer.phase("load_dataset"):
+        split = load_dataset("unsw_nb15", random_state=SEED, scale=BENCH_SCALE)
     curves = {}
 
     targad_curve = []
     model = TargAD(TargADConfig(random_state=SEED, k=DATASET_K["unsw_nb15"]))
-    model.fit(
-        split.X_unlabeled, split.X_labeled, split.y_labeled,
-        epoch_callback=lambda e, m: targad_curve.append(
-            auprc(split.y_test_binary, m.decision_function(split.X_test))
-        ),
-    )
+    with timer.phase("targad_fit"):
+        model.fit(
+            split.X_unlabeled, split.X_labeled, split.y_labeled,
+            epoch_callback=lambda e, m: targad_curve.append(
+                auprc(split.y_test_binary, m.decision_function(split.X_test))
+            ),
+        )
     curves["TargAD"] = targad_curve
     loss_curve = list(model.loss_history)
 
     for name in BASELINES:
         curve = []
         det = make_detector(name, random_state=SEED, dataset="unsw_nb15")
-        fit_on_split(
-            det, split,
-            epoch_callback=lambda e, d: curve.append(
-                auprc(split.y_test_binary, d.decision_function(split.X_test))
-            ),
-        )
+        with timer.phase(f"baseline_{name}"):
+            fit_on_split(
+                det, split,
+                epoch_callback=lambda e, d: curve.append(
+                    auprc(split.y_test_binary, d.decision_function(split.X_test))
+                ),
+            )
         curves[name] = curve
-    return loss_curve, curves
+    return loss_curve, curves, timer
 
 
 def test_fig3_convergence(benchmark):
+    from _common import write_phase_timings
     from repro.viz import line_chart, sparkline
 
-    loss_curve, curves = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+    loss_curve, curves, timer = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+    timing_path = write_phase_timings("bench_fig3_convergence", timer.as_dict(),
+                                      extra={"seed": SEED})
+    print(f"\nPer-phase timing ({timer.summary()}) written to {timing_path}")
 
     print(f"\nFig. 3(a) — TargAD training loss per epoch (scale={BENCH_SCALE}):")
     print("  " + sparkline(loss_curve))

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite first (the gate), then the fast lane.
+#
+#   scripts/ci.sh          # tier-1 + fast lane
+#   scripts/ci.sh fast     # fast lane only (-m "not slow")
+#   scripts/ci.sh tier1    # tier-1 gate only
+#
+# The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
+# run from ROADMAP.md. The fast lane re-runs the suite without the `slow`
+# marker (wall-clock-sensitive tests like the telemetry overhead guard),
+# which is the loop to use while iterating locally.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+lane="${1:-all}"
+
+run_tier1() {
+    echo "== tier-1 gate: full test suite =="
+    python -m pytest -x -q
+}
+
+run_fast() {
+    echo '== fast lane: -m "not slow" =='
+    python -m pytest -x -q -m "not slow"
+}
+
+case "$lane" in
+    tier1) run_tier1 ;;
+    fast)  run_fast ;;
+    all)   run_tier1; run_fast ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|all]" >&2; exit 2 ;;
+esac

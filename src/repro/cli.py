@@ -6,6 +6,7 @@ Subcommands::
     repro train     --dataset NAME [...]        # fit TargAD, report, save
     repro evaluate  --model PATH --dataset NAME # score a saved model
     repro compare   --dataset NAME [...]        # mini Table II
+    repro telemetry --dataset NAME [...]        # profile fit+serve, dashboard
 
 Every command is deterministic under ``--seed``.
 """
@@ -117,6 +118,34 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Profile one fit + serve cycle and print the telemetry dashboard."""
+    import numpy as np
+
+    from repro.obs import TelemetryRegistry, dump_json, render_dashboard
+    from repro.serving import ScoringPipeline
+
+    split = _load_split(args)
+    registry = TelemetryRegistry()
+    print(f"Profiling TargAD on {args.dataset} "
+          f"(n_unlabeled={len(split.X_unlabeled)}, seed={args.seed})...")
+    model = TargAD(TargADConfig(k=args.k, alpha=args.alpha, random_state=args.seed),
+                   telemetry=registry)
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+    pipe = ScoringPipeline(model, policy="f1", telemetry=registry)
+    pipe.calibrate(split.X_val, split.y_val_binary, X_reference=split.X_unlabeled)
+    for chunk in np.array_split(np.arange(len(split.X_test)), max(args.batches, 1)):
+        if len(chunk):
+            pipe.process(split.X_test[chunk])
+
+    print(render_dashboard(registry, title=f"repro telemetry — {args.dataset}"))
+    if args.json:
+        path = dump_json(registry, args.json, dataset=args.dataset, seed=args.seed)
+        print(f"Telemetry snapshot written to {path}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import generate_report
 
@@ -161,6 +190,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--detectors", help="comma-separated registry names (default: all)")
     p_cmp.add_argument("--n-seeds", type=int, default=3)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="profile a fit + serve cycle and print the telemetry dashboard",
+    )
+    _add_split_args(p_tel)
+    p_tel.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
+    p_tel.add_argument("--alpha", type=float, default=0.05)
+    p_tel.add_argument("--batches", type=int, default=4,
+                       help="serving batches the test split is processed in")
+    p_tel.add_argument("--json", help="also dump the telemetry snapshot as JSON")
+    p_tel.set_defaults(func=cmd_telemetry)
 
     p_rep = sub.add_parser("report", help="write a markdown experiment report")
     p_rep.add_argument("--output", required=True, help="markdown file to write")

@@ -9,6 +9,7 @@ and normal candidates ``D_U^N``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from repro.cluster import KMeans, select_k_elbow
 from repro.nn.autoencoder import SADAutoencoder
+from repro.obs import ensure_telemetry
 
 
 @dataclass
@@ -83,6 +85,10 @@ class CandidateSelector:
         "selection scores" comparable and is on by default.)
     random_state:
         Seed for clustering and autoencoder training.
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryRegistry`; records the
+        ``select.*`` timers/counters/events (per-cluster AE fit time,
+        cluster sizes, candidate counts). ``None`` = no-op.
     """
 
     def __init__(
@@ -97,9 +103,11 @@ class CandidateSelector:
         k_max: int = 8,
         normalize_errors: bool = True,
         random_state: Optional[int] = None,
+        telemetry=None,
     ):
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
+        self.telemetry = ensure_telemetry(telemetry)
         self.k = k
         self.alpha = alpha
         self.eta = eta
@@ -117,6 +125,10 @@ class CandidateSelector:
 
     def fit(self, X_unlabeled: np.ndarray, X_labeled: Optional[np.ndarray] = None) -> CandidateSelection:
         """Run lines 1-7 of Algorithm 1 and return the selection."""
+        with self.telemetry.timer("select.total"):
+            return self._fit(X_unlabeled, X_labeled)
+
+    def _fit(self, X_unlabeled: np.ndarray, X_labeled: Optional[np.ndarray]) -> CandidateSelection:
         X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
         if X_unlabeled.ndim != 2 or len(X_unlabeled) < 2:
             raise ValueError("X_unlabeled must be a 2-D array with >= 2 rows")
@@ -148,9 +160,19 @@ class CandidateSelector:
             if len(member_idx) == 0:
                 self.autoencoders_.append(ae)
                 continue
+            start = time.perf_counter()
             ae.fit(X_unlabeled[member_idx], X_labeled)
             errors[member_idx] = ae.reconstruction_error(X_unlabeled[member_idx])
+            elapsed = time.perf_counter() - start
             self.autoencoders_.append(ae)
+            self.telemetry.observe("select.ae_fit", elapsed)
+            if self.telemetry.enabled:
+                self.telemetry.record_event(
+                    "select.cluster",
+                    cluster=cluster,
+                    size=int(len(member_idx)),
+                    seconds=elapsed,
+                )
 
         selection_scores = errors
         if self.normalize_errors:
@@ -178,6 +200,19 @@ class CandidateSelector:
             threshold=threshold,
             k=k,
         )
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge("select.k", k)
+            self.telemetry.set_gauge("select.alpha", self.alpha)
+            self.telemetry.set_gauge("select.pool_size", len(X_unlabeled))
+            self.telemetry.increment("select.candidates", n_candidates)
+            self.telemetry.record_event(
+                "select.done",
+                pool_size=int(len(X_unlabeled)),
+                k=int(k),
+                alpha=float(self.alpha),
+                n_candidates=int(n_candidates),
+                threshold=threshold,
+            )
         return self.selection_
 
     def assign_clusters(self, X: np.ndarray) -> np.ndarray:
@@ -193,6 +228,7 @@ class CandidateSelector:
         X = np.asarray(X, dtype=np.float64)
         clusters = self.assign_clusters(X)
         errors = np.empty(len(X))
+        fallback = next((a for a in self.autoencoders_ if a.encoder is not None), None)
         for cluster in range(self.selection_.k):
             mask = clusters == cluster
             if mask.any():
@@ -200,6 +236,11 @@ class CandidateSelector:
                 if ae.encoder is None:
                     # An empty training cluster: fall back to the first
                     # fitted autoencoder.
-                    ae = next(a for a in self.autoencoders_ if a.encoder is not None)
+                    if fallback is None:
+                        raise RuntimeError(
+                            "no autoencoder was fitted (every training cluster "
+                            "was empty); refit the selector before scoring"
+                        )
+                    ae = fallback
                 errors[mask] = ae.reconstruction_error(X[mask])
         return errors

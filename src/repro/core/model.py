@@ -10,6 +10,7 @@ Usage::
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
 from repro.nn.layers import Sequential, mlp
 from repro.nn.optimizers import Adam
 from repro.nn.train import forward_in_batches
+from repro.obs import ensure_telemetry
 from repro.ood import OODStrategy, get_strategy
 
 
@@ -54,14 +56,22 @@ class TargAD:
     config:
         A :class:`~repro.core.config.TargADConfig`; keyword overrides may
         be passed directly (``TargAD(alpha=0.1, random_state=3)``).
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryRegistry`; when set, ``fit``
+        records the ``fit.*``/``train.*`` timers, per-epoch loss and
+        Eq. 4/5 weight-distribution events, and batch throughput, and the
+        candidate-selection stage records its ``select.*`` series into the
+        same registry. ``None`` (default) is a shared no-op with
+        negligible overhead.
     """
 
-    def __init__(self, config: Optional[TargADConfig] = None, **overrides):
+    def __init__(self, config: Optional[TargADConfig] = None, telemetry=None, **overrides):
         if config is None:
             config = TargADConfig(**overrides)
         elif overrides:
             raise ValueError("pass either a config object or keyword overrides, not both")
         self.config = config
+        self.telemetry = ensure_telemetry(telemetry)
 
         self.network_: Optional[Sequential] = None
         self.selector_: Optional[CandidateSelector] = None
@@ -98,6 +108,7 @@ class TargAD:
             convergence experiments, Fig. 3).
         """
         cfg = self.config
+        fit_start = time.perf_counter()
         X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
         X_labeled = np.asarray(X_labeled, dtype=np.float64)
         y_labeled = np.asarray(y_labeled, dtype=np.int64)
@@ -119,11 +130,13 @@ class TargAD:
             ae_epochs=cfg.ae_epochs,
             k_max=cfg.k_max,
             random_state=cfg.random_state,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         selection = self.selector_.fit(X_unlabeled, X_labeled)
         self.selection_ = selection
         k = selection.k
         self.k_ = k
+        self.telemetry.observe("fit.candidate_selection", time.perf_counter() - fit_start)
 
         candidate_idx = selection.candidate_indices
         normal_idx = selection.normal_indices
@@ -175,7 +188,9 @@ class TargAD:
 
         from repro.nn.regularization import set_training
 
+        train_start = time.perf_counter()
         for epoch in range(cfg.clf_epochs):
+            epoch_start = time.perf_counter()
             if epoch > 0 and cfg.use_weighting and len(X_candidates):
                 set_training(self.network_, False)
                 probs = softmax(forward_in_batches(self.network_, X_candidates))
@@ -191,7 +206,7 @@ class TargAD:
             # sees a handful of labeled anomalies by oversampling, the
             # standard practice for semi-supervised AD (cf. DevNet).
             min_labeled = min(8, len(X_labeled))
-            epoch_loss, batches = 0.0, 0
+            epoch_loss, batches, rows = 0.0, 0, 0
             for b in range(n_batches):
                 idx_l = streams[0][b]
                 if len(idx_l) < min_labeled:
@@ -219,12 +234,19 @@ class TargAD:
                 optimizer.step()
                 epoch_loss += float(loss.data)
                 batches += 1
+                rows += len(idx_l) + len(idx_n) + len(idx_a)
             self.loss_history.append(epoch_loss / max(batches, 1))
+            if self.telemetry.enabled:
+                self._record_epoch_telemetry(
+                    epoch, batches, rows, time.perf_counter() - epoch_start
+                )
             if epoch_callback is not None:
                 epoch_callback(epoch, self)
+        self.telemetry.observe("fit.classifier", time.perf_counter() - train_start)
 
         # Training done: dropout (if any) stays off for all inference.
         set_training(self.network_, False)
+        calibration_start = time.perf_counter()
 
         # Calibration material for the tri-class OOD strategies: labeled
         # target anomalies are ID; for OOD we use only the *high-weight*
@@ -239,7 +261,40 @@ class TargAD:
             ood_logits = np.empty((0, m + k))
         self._calibration_logits = (id_logits, ood_logits)
         self._strategies = {}
+        self.telemetry.observe("fit.calibration", time.perf_counter() - calibration_start)
+        self.telemetry.observe("fit.total", time.perf_counter() - fit_start)
         return self
+
+    def _record_epoch_telemetry(self, epoch: int, batches: int, rows: int, seconds: float) -> None:
+        """One ``train.epoch`` timer sample + structured event per epoch.
+
+        The event carries the Eq. 4/5 weight-distribution summary the
+        operator needs to judge whether pseudo-label noise is being
+        down-weighted: mean/std and the fraction of candidates sitting
+        strictly above the median weight.
+        """
+        weights = self._candidate_weights
+        rows_per_sec = rows / seconds if seconds > 0 else 0.0
+        self.telemetry.observe("train.epoch", seconds)
+        self.telemetry.increment("train.epochs")
+        self.telemetry.increment("train.batches", batches)
+        self.telemetry.increment("train.rows", rows)
+        self.telemetry.set_gauge("train.rows_per_sec", rows_per_sec)
+        fields = {
+            "epoch": epoch,
+            "loss": self.loss_history[-1],
+            "batches": batches,
+            "rows": rows,
+            "rows_per_sec": rows_per_sec,
+        }
+        if weights is not None and len(weights):
+            median = float(np.median(weights))
+            fields.update(
+                weight_mean=float(weights.mean()),
+                weight_std=float(weights.std()),
+                weight_frac_above_median=float((weights > median).mean()),
+            )
+        self.telemetry.record_event("train.epoch", **fields)
 
     # ------------------------------------------------------------------
     # Inference

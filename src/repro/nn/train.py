@@ -61,12 +61,38 @@ def train_epoch(
     return total / max(batches, 1)
 
 
+def infer_output_dim(model: Module) -> Optional[int]:
+    """Output width of ``model``, inferred from its last ``Dense`` layer.
+
+    Width-preserving modules (activations, dropout) after the final dense
+    layer are fine; returns ``None`` when the model contains no layer with
+    an ``out_features`` attribute (e.g. a pure activation stack).
+    """
+    modules = getattr(model, "modules", None)
+    if modules is None:
+        modules = [model]
+    for module in reversed(list(modules)):
+        nested = infer_output_dim(module) if hasattr(module, "modules") else None
+        if nested is not None:
+            return nested
+        out_features = getattr(module, "out_features", None)
+        if out_features is not None:
+            return int(out_features)
+    return None
+
+
 def forward_in_batches(
     model: Module,
     X: np.ndarray,
     batch_size: int = 4096,
 ) -> np.ndarray:
-    """Run ``model`` over ``X`` without building a graph, batched for memory."""
+    """Run ``model`` over ``X`` without building a graph, batched for memory.
+
+    Empty input returns an empty ``(0, out_dim)`` array (``out_dim``
+    inferred from the model's last dense layer) so downstream reductions
+    over axis 1 — softmax, Eq. 9 scoring, the tri-class rule — work
+    unchanged on zero rows.
+    """
     from repro.autodiff import no_grad
 
     outputs = []
@@ -74,4 +100,7 @@ def forward_in_batches(
         for start in range(0, len(X), batch_size):
             out = model(Tensor(X[start : start + batch_size]))
             outputs.append(out.data)
-    return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+    if outputs:
+        return np.concatenate(outputs, axis=0)
+    out_dim = infer_output_dim(model)
+    return np.empty((0, out_dim) if out_dim is not None else (0,))

@@ -1,0 +1,99 @@
+"""Structured event log.
+
+Events are discrete, timestamp-ordered facts ("epoch 7 finished with loss
+0.42", "drift detected on 3 features") as opposed to the continuous
+counters/gauges/timers. The log is a bounded ring buffer so long-running
+services cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a monotonically-increasing sequence number,
+    a dotted name, and arbitrary JSON-ready payload fields."""
+
+    seq: int
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "name": self.name, **self.fields}
+
+    def format_line(self) -> str:
+        payload = " ".join(f"{k}={_fmt(v)}" for k, v in self.fields.items())
+        return f"#{self.seq:<5d} {self.name:<28s} {payload}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class EventLog:
+    """Bounded, append-only event buffer (oldest entries are evicted)."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self._counts: Counter = Counter()
+
+    def append(self, name: str, **fields: Any) -> Event:
+        event = Event(seq=self._next_seq, name=name, fields=dict(fields))
+        self._next_seq += 1
+        self._events.append(event)
+        self._counts[name] += 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(list(self._events))
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of events ever appended (including evicted ones)."""
+        return self._next_seq
+
+    def tail(self, n: int = 10) -> List[Event]:
+        """The most recent ``n`` events, oldest first."""
+        events = list(self._events)
+        return events[-n:] if n > 0 else []
+
+    def by_name(self, name: str) -> List[Event]:
+        """All retained events with the given name, oldest first."""
+        return [e for e in self._events if e.name == name]
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime event counts per name (survives ring eviction)."""
+        return dict(self._counts)
+
+    def series(self, name: str, field_name: str) -> List[float]:
+        """Numeric trajectory of one field across retained ``name`` events.
+
+        Non-numeric or missing values are skipped; useful for sparklines
+        (per-epoch loss, per-batch alert counts, ...).
+        """
+        out: List[float] = []
+        for event in self._events:
+            if event.name != name:
+                continue
+            value = event.fields.get(field_name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out.append(float(value))
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counts.clear()
+        self._next_seq = 0

@@ -1,0 +1,49 @@
+"""Serialize telemetry snapshots to JSON-ready dicts and files.
+
+Used by the ``repro telemetry`` CLI (``--json``) and the benchmark
+harness, which writes per-phase timing files next to its result output so
+``BENCH_*`` trajectories gain a time axis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.registry import TelemetryRegistry
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def snapshot_to_dict(
+    registry: TelemetryRegistry,
+    max_events: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Full JSON-ready snapshot: counters, gauges, timer stats, events."""
+    events = list(registry.events)
+    if max_events is not None:
+        events = events[-max_events:]
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "counters": registry.counters,
+        "gauges": registry.gauges,
+        "timers": {s.name: s.to_dict() for s in registry.all_timer_stats()},
+        "event_counts": registry.events.counts(),
+        "events": [event.to_dict() for event in events],
+    }
+
+
+def dump_json(
+    registry: TelemetryRegistry,
+    path: Union[str, Path],
+    max_events: Optional[int] = None,
+    **extra: Any,
+) -> Path:
+    """Write a snapshot to ``path``; ``extra`` keys merge into the payload."""
+    path = Path(path)
+    payload = snapshot_to_dict(registry, max_events=max_events)
+    payload.update(extra)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,206 @@
+"""Process-local telemetry registry.
+
+One :class:`TelemetryRegistry` instance collects everything a run emits:
+
+- **counters** — monotonically-increasing floats (``serve.rows``);
+- **gauges** — last-write-wins floats (``train.rows_per_sec``);
+- **timers** — wall-clock histograms with p50/p95/max (``serve.process``);
+- **events** — a bounded structured log (``train.epoch`` with its loss).
+
+The registry is thread-safe (a single lock guards every mutation) and
+cheap: recording a timer sample is an append to a bounded deque.
+
+:class:`NullTelemetry` is the disabled twin: every method is a no-op and
+``timer()`` returns a shared, allocation-free context manager, so code can
+be instrumented unconditionally — ``telemetry=None`` call sites pay only
+an attribute lookup and an empty call per record.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.events import Event, EventLog
+from repro.obs.stats import TimerStats
+
+
+class _NullTimer:
+    """Shared no-op context manager returned by :meth:`NullTelemetry.timer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullTelemetry:
+    """Disabled telemetry: same surface as the registry, all no-ops.
+
+    A single module-level instance (:data:`NULL_TELEMETRY`) is shared by
+    every uninstrumented model/pipeline, so "telemetry off" costs neither
+    allocation nor branching at the call sites.
+    """
+
+    enabled = False
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, seconds: float) -> None:
+        return None
+
+    def record_event(self, name: str, **fields: Any) -> None:
+        return None
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def reset(self) -> None:
+        return None
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure_telemetry(telemetry: Optional["TelemetryRegistry"]):
+    """Map ``None`` to the shared :data:`NULL_TELEMETRY` instance."""
+    return NULL_TELEMETRY if telemetry is None else telemetry
+
+
+class _Timer:
+    """Context manager recording one wall-clock sample into the registry."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "TelemetryRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+
+
+class _TimerState:
+    """Running aggregates plus a bounded sample window for one timer."""
+
+    __slots__ = ("count", "total", "max", "samples")
+
+    def __init__(self, window: int):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.samples: Deque[float] = deque(maxlen=window)
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.samples.append(seconds)
+
+
+class TelemetryRegistry:
+    """Enabled telemetry sink for one process/run.
+
+    Parameters
+    ----------
+    timer_window:
+        Samples retained per timer for the p50/p95 order statistics;
+        count/total/max stay exact regardless.
+    event_capacity:
+        Ring-buffer size of the structured event log.
+    """
+
+    enabled = True
+
+    def __init__(self, timer_window: int = 4096, event_capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._timer_window = timer_window
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, _TimerState] = {}
+        self.events = EventLog(capacity=event_capacity)
+
+    # -- write side ----------------------------------------------------
+    def increment(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            state = self._timers.get(name)
+            if state is None:
+                state = self._timers[name] = _TimerState(self._timer_window)
+            state.add(float(seconds))
+
+    def record_event(self, name: str, **fields: Any) -> Event:
+        with self._lock:
+            return self.events.append(name, **fields)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("serve.process"): ...`` records one sample."""
+        return _Timer(self, name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self.events.clear()
+
+    # -- read side -----------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def timer_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._timers)
+
+    def timer_stats(self, name: str) -> TimerStats:
+        with self._lock:
+            state = self._timers.get(name)
+            if state is None:
+                return TimerStats.from_samples(name, [])
+            return TimerStats.from_samples(
+                name, list(state.samples), count=state.count,
+                total=state.total, max_value=state.max,
+            )
+
+    def all_timer_stats(self) -> List[TimerStats]:
+        return [self.timer_stats(name) for name in self.timer_names()]

@@ -1,0 +1,74 @@
+"""Summary statistics for timer samples.
+
+Timers accumulate wall-clock samples (seconds). :class:`TimerStats` is the
+read-side summary: count/total are exact running aggregates, while the
+order statistics (p50/p95) come from a bounded window of the most recent
+samples so memory stays constant under production traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimerStats:
+    """Immutable summary of one timer's samples (all values in seconds)."""
+
+    name: str
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def from_samples(
+        cls,
+        name: str,
+        samples: Sequence[float],
+        count: int | None = None,
+        total: float | None = None,
+        max_value: float | None = None,
+    ) -> "TimerStats":
+        """Build a summary from a sample window.
+
+        ``count``/``total``/``max_value`` override the window aggregates
+        with exact running values when the window was truncated.
+        """
+        values = np.asarray(list(samples), dtype=np.float64)
+        if len(values) == 0:
+            return cls(name=name, count=count or 0, total=total or 0.0,
+                       mean=0.0, p50=0.0, p95=0.0, max=max_value or 0.0)
+        n = count if count is not None else len(values)
+        tot = total if total is not None else float(values.sum())
+        return cls(
+            name=name,
+            count=n,
+            total=tot,
+            mean=tot / max(n, 1),
+            p50=float(np.percentile(values, 50)),
+            p95=float(np.percentile(values, 95)),
+            max=max_value if max_value is not None else float(values.max()),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (seconds, ``_s`` suffix for clarity)."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "max_s": self.max,
+        }
+
+    def format_line(self) -> str:
+        """One-line human summary, e.g. for the dashboard."""
+        return (f"n={self.count:<5d} total={self.total * 1e3:9.1f}ms "
+                f"p50={self.p50 * 1e3:8.2f}ms p95={self.p95 * 1e3:8.2f}ms "
+                f"max={self.max * 1e3:8.2f}ms")

@@ -1,0 +1,102 @@
+"""Timing helpers: context manager, method decorator, and phase timer.
+
+Three entry points, all recording into a :class:`TelemetryRegistry`:
+
+- ``record_timing(telemetry, "name")`` — explicit context manager;
+- ``@timed("name")`` — decorator for methods of objects that carry a
+  ``telemetry`` attribute (TargAD, ScoringPipeline, CandidateSelector);
+- :class:`PhaseTimer` — ordered named phases for coarse-grained reports
+  (benchmark time axes, CLI profiling).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import NULL_TELEMETRY, ensure_telemetry
+
+
+def record_timing(telemetry, name: str):
+    """``with record_timing(reg, "select.total"): ...``; ``None`` is a no-op."""
+    return ensure_telemetry(telemetry).timer(name)
+
+
+def timed(name: str, attr: str = "telemetry") -> Callable:
+    """Decorate a method so each call records one timer sample.
+
+    The bound instance's ``attr`` attribute (default ``telemetry``) supplies
+    the registry; a missing attribute or ``None`` falls back to the shared
+    null telemetry, keeping undecorated construction paths working.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(self, *args: Any, **kwargs: Any):
+            telemetry = getattr(self, attr, None) or NULL_TELEMETRY
+            with telemetry.timer(name):
+                return func(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorator
+
+
+class PhaseTimer:
+    """Collect named, ordered wall-clock phases.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("load_dataset"):
+            ...
+        with timer.phase("fit"):
+            ...
+        timer.as_dict()   # {"load_dataset": 1.2, "fit": 30.5}
+
+    Re-entering a phase name accumulates into the same bucket. When a
+    registry is attached, each phase also lands as a ``phase.<name>`` timer
+    sample there.
+    """
+
+    def __init__(self, telemetry=None):
+        self.telemetry = ensure_telemetry(telemetry)
+        self._phases: List[Tuple[str, float]] = []
+        self._totals: Dict[str, float] = {}
+
+    class _Phase:
+        __slots__ = ("_timer", "_name", "_start")
+
+        def __init__(self, timer: "PhaseTimer", name: str):
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "PhaseTimer._Phase":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: Any) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._timer._record(self._name, elapsed)
+
+    def phase(self, name: str) -> "PhaseTimer._Phase":
+        return PhaseTimer._Phase(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self._phases.append((name, seconds))
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self.telemetry.observe(f"phase.{name}", seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Accumulated seconds per phase, in first-seen order."""
+        return dict(self._totals)
+
+    @property
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def summary(self) -> str:
+        parts = [f"{name}={seconds:.3f}s" for name, seconds in self._totals.items()]
+        return " ".join(parts) if parts else "(no phases)"

@@ -9,6 +9,7 @@ downstream queue.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -17,6 +18,7 @@ import numpy as np
 from repro.core.model import TargAD
 from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
 from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
+from repro.obs import ensure_telemetry
 from repro.serving.drift import DriftMonitor, DriftReport
 
 
@@ -66,6 +68,10 @@ class ScoringPipeline:
         OOD strategy for the tri-class routing ("msp" / "es" / "ed").
     monitor_drift:
         Attach a :class:`DriftMonitor` over the training features.
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryRegistry`; records the
+        ``serve.*`` series — per-batch process latency, alert/deferred
+        counts, and a drift-event counter. ``None`` = no-op.
     """
 
     def __init__(
@@ -77,11 +83,13 @@ class ScoringPipeline:
         strategy: str = "ed",
         monitor_drift: bool = True,
         drift_threshold: float = 0.2,
+        telemetry=None,
     ):
         if policy not in ("f1", "recall", "budget"):
             raise ValueError('policy must be "f1", "recall", or "budget"')
         model._check_fitted()
         self.model = model
+        self.telemetry = ensure_telemetry(telemetry)
         self.policy = policy
         self.target_recall = target_recall
         self.review_budget = review_budget
@@ -116,12 +124,21 @@ class ScoringPipeline:
         if self._monitor_enabled:
             reference = X_reference if X_reference is not None else X_val
             self._monitor = DriftMonitor(threshold=self._drift_threshold).fit(reference)
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge("serve.threshold", float(self.threshold_))
+            self.telemetry.record_event(
+                "serve.calibrated",
+                policy=self.policy,
+                threshold=float(self.threshold_),
+                n_val=int(len(scores)),
+            )
         return self
 
     def process(self, X_batch: np.ndarray) -> AlertBatch:
         """Score one live batch and build the alert payload."""
         if self.threshold_ is None:
             raise RuntimeError("pipeline is not calibrated; call calibrate() first")
+        start = time.perf_counter()
         X_batch = np.asarray(X_batch, dtype=np.float64)
         scores = self.model.decision_function(X_batch)
         routing = self.model.predict_triclass(X_batch, strategy=self.strategy)
@@ -131,11 +148,38 @@ class ScoringPipeline:
         deferred = np.flatnonzero(routing == KIND_NONTARGET)
 
         drift = self._monitor.check(X_batch) if self._monitor is not None else None
-        return AlertBatch(
+        result = AlertBatch(
             scores=scores,
             alerts=alerts,
             routing=routing,
             threshold=float(self.threshold_),
             drift=drift,
             deferred=deferred,
+        )
+        if self.telemetry.enabled:
+            self._record_batch_telemetry(result, len(X_batch), time.perf_counter() - start)
+        return result
+
+    def _record_batch_telemetry(self, batch: AlertBatch, n_rows: int, seconds: float) -> None:
+        """One ``serve.process`` latency sample + counters per batch."""
+        self.telemetry.observe("serve.process", seconds)
+        self.telemetry.increment("serve.batches")
+        self.telemetry.increment("serve.rows", n_rows)
+        self.telemetry.increment("serve.alerts", batch.n_alerts)
+        self.telemetry.increment("serve.deferred", len(batch.deferred))
+        drifted = batch.drift is not None and batch.drift.drifted
+        if drifted:
+            self.telemetry.increment("serve.drift_events")
+            self.telemetry.record_event(
+                "serve.drift",
+                n_features=len(batch.drift.drifted_features),
+                max_ks=batch.drift.max_statistic,
+            )
+        self.telemetry.record_event(
+            "serve.batch",
+            n=n_rows,
+            n_alerts=batch.n_alerts,
+            n_deferred=len(batch.deferred),
+            latency_ms=seconds * 1e3,
+            drifted=drifted,
         )

@@ -37,3 +37,47 @@ def test_candidate_selection_invariants(n, d, alpha, k, seed):
     # Errors are non-negative; cluster labels in range.
     assert np.all(selection.errors >= 0)
     assert selection.cluster_labels.max() < selection.k
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_unique=st.integers(2, 8),
+    repeats=st.integers(8, 25),
+    alpha=st.floats(0.02, 0.4),
+    k=st.integers(1, 3),
+    normalize=st.booleans(),
+    seed=st.integers(0, 50),
+)
+def test_candidate_count_exact_under_ties(n_unique, repeats, alpha, k, normalize, seed):
+    """Tie-heavy pools (many duplicated rows → duplicated reconstruction
+    errors) must still produce exactly ``max(round(alpha·n), 1)``
+    candidates, with ``candidate ∪ normal`` partitioning the pool,
+    regardless of per-cluster normalization or cluster count."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((n_unique, 5))
+    X = np.repeat(base, repeats, axis=0)          # heavy ties by construction
+    rng.shuffle(X)
+    n = len(X)
+
+    selector = CandidateSelector(
+        k=k, alpha=alpha, ae_epochs=1, normalize_errors=normalize, random_state=seed
+    )
+    selection = selector.fit(X, None)
+
+    expected = max(int(round(alpha * n)), 1)
+    assert selection.candidate_mask.sum() == expected
+    union = np.union1d(selection.candidate_indices, selection.normal_indices)
+    np.testing.assert_array_equal(union, np.arange(n))
+    assert len(selection.candidate_indices) + len(selection.normal_indices) == n
+
+
+@settings(max_examples=8, deadline=None)
+@given(alpha=st.floats(0.001, 0.02), seed=st.integers(0, 20))
+def test_tiny_alpha_still_selects_at_least_one(alpha, seed):
+    """The ``max(·, 1)`` floor: even α so small that round(α·n) == 0
+    must yield exactly one candidate."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((30, 4))
+    selection = CandidateSelector(k=1, alpha=alpha, ae_epochs=1,
+                                  random_state=seed).fit(X, None)
+    assert selection.candidate_mask.sum() == max(int(round(alpha * 30)), 1) >= 1

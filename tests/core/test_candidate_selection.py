@@ -100,3 +100,32 @@ class TestCandidateSelector:
         selector = CandidateSelector(k=2, alpha=0.05, ae_epochs=2, random_state=0)
         sel = selector.fit(tiny_split.X_unlabeled, None)
         assert sel.candidate_mask.sum() > 0
+
+
+class TestNoFittedAutoencoder:
+    def test_clear_error_instead_of_stop_iteration(self, rng):
+        """Regression: an all-unfitted autoencoder list used to leak a bare
+        ``StopIteration`` out of ``next()``; it must be a ``RuntimeError``
+        with an actionable message."""
+        from repro.nn.autoencoder import SADAutoencoder
+
+        X = rng.random((40, 4))
+        selector = CandidateSelector(k=1, alpha=0.1, ae_epochs=1, random_state=0)
+        selector.fit(X, None)
+        # Simulate a selector whose clusters all ended up empty / unfitted.
+        selector.autoencoders_ = [SADAutoencoder(hidden_sizes=(4,))]
+        with pytest.raises(RuntimeError, match="no autoencoder was fitted"):
+            selector.reconstruction_error(X)
+
+    def test_fallback_still_used_for_partial_fit(self, rng):
+        """Only the truly-empty cluster falls back; fitted ones are used."""
+        X = rng.random((40, 4))
+        selector = CandidateSelector(k=2, alpha=0.1, ae_epochs=1, random_state=0)
+        selector.fit(X, None)
+        # Unfit one cluster's AE; its members must fall back, not crash.
+        from repro.nn.autoencoder import SADAutoencoder
+
+        selector.autoencoders_[1] = SADAutoencoder(hidden_sizes=(4,))
+        errors = selector.reconstruction_error(X)
+        assert errors.shape == (40,)
+        assert np.all(np.isfinite(errors))

@@ -159,3 +159,31 @@ class TestDeterminism:
         m.fit(tiny_split_module.X_unlabeled, tiny_split_module.X_labeled,
               tiny_split_module.y_labeled, epoch_callback=lambda e, model: calls.append(e))
         assert calls == [0, 1, 2, 3]
+
+
+class TestEmptyInput:
+    """Regression: scoring an empty batch used to crash inside
+    ``forward_in_batches`` (1-D empty logits broke softmax / column
+    indexing). Every public scoring entry point must now accept
+    zero-row input and return correctly-shaped empty output."""
+
+    @pytest.fixture(scope="class")
+    def empty_X(self, tiny_split_module):
+        return np.empty((0, tiny_split_module.X_test.shape[1]))
+
+    def test_logits_shape(self, fitted, empty_X):
+        assert fitted.logits(empty_X).shape == (0, fitted.m_ + fitted.k_)
+
+    def test_decision_function_shape(self, fitted, empty_X):
+        scores = fitted.decision_function(empty_X)
+        assert scores.shape == (0,)
+
+    def test_predict_shape(self, fitted, empty_X):
+        assert fitted.predict(empty_X).shape == (0,)
+
+    def test_predict_triclass_shape(self, fitted, empty_X):
+        assert fitted.predict_triclass(empty_X).shape == (0,)
+
+    def test_predict_proba_full_shape(self, fitted, empty_X):
+        probs = fitted.predict_proba_full(empty_X)
+        assert probs.shape == (0, fitted.m_ + fitted.k_)

@@ -68,3 +68,48 @@ def test_update_weights_properties(raw):
 def test_initial_weights_bounds(errors):
     w = initial_weights(errors)
     assert np.all(w >= 0.0) and np.all(w <= 1.0)
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(2, 6)),
+        elements=st.floats(0.01, 10.0, allow_nan=False, width=64),
+    ),
+    st.integers(0, 1000),
+)
+def test_update_weights_permutation_equivariant(raw, seed):
+    """Shuffling the candidate rows shuffles the weights identically —
+    no candidate's weight may depend on where it sits in the batch."""
+    probs = raw / raw.sum(axis=1, keepdims=True)
+    perm = np.random.default_rng(seed).permutation(len(probs))
+    np.testing.assert_allclose(
+        update_weights(probs[perm]), update_weights(probs)[perm],
+        rtol=1e-12, atol=1e-12,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, st.integers(2, 40),
+           elements=st.floats(0.0, 100.0, allow_nan=False, width=64)),
+    st.integers(0, 1000),
+)
+def test_initial_weights_permutation_equivariant(errors, seed):
+    perm = np.random.default_rng(seed).permutation(len(errors))
+    np.testing.assert_allclose(
+        initial_weights(errors[perm]), initial_weights(errors)[perm],
+        rtol=1e-12, atol=1e-12,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, st.integers(2, 40),
+           elements=st.floats(0.0, 100.0, allow_nan=False, width=64))
+)
+def test_initial_weights_monotone_decreasing_in_error(errors):
+    """Eq. 5: larger reconstruction error -> smaller (or equal) weight."""
+    w = initial_weights(errors)
+    order = np.argsort(errors)
+    assert np.all(np.diff(w[order]) <= 1e-12)

@@ -6,7 +6,12 @@ import pytest
 from repro.autodiff import Tensor
 from repro.nn.layers import mlp
 from repro.nn.optimizers import SGD
-from repro.nn.train import forward_in_batches, iterate_minibatches, train_epoch
+from repro.nn.train import (
+    forward_in_batches,
+    infer_output_dim,
+    iterate_minibatches,
+    train_epoch,
+)
 
 
 class TestMinibatchEdgeCases:
@@ -37,11 +42,38 @@ class TestTrainEpochEdgeCases:
         assert np.isfinite(loss) and loss >= 0
 
 
+class TestInferOutputDim:
+    def test_simple_mlp(self):
+        assert infer_output_dim(mlp([3, 8, 2], rng=np.random.default_rng(0))) == 2
+
+    def test_trailing_activation_does_not_hide_width(self):
+        # A non-linear output activation leaves an Activation module after
+        # the final Dense; inference must look past it.
+        model = mlp([3, 4], output_activation="sigmoid",
+                    rng=np.random.default_rng(0))
+        assert infer_output_dim(model) == 4
+
+    def test_model_without_linear_layers(self):
+        class Opaque:
+            pass
+
+        assert infer_output_dim(Opaque()) is None
+
+
 class TestForwardInBatchesEdgeCases:
-    def test_empty_input(self):
+    def test_empty_input_preserves_output_dim(self):
+        # Regression: used to return a 1-D np.empty((0,)), which broke
+        # downstream softmax / column indexing on empty batches.
         model = mlp([3, 2], rng=np.random.default_rng(0))
         out = forward_in_batches(model, np.empty((0, 3)))
-        assert out.shape[0] == 0
+        assert out.shape == (0, 2)
+
+    def test_empty_input_matches_nonempty_width(self):
+        rng = np.random.default_rng(2)
+        model = mlp([4, 8, 5], rng=rng)
+        full = forward_in_batches(model, rng.standard_normal((3, 4)))
+        empty = forward_in_batches(model, np.empty((0, 4)))
+        assert empty.shape[1] == full.shape[1]
 
     def test_batch_size_one(self):
         rng = np.random.default_rng(1)

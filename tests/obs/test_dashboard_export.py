@@ -1,0 +1,84 @@
+"""Dashboard rendering and JSON export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TelemetryRegistry,
+    dump_json,
+    render_dashboard,
+    render_summary,
+    snapshot_to_dict,
+)
+
+
+@pytest.fixture
+def populated():
+    reg = TelemetryRegistry()
+    reg.observe("fit.total", 1.5)
+    reg.observe("serve.process", 0.01)
+    reg.observe("serve.process", 0.02)
+    reg.increment("serve.rows", 200)
+    reg.set_gauge("train.rows_per_sec", 5000.0)
+    for e in range(4):
+        reg.record_event("train.epoch", epoch=e, loss=1.0 / (e + 1),
+                         weight_mean=0.5, rows_per_sec=5000.0)
+    reg.record_event("serve.batch", n=100, n_alerts=3, n_deferred=5,
+                     latency_ms=10.0, drifted=False)
+    return reg
+
+
+class TestRenderDashboard:
+    def test_sections_present(self, populated):
+        out = render_dashboard(populated, title="test run")
+        assert "test run" in out
+        assert "timers (wall clock)" in out
+        assert "counters" in out
+        assert "gauges" in out
+        assert "events" in out
+        assert "fit.total" in out and "serve.process" in out
+        assert "serve.rows" in out and "train.rows_per_sec" in out
+
+    def test_trend_sparklines_for_known_series(self, populated):
+        out = render_dashboard(populated)
+        assert "training loss / epoch" in out
+        # Sparkline glyphs from repro.viz conventions.
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+    def test_empty_registry(self):
+        out = render_dashboard(TelemetryRegistry())
+        assert "(registry is empty)" in out
+
+    def test_event_tail_bounded(self, populated):
+        out = render_dashboard(populated, max_events=2)
+        assert "last 2 of 5" in out
+
+    def test_render_summary_compact(self, populated):
+        out = render_summary(populated)
+        assert "fit.total" in out and "events=5" in out
+        assert "\n" not in out
+
+
+class TestExport:
+    def test_snapshot_round_trips_through_json(self, populated):
+        payload = snapshot_to_dict(populated)
+        text = json.dumps(payload)          # must be JSON-serializable
+        back = json.loads(text)
+        assert back["counters"]["serve.rows"] == 200
+        assert back["timers"]["serve.process"]["count"] == 2
+        assert back["event_counts"]["train.epoch"] == 4
+        assert len(back["events"]) == 5
+        assert back["format_version"] == 1
+
+    def test_max_events_truncates(self, populated):
+        payload = snapshot_to_dict(populated, max_events=2)
+        assert len(payload["events"]) == 2
+        # Truncation keeps the most recent events.
+        assert payload["events"][-1]["name"] == "serve.batch"
+
+    def test_dump_json_writes_file_with_extras(self, populated, tmp_path):
+        path = dump_json(populated, tmp_path / "sub" / "tel.json", dataset="tiny")
+        data = json.loads(path.read_text())
+        assert data["dataset"] == "tiny"
+        assert data["gauges"]["train.rows_per_sec"] == 5000.0

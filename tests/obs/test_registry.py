@@ -1,0 +1,180 @@
+"""Unit tests for the telemetry registry, null object, and event log."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    EventLog,
+    NullTelemetry,
+    TelemetryRegistry,
+    TimerStats,
+    ensure_telemetry,
+)
+
+
+class TestCounters:
+    def test_increment_accumulates(self):
+        reg = TelemetryRegistry()
+        reg.increment("a")
+        reg.increment("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counters == {"a": 5.0}
+
+    def test_missing_counter_default(self):
+        assert TelemetryRegistry().counter("nope") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = TelemetryRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.5)
+        assert reg.gauge("g") == 7.5
+
+
+class TestTimers:
+    def test_observe_and_stats(self):
+        reg = TelemetryRegistry()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            reg.observe("t", v)
+        stats = reg.timer_stats("t")
+        assert stats.count == 4
+        assert stats.total == pytest.approx(1.0)
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.max == pytest.approx(0.4)
+        assert stats.p50 == pytest.approx(0.25)
+        assert 0.3 <= stats.p95 <= 0.4
+
+    def test_timer_context_manager_records_positive_sample(self):
+        reg = TelemetryRegistry()
+        with reg.timer("cm"):
+            sum(range(1000))
+        stats = reg.timer_stats("cm")
+        assert stats.count == 1
+        assert stats.max > 0
+
+    def test_window_truncation_keeps_exact_aggregates(self):
+        reg = TelemetryRegistry(timer_window=10)
+        for i in range(100):
+            reg.observe("t", float(i))
+        stats = reg.timer_stats("t")
+        assert stats.count == 100            # exact, despite the window
+        assert stats.total == pytest.approx(sum(range(100)))
+        assert stats.max == 99.0
+        # Order statistics come from the retained window (last 10 samples).
+        assert 90.0 <= stats.p50 <= 99.0
+
+    def test_unknown_timer_is_empty(self):
+        stats = TelemetryRegistry().timer_stats("nothing")
+        assert stats.count == 0 and stats.total == 0.0
+
+    def test_all_timer_stats_sorted(self):
+        reg = TelemetryRegistry()
+        reg.observe("b", 1.0)
+        reg.observe("a", 1.0)
+        assert [s.name for s in reg.all_timer_stats()] == ["a", "b"]
+
+    def test_thread_safety_counts_everything(self):
+        reg = TelemetryRegistry()
+
+        def worker():
+            for _ in range(500):
+                reg.increment("n")
+                reg.observe("t", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 2000
+        assert reg.timer_stats("t").count == 2000
+
+
+class TestEvents:
+    def test_record_event_and_series(self):
+        reg = TelemetryRegistry()
+        for e in range(5):
+            reg.record_event("train.epoch", epoch=e, loss=1.0 / (e + 1))
+        assert reg.events.counts() == {"train.epoch": 5}
+        series = reg.events.series("train.epoch", "loss")
+        assert series == pytest.approx([1.0, 0.5, 1 / 3, 0.25, 0.2])
+
+    def test_ring_buffer_eviction(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.append("e", i=i)
+        assert len(log) == 3
+        assert log.total_recorded == 10
+        assert [e.fields["i"] for e in log.tail(3)] == [7, 8, 9]
+        # Lifetime counts survive eviction.
+        assert log.counts() == {"e": 10}
+
+    def test_series_skips_non_numeric(self):
+        log = EventLog()
+        log.append("e", v=1.5)
+        log.append("e", v="text")
+        log.append("e", other=3)
+        log.append("e", v=True)   # bools are not a numeric trajectory
+        assert log.series("e", "v") == [1.5]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        reg = TelemetryRegistry()
+        reg.increment("c")
+        reg.set_gauge("g", 1.0)
+        reg.observe("t", 0.1)
+        reg.record_event("e")
+        reg.reset()
+        assert reg.counters == {} and reg.gauges == {}
+        assert reg.timer_names() == []
+        assert len(reg.events) == 0 and reg.events.total_recorded == 0
+
+
+class TestNullTelemetry:
+    def test_is_disabled_and_inert(self):
+        null = NullTelemetry()
+        assert null.enabled is False
+        null.increment("a")
+        null.set_gauge("g", 1.0)
+        null.observe("t", 0.5)
+        null.record_event("e", x=1)
+        with null.timer("anything"):
+            pass
+        null.reset()
+
+    def test_timer_returns_shared_instance(self):
+        # No per-call allocation in the disabled path.
+        assert NULL_TELEMETRY.timer("a") is NULL_TELEMETRY.timer("b")
+
+    def test_ensure_telemetry(self):
+        assert ensure_telemetry(None) is NULL_TELEMETRY
+        reg = TelemetryRegistry()
+        assert ensure_telemetry(reg) is reg
+        assert reg.enabled is True
+
+
+class TestTimerStats:
+    def test_from_empty_samples(self):
+        stats = TimerStats.from_samples("x", [])
+        assert stats.count == 0 and stats.p95 == 0.0
+
+    def test_to_dict_keys(self):
+        stats = TimerStats.from_samples("x", [0.5])
+        assert set(stats.to_dict()) == {
+            "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s",
+        }
+
+    def test_overridden_aggregates(self):
+        stats = TimerStats.from_samples("x", [1.0, 2.0], count=10, total=30.0, max_value=9.0)
+        assert stats.count == 10 and stats.total == 30.0
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.max == 9.0
