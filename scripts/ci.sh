@@ -4,6 +4,7 @@
 #   scripts/ci.sh          # tier-1 + fast lane
 #   scripts/ci.sh fast     # fast lane only (-m "not slow")
 #   scripts/ci.sh tier1    # tier-1 gate only
+#   scripts/ci.sh chaos    # chaos lane only (-m chaos fault-injection scenarios)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
 # run from ROADMAP.md. The fast lane re-runs the suite without the `slow`
@@ -26,9 +27,15 @@ run_fast() {
     python -m pytest -x -q -m "not slow"
 }
 
+run_chaos() {
+    echo '== chaos lane: -m chaos =='
+    python -m pytest -x -q -m chaos
+}
+
 case "$lane" in
     tier1) run_tier1 ;;
     fast)  run_fast ;;
+    chaos) run_chaos ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|all]" >&2; exit 2 ;;
 esac

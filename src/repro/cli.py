@@ -7,6 +7,7 @@ Subcommands::
     repro evaluate  --model PATH --dataset NAME # score a saved model
     repro compare   --dataset NAME [...]        # mini Table II
     repro telemetry --dataset NAME [...]        # profile fit+serve, dashboard
+    repro resilience --model PATH --dataset NAME [...]  # chaos replay
 
 Every command is deterministic under ``--seed``.
 """
@@ -146,6 +147,82 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_resilience(args) -> int:
+    """Replay a fault plan against a saved model and watch the breaker."""
+    import numpy as np
+
+    from repro.core import ModelLoadError
+    from repro.obs import TelemetryRegistry, dump_json
+    from repro.resilience import CircuitBreaker, FaultPlan, FaultyModel, ManualClock, corrupt_rows
+    from repro.serving import ScoringPipeline
+
+    try:
+        model = load_model(args.model)
+    except ModelLoadError as exc:
+        print(f"cannot load model {args.model}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.plan:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_dict(json.load(fh))
+    else:
+        plan = FaultPlan(raise_on=(2, 3), nan_fraction=0.3, nan_on=(5,),
+                         seed=args.seed)
+    print(f"Fault plan: {plan.describe()}")
+
+    split = _load_split(args)
+    registry = TelemetryRegistry()
+    clock = ManualClock()
+    breaker = CircuitBreaker(
+        failure_threshold=args.failure_threshold,
+        cooldown=args.cooldown,
+        clock=clock,
+        telemetry=registry,
+    )
+    pipe = ScoringPipeline(
+        model, policy="budget",
+        review_budget=min(args.review_budget, len(split.X_val)),
+        circuit_breaker=breaker, telemetry=registry, monitor_drift=False,
+    )
+    pipe.calibrate(split.X_val)
+    # Swap the chaos wrapper in only after calibration so the plan's
+    # 1-based call indices count *serving* batches, not the calibration pass.
+    pipe.model = FaultyModel(model, plan, sleep=lambda s: None, telemetry=registry)
+
+    rng = np.random.default_rng(args.seed)
+    chunks = [c for c in np.array_split(np.arange(len(split.X_test)),
+                                        max(args.batches, 1)) if len(c)]
+    for i, chunk in enumerate(chunks):
+        X = split.X_test[chunk]
+        if args.corrupt_rows > 0:
+            X = corrupt_rows(X, args.corrupt_rows, rng)
+        batch = pipe.process(X)
+        print(f"batch {i:2d} [breaker {breaker.state:>9s}] {batch.summary()}")
+        clock.advance(args.advance)
+
+    snap = breaker.snapshot()
+    print(f"\nbreaker: state={snap['state']} "
+          f"consecutive_failures={snap['consecutive_failures']}"
+          f"/{snap['failure_threshold']} cooldown={snap['cooldown']:g}s")
+    resilience_counters = {
+        name: value for name, value in sorted(registry.counters.items())
+        if name.startswith("resilience.")
+    }
+    for name, value in resilience_counters.items():
+        print(f"  {name} = {value:g}")
+    transitions = [e for e in registry.events
+                   if e.name.startswith("resilience.breaker.")
+                   and e.name != "resilience.breaker.state"]
+    if transitions:
+        print("breaker transitions:")
+        for event in transitions:
+            print("  " + event.format_line())
+    if args.json:
+        path = dump_json(registry, args.json, dataset=args.dataset, seed=args.seed)
+        print(f"Telemetry snapshot written to {path}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import generate_report
 
@@ -202,6 +279,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serving batches the test split is processed in")
     p_tel.add_argument("--json", help="also dump the telemetry snapshot as JSON")
     p_tel.set_defaults(func=cmd_telemetry)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="replay a fault plan against a saved model and watch the breaker",
+    )
+    _add_split_args(p_res)
+    p_res.add_argument("--model", required=True, help="saved model (.npz)")
+    p_res.add_argument("--plan", help="JSON fault-plan file (default: a built-in "
+                       "raise-twice-then-NaN scenario)")
+    p_res.add_argument("--batches", type=int, default=8,
+                       help="serving batches the test split is processed in")
+    p_res.add_argument("--corrupt-rows", type=float, default=0.0,
+                       help="fraction of each batch's rows NaN-corrupted "
+                       "(exercises the quarantine path)")
+    p_res.add_argument("--failure-threshold", type=int, default=2,
+                       help="consecutive faults that trip the breaker")
+    p_res.add_argument("--cooldown", type=float, default=30.0,
+                       help="seconds the breaker stays open (simulated clock)")
+    p_res.add_argument("--advance", type=float, default=15.0,
+                       help="simulated seconds between batches")
+    p_res.add_argument("--review-budget", type=int, default=25)
+    p_res.add_argument("--json", help="also dump the telemetry snapshot as JSON")
+    p_res.set_defaults(func=cmd_resilience)
 
     p_rep = sub.add_parser("report", help="write a markdown experiment report")
     p_rep.add_argument("--output", required=True, help="markdown file to write")

@@ -11,7 +11,7 @@ normal/target/non-target rule of Section III-C.
 from repro.core.candidate_selection import CandidateSelection, CandidateSelector
 from repro.core.config import TargADConfig
 from repro.core.model import TargAD
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import ModelLoadError, load_model, save_model
 from repro.core.pseudo_labels import (
     normal_pseudo_label,
     ood_pseudo_label,
@@ -24,6 +24,7 @@ from repro.core.weighting import initial_weights, update_weights
 __all__ = [
     "CandidateSelection",
     "CandidateSelector",
+    "ModelLoadError",
     "TargAD",
     "TargADConfig",
     "initial_weights",

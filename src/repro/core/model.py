@@ -10,8 +10,10 @@ Usage::
 
 from __future__ import annotations
 
+import copy
 import time
-from typing import Callable, List, Optional
+from pathlib import Path
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -93,8 +95,14 @@ class TargAD:
         X_labeled: np.ndarray,
         y_labeled: np.ndarray,
         epoch_callback: Optional[Callable[[int, "TargAD"], None]] = None,
+        *,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        max_rollbacks: int = 3,
+        lr_backoff: float = 0.5,
     ) -> "TargAD":
-        """Train per Algorithm 1.
+        """Train per Algorithm 1, with optional checkpointing and resume.
 
         Parameters
         ----------
@@ -105,8 +113,36 @@ class TargAD:
             ``[0, m)``.
         epoch_callback:
             Optional hook called after every classifier epoch (used by the
-            convergence experiments, Fig. 3).
+            convergence experiments, Fig. 3). The finished epoch is already
+            checkpointed when the hook runs, so a crash inside it loses
+            nothing.
+        checkpoint_dir:
+            Directory for periodic training checkpoints (see
+            :mod:`repro.resilience.checkpoint`). ``None`` disables disk
+            checkpoints; the in-memory rollback guard still runs.
+        checkpoint_every:
+            Epoch interval between checkpoints (both the on-disk files and
+            the in-memory rollback snapshot).
+        resume:
+            Resume from the latest checkpoint in ``checkpoint_dir`` (if one
+            exists — otherwise training starts from scratch). Candidate
+            selection is skipped and the run continues bit-for-bit where
+            it stopped; requires the same data and config.
+        max_rollbacks:
+            Non-finite-loss guard budget: how many times a diverged epoch
+            may be rolled back (with the learning rate multiplied by
+            ``lr_backoff``) before ``fit`` raises
+            :class:`~repro.resilience.errors.TrainingDivergenceError`.
+        lr_backoff:
+            Learning-rate multiplier applied on each rollback.
         """
+        from repro.resilience.checkpoint import (
+            latest_checkpoint,
+            load_checkpoint,
+            save_checkpoint,
+        )
+        from repro.resilience.errors import TrainingDivergenceError
+
         cfg = self.config
         fit_start = time.perf_counter()
         X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
@@ -116,27 +152,56 @@ class TargAD:
             raise ValueError("TargAD requires at least one labeled target anomaly")
         if len(X_labeled) != len(y_labeled):
             raise ValueError("X_labeled and y_labeled length mismatch")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if not 0.0 < lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         m = int(y_labeled.max()) + 1
         self.m_ = m
 
+        restored = None
+        if resume:
+            ckpt_path = latest_checkpoint(checkpoint_dir)
+            if ckpt_path is not None:
+                restored = load_checkpoint(ckpt_path)
+                self._validate_checkpoint(restored, X_unlabeled, X_labeled, m)
+                self.telemetry.increment("resilience.checkpoint.resumes")
+                self.telemetry.record_event(
+                    "resilience.checkpoint.resumed",
+                    path=str(ckpt_path),
+                    epoch=restored.epoch,
+                )
+
         # --- Lines 1-7: candidate selection ----------------------------
-        self.selector_ = CandidateSelector(
-            k=cfg.k,
-            alpha=cfg.alpha,
-            eta=cfg.eta,
-            ae_hidden=cfg.ae_hidden,
-            ae_lr=cfg.ae_lr,
-            ae_batch_size=cfg.ae_batch_size,
-            ae_epochs=cfg.ae_epochs,
-            k_max=cfg.k_max,
-            random_state=cfg.random_state,
-            telemetry=self.telemetry if self.telemetry.enabled else None,
-        )
-        selection = self.selector_.fit(X_unlabeled, X_labeled)
-        self.selection_ = selection
+        if restored is None:
+            self.selector_ = CandidateSelector(
+                k=cfg.k,
+                alpha=cfg.alpha,
+                eta=cfg.eta,
+                ae_hidden=cfg.ae_hidden,
+                ae_lr=cfg.ae_lr,
+                ae_batch_size=cfg.ae_batch_size,
+                ae_epochs=cfg.ae_epochs,
+                k_max=cfg.k_max,
+                random_state=cfg.random_state,
+                telemetry=self.telemetry if self.telemetry.enabled else None,
+            )
+            selection = self.selector_.fit(X_unlabeled, X_labeled)
+            self.selection_ = selection
+            self.telemetry.observe(
+                "fit.candidate_selection", time.perf_counter() - fit_start
+            )
+        else:
+            # The selection stage is restored verbatim from the checkpoint.
+            self.selector_ = restored.selector
+            selection = restored.selection
+            self.selection_ = selection
         k = selection.k
         self.k_ = k
-        self.telemetry.observe("fit.candidate_selection", time.perf_counter() - fit_start)
 
         candidate_idx = selection.candidate_indices
         normal_idx = selection.normal_indices
@@ -186,62 +251,139 @@ class TargAD:
         self._candidate_weights = weights
         self.weight_history.append(weights.copy())
 
+        lr = cfg.clf_lr
+        rollbacks = 0
+        start_epoch = 0
+        if restored is not None:
+            from repro.nn.train import load_optimizer_state
+
+            self.network_.load_state_dict(restored.network_state)
+            load_optimizer_state(optimizer, restored.optimizer_state)
+            rng.bit_generator.state = copy.deepcopy(restored.rng_state)
+            weights = np.asarray(restored.weights, dtype=np.float64)
+            self._candidate_weights = weights
+            self.loss_history = list(restored.loss_history)
+            self.weight_history = [
+                np.asarray(w, dtype=np.float64) for w in restored.weight_history
+            ]
+            start_epoch = restored.epoch
+            lr = restored.lr
+            rollbacks = restored.rollbacks
+            optimizer.lr = lr
+
         from repro.nn.regularization import set_training
 
+        def checkpoint_args():
+            return dict(
+                n_unlabeled=len(X_unlabeled), n_labeled=len(X_labeled)
+            )
+
+        snapshot = self._take_training_snapshot(
+            optimizer, rng, weights, lr, rollbacks, start_epoch
+        )
+        if checkpoint_dir is not None and restored is None:
+            save_checkpoint(
+                checkpoint_dir, self, optimizer, rng, epoch=start_epoch,
+                lr=lr, rollbacks=rollbacks, **checkpoint_args(),
+            )
+            self.telemetry.increment("resilience.checkpoint.saves")
+
         train_start = time.perf_counter()
-        for epoch in range(cfg.clf_epochs):
+        epoch = start_epoch
+        while epoch < cfg.clf_epochs:
             epoch_start = time.perf_counter()
+            diverged = False
             if epoch > 0 and cfg.use_weighting and len(X_candidates):
                 set_training(self.network_, False)
                 probs = softmax(forward_in_batches(self.network_, X_candidates))
                 set_training(self.network_, True)
-                weights = update_weights(probs)
-                self._candidate_weights = weights
-                self.weight_history.append(weights.copy())
+                new_weights = update_weights(probs)
+                if not np.all(np.isfinite(new_weights)):
+                    diverged = True  # poisoned network; weights are garbage
+                else:
+                    weights = new_weights
+                    self._candidate_weights = weights
+                    self.weight_history.append(weights.copy())
 
-            streams = _pool_slices(
-                [len(X_labeled), len(X_normal), len(X_candidates)], n_batches, rng
-            )
-            # D_L is tiny (a few hundred rows at most); guarantee every batch
-            # sees a handful of labeled anomalies by oversampling, the
-            # standard practice for semi-supervised AD (cf. DevNet).
-            min_labeled = min(8, len(X_labeled))
             epoch_loss, batches, rows = 0.0, 0, 0
-            for b in range(n_batches):
-                idx_l = streams[0][b]
-                if len(idx_l) < min_labeled:
-                    idx_l = rng.integers(0, len(X_labeled), size=min_labeled)
-                idx_n = streams[1][b]
-                idx_a = streams[2][b]
-                if len(idx_l) == 0 and len(idx_n) == 0:
-                    continue  # L_CE / L_RE need at least one supervised row
-                optimizer.zero_grad()
-                loss = classifier_loss(
-                    self.network_,
-                    X_labeled[idx_l],
-                    targets_labeled[idx_l],
-                    X_normal[idx_n],
-                    targets_normal[idx_n],
-                    X_candidates[idx_a],
-                    ood_targets[idx_a],
-                    weights[idx_a],
-                    lambda1=cfg.lambda1,
-                    lambda2=cfg.lambda2,
-                    use_oe=cfg.use_oe_loss,
-                    use_re=cfg.use_re_loss,
+            if not diverged:
+                streams = _pool_slices(
+                    [len(X_labeled), len(X_normal), len(X_candidates)], n_batches, rng
                 )
-                loss.backward()
-                optimizer.step()
-                epoch_loss += float(loss.data)
-                batches += 1
-                rows += len(idx_l) + len(idx_n) + len(idx_a)
+                # D_L is tiny (a few hundred rows at most); guarantee every
+                # batch sees a handful of labeled anomalies by oversampling,
+                # the standard practice for semi-supervised AD (cf. DevNet).
+                min_labeled = min(8, len(X_labeled))
+                for b in range(n_batches):
+                    idx_l = streams[0][b]
+                    if len(idx_l) < min_labeled:
+                        idx_l = rng.integers(0, len(X_labeled), size=min_labeled)
+                    idx_n = streams[1][b]
+                    idx_a = streams[2][b]
+                    if len(idx_l) == 0 and len(idx_n) == 0:
+                        continue  # L_CE / L_RE need at least one supervised row
+                    optimizer.zero_grad()
+                    loss = classifier_loss(
+                        self.network_,
+                        X_labeled[idx_l],
+                        targets_labeled[idx_l],
+                        X_normal[idx_n],
+                        targets_normal[idx_n],
+                        X_candidates[idx_a],
+                        ood_targets[idx_a],
+                        weights[idx_a],
+                        lambda1=cfg.lambda1,
+                        lambda2=cfg.lambda2,
+                        use_oe=cfg.use_oe_loss,
+                        use_re=cfg.use_re_loss,
+                    )
+                    loss_value = float(loss.data)
+                    if not np.isfinite(loss_value):
+                        diverged = True  # never step through a NaN/inf loss
+                        break
+                    loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss_value
+                    batches += 1
+                    rows += len(idx_l) + len(idx_n) + len(idx_a)
+
+            if diverged:
+                rollbacks += 1
+                self.telemetry.increment("resilience.train.rollbacks")
+                self.telemetry.record_event(
+                    "resilience.train.rollback",
+                    epoch=epoch, lr=lr, rollbacks=rollbacks,
+                )
+                if rollbacks > max_rollbacks:
+                    raise TrainingDivergenceError(
+                        f"non-finite training loss at epoch {epoch} persisted "
+                        f"through {max_rollbacks} rollback(s) with learning-rate "
+                        f"backoff (last lr {lr:.3g}); inspect the training data "
+                        "for extreme values or lower clf_lr"
+                    )
+                lr *= lr_backoff
+                weights = self._restore_training_snapshot(snapshot, optimizer, rng, lr)
+                epoch = snapshot["epoch"]
+                continue
+
             self.loss_history.append(epoch_loss / max(batches, 1))
             if self.telemetry.enabled:
                 self._record_epoch_telemetry(
                     epoch, batches, rows, time.perf_counter() - epoch_start
                 )
+            epoch += 1
+            if epoch % checkpoint_every == 0 or epoch == cfg.clf_epochs:
+                snapshot = self._take_training_snapshot(
+                    optimizer, rng, weights, lr, rollbacks, epoch
+                )
+                if checkpoint_dir is not None:
+                    save_checkpoint(
+                        checkpoint_dir, self, optimizer, rng, epoch=epoch,
+                        lr=lr, rollbacks=rollbacks, **checkpoint_args(),
+                    )
+                    self.telemetry.increment("resilience.checkpoint.saves")
             if epoch_callback is not None:
-                epoch_callback(epoch, self)
+                epoch_callback(epoch - 1, self)
         self.telemetry.observe("fit.classifier", time.perf_counter() - train_start)
 
         # Training done: dropout (if any) stays off for all inference.
@@ -264,6 +406,87 @@ class TargAD:
         self.telemetry.observe("fit.calibration", time.perf_counter() - calibration_start)
         self.telemetry.observe("fit.total", time.perf_counter() - fit_start)
         return self
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing (checkpoint/resume + non-finite-loss rollback)
+    # ------------------------------------------------------------------
+    def _take_training_snapshot(
+        self, optimizer, rng, weights, lr, rollbacks, epoch
+    ) -> dict:
+        """In-memory epoch-boundary snapshot for the rollback guard."""
+        from repro.nn.train import optimizer_state
+
+        return {
+            "epoch": epoch,
+            "lr": lr,
+            "rollbacks": rollbacks,
+            "network": self.network_.state_dict(),
+            "optimizer": optimizer_state(optimizer),
+            "rng": copy.deepcopy(rng.bit_generator.state),
+            "weights": weights.copy(),
+            "n_loss": len(self.loss_history),
+            "n_weight_history": len(self.weight_history),
+        }
+
+    def _restore_training_snapshot(self, snapshot, optimizer, rng, lr) -> np.ndarray:
+        """Rewind training to ``snapshot``; returns the restored weights.
+
+        ``lr`` (the backed-off learning rate) overrides the snapshot's —
+        retrying at the rate that just diverged would diverge again.
+        """
+        from repro.nn.train import load_optimizer_state
+
+        self.network_.load_state_dict(snapshot["network"])
+        load_optimizer_state(optimizer, snapshot["optimizer"])
+        optimizer.lr = lr
+        rng.bit_generator.state = copy.deepcopy(snapshot["rng"])
+        del self.loss_history[snapshot["n_loss"]:]
+        del self.weight_history[snapshot["n_weight_history"]:]
+        weights = snapshot["weights"].copy()
+        self._candidate_weights = weights
+        return weights
+
+    def _validate_checkpoint(self, state, X_unlabeled, X_labeled, m) -> None:
+        """A checkpoint must match the workload it is resumed against."""
+        from repro.resilience.errors import CheckpointError
+
+        import dataclasses as _dc
+
+        problems = []
+        if state.n_unlabeled != len(X_unlabeled):
+            problems.append(
+                f"unlabeled pool size {len(X_unlabeled)} != checkpoint {state.n_unlabeled}"
+            )
+        if state.n_features != X_unlabeled.shape[1]:
+            problems.append(
+                f"feature width {X_unlabeled.shape[1]} != checkpoint {state.n_features}"
+            )
+        if state.n_labeled != len(X_labeled):
+            problems.append(
+                f"labeled set size {len(X_labeled)} != checkpoint {state.n_labeled}"
+            )
+        if state.m != m:
+            problems.append(f"target-class count {m} != checkpoint {state.m}")
+        current = _dc.asdict(self.config)
+        saved = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in state.config.items()
+        }
+        current = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in current.items()
+        }
+        differing = sorted(
+            key for key in set(current) | set(saved)
+            if current.get(key) != saved.get(key)
+        )
+        if differing:
+            problems.append(f"config fields differ: {differing}")
+        if problems:
+            raise CheckpointError(
+                "checkpoint does not match this fit() call — "
+                + "; ".join(problems)
+            )
 
     def _record_epoch_telemetry(self, epoch: int, batches: int, rows: int, seconds: float) -> None:
         """One ``train.epoch`` timer sample + structured event per epoch.

@@ -4,15 +4,25 @@ A fitted TargAD is a classifier network plus candidate-selection artifacts
 (k-means centroids and per-cluster autoencoders) plus calibration state.
 Everything is numpy, so a single ``.npz`` archive with a JSON header holds
 the complete model.
+
+Writes are crash-safe: :func:`save_model` (and the lower-level
+:func:`atomic_savez`) writes to a temporary file in the destination
+directory and ``os.replace``\\ s it into place, so an interrupted save never
+leaves a truncated archive behind. Reads are defensive: a corrupt or
+truncated archive raises :class:`ModelLoadError` with the format-version
+detail instead of a raw numpy/JSON traceback. The same header + packed-array
+format is reused by :mod:`repro.resilience.checkpoint` for training
+checkpoints.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import io
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -22,12 +32,24 @@ from repro.core.model import TargAD
 _FORMAT_VERSION = 1
 
 
-def _pack_module(prefix: str, module, arrays: dict) -> None:
+class ModelLoadError(ValueError):
+    """A model/checkpoint archive could not be read.
+
+    Raised on truncated files, invalid zip containers, undecodable JSON
+    headers, missing arrays, and unsupported format versions — anything
+    where the archive on disk is not a well-formed artifact of the current
+    :data:`_FORMAT_VERSION`.
+    """
+
+
+def pack_module(prefix: str, module, arrays: dict) -> None:
+    """Pack ``module.state_dict()`` into ``arrays`` under ``prefix:<i>`` keys."""
     for i, value in enumerate(module.state_dict()):
         arrays[f"{prefix}:{i}"] = value
 
 
-def _unpack_module(prefix: str, module, archive) -> None:
+def unpack_module(prefix: str, module, archive) -> None:
+    """Inverse of :func:`pack_module` against a loaded archive/dict."""
     state = []
     i = 0
     while f"{prefix}:{i}" in archive:
@@ -36,77 +58,108 @@ def _unpack_module(prefix: str, module, archive) -> None:
     module.load_state_dict(state)
 
 
-def save_model(model: TargAD, path: Union[str, Path]) -> None:
-    """Serialize a fitted TargAD to ``path`` (``.npz``)."""
-    model._check_fitted()
+def encode_header(header: dict) -> np.ndarray:
+    """JSON-encode a header dict as a uint8 array for npz storage."""
+    return np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+
+
+def atomic_savez(path: Union[str, Path], arrays: Dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` as a compressed npz, atomically.
+
+    The archive is written to a temporary file in the destination directory
+    (same filesystem, so the final ``os.replace`` is atomic); on any error
+    the partial temp file is removed and the previous file at ``path`` — if
+    any — is left untouched.
+    """
     path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
-    header = {
-        "format_version": _FORMAT_VERSION,
-        "config": dataclasses.asdict(model.config),
-        "m": model.m_,
-        "k": model.k_,
-        "n_autoencoders": len(model.selector_.autoencoders_),
-        "ae_fitted": [ae.encoder is not None for ae in model.selector_.autoencoders_],
-    }
 
-    arrays: dict = {
-        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        "kmeans_centers": model.selector_.kmeans_.cluster_centers_,
-        "calibration_id": model._calibration_logits[0],
-        "calibration_ood": model._calibration_logits[1],
-        "sel_errors": model.selection_.errors,
-        "sel_scores": model.selection_.selection_scores,
-        "sel_clusters": model.selection_.cluster_labels,
-        "sel_mask": model.selection_.candidate_mask,
-        "sel_threshold": np.array(model.selection_.threshold),
-    }
-    _pack_module("classifier", model.network_, arrays)
+def load_archive(path: Union[str, Path], kind: str = "model") -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Read an npz archive written by this module; returns (header, arrays).
+
+    Arrays are loaded eagerly so truncation inside any member surfaces here
+    (as :class:`ModelLoadError`) rather than at first lazy access. A missing
+    file still raises ``FileNotFoundError`` — that is an addressing mistake,
+    not a corrupt artifact.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such {kind} archive: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise ModelLoadError(
+            f"corrupt or truncated {kind} archive {path} "
+            f"(expected format version {_FORMAT_VERSION}): {exc}"
+        ) from exc
+    if "header" not in arrays:
+        raise ModelLoadError(
+            f"{kind} archive {path} has no header "
+            f"(expected format version {_FORMAT_VERSION})"
+        )
+    try:
+        header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ModelLoadError(
+            f"{kind} archive {path} has an undecodable JSON header "
+            f"(expected format version {_FORMAT_VERSION}): {exc}"
+        ) from exc
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ModelLoadError(
+            f"unsupported {kind} format version {version!r} in {path} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    return header, arrays
+
+
+def pack_selector(model: TargAD, arrays: dict, header: dict) -> None:
+    """Pack the candidate-selection stage (k-means + AEs + selection)."""
+    header["n_autoencoders"] = len(model.selector_.autoencoders_)
+    header["ae_fitted"] = [ae.encoder is not None for ae in model.selector_.autoencoders_]
+    arrays["kmeans_centers"] = model.selector_.kmeans_.cluster_centers_
+    arrays["sel_errors"] = model.selection_.errors
+    arrays["sel_scores"] = model.selection_.selection_scores
+    arrays["sel_clusters"] = model.selection_.cluster_labels
+    arrays["sel_mask"] = model.selection_.candidate_mask
+    arrays["sel_threshold"] = np.array(model.selection_.threshold)
     for idx, ae in enumerate(model.selector_.autoencoders_):
         if ae.encoder is not None:
-            _pack_module(f"ae{idx}:enc", ae.encoder, arrays)
-            _pack_module(f"ae{idx}:dec", ae.decoder, arrays)
-
-    with open(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
+            pack_module(f"ae{idx}:enc", ae.encoder, arrays)
+            pack_module(f"ae{idx}:dec", ae.decoder, arrays)
 
 
-def load_model(path: Union[str, Path]) -> TargAD:
-    """Reconstruct a fitted TargAD saved by :func:`save_model`."""
+def unpack_selector(header: dict, archive, config: TargADConfig, k: int):
+    """Rebuild the fitted :class:`CandidateSelector` + its selection."""
     from repro.cluster import KMeans
     from repro.core.candidate_selection import CandidateSelection, CandidateSelector
     from repro.nn.autoencoder import SADAutoencoder
-    from repro.nn.layers import mlp
-
-    archive = np.load(Path(path), allow_pickle=False)
-    header = json.loads(bytes(archive["header"]).decode("utf-8"))
-    if header["format_version"] != _FORMAT_VERSION:
-        raise ValueError(f"unsupported model format version {header['format_version']}")
-
-    config = TargADConfig(**{
-        key: tuple(value) if isinstance(value, list) else value
-        for key, value in header["config"].items()
-    })
-    model = TargAD(config)
-    model.m_ = header["m"]
-    model.k_ = header["k"]
 
     centers = archive["kmeans_centers"]
     n_features = centers.shape[1]
     rng = np.random.default_rng(0)
 
-    # Classifier network.
-    model.network_ = mlp(
-        [n_features, *config.clf_hidden, model.m_ + model.k_], activation="relu", rng=rng
-    )
-    _unpack_module("classifier", model.network_, archive)
-
-    # Candidate selector: k-means + autoencoders.
     selector = CandidateSelector(
-        k=model.k_, alpha=config.alpha, eta=config.eta, ae_hidden=config.ae_hidden,
+        k=k, alpha=config.alpha, eta=config.eta, ae_hidden=config.ae_hidden,
         random_state=config.random_state,
     )
-    kmeans = KMeans(n_clusters=model.k_)
+    kmeans = KMeans(n_clusters=k)
     kmeans.cluster_centers_ = centers
     selector.kmeans_ = kmeans
     selector.autoencoders_ = []
@@ -114,21 +167,83 @@ def load_model(path: Union[str, Path]) -> TargAD:
         ae = SADAutoencoder(eta=config.eta, hidden_sizes=config.ae_hidden)
         if header["ae_fitted"][idx]:
             ae._build(n_features, rng)
-            _unpack_module(f"ae{idx}:enc", ae.encoder, archive)
-            _unpack_module(f"ae{idx}:dec", ae.decoder, archive)
+            unpack_module(f"ae{idx}:enc", ae.encoder, archive)
+            unpack_module(f"ae{idx}:dec", ae.decoder, archive)
         selector.autoencoders_.append(ae)
-    model.selector_ = selector
 
-    model.selection_ = CandidateSelection(
+    selection = CandidateSelection(
         errors=archive["sel_errors"],
         selection_scores=archive["sel_scores"],
         cluster_labels=archive["sel_clusters"],
         candidate_mask=archive["sel_mask"],
         threshold=float(archive["sel_threshold"]),
-        k=model.k_,
+        k=k,
     )
-    selector.selection_ = model.selection_
+    selector.selection_ = selection
+    return selector, selection
 
-    model._calibration_logits = (archive["calibration_id"], archive["calibration_ood"])
+
+def config_from_header(header: dict) -> TargADConfig:
+    """Reconstruct the :class:`TargADConfig` stored in an archive header."""
+    return TargADConfig(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in header["config"].items()
+    })
+
+
+def save_model(model: TargAD, path: Union[str, Path]) -> None:
+    """Serialize a fitted TargAD to ``path`` (``.npz``), atomically."""
+    model._check_fitted()
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "m": model.m_,
+        "k": model.k_,
+    }
+    arrays: dict = {
+        "calibration_id": model._calibration_logits[0],
+        "calibration_ood": model._calibration_logits[1],
+    }
+    pack_selector(model, arrays, header)
+    pack_module("classifier", model.network_, arrays)
+    arrays["header"] = encode_header(header)
+    atomic_savez(path, arrays)
+
+
+def load_model(path: Union[str, Path]) -> TargAD:
+    """Reconstruct a fitted TargAD saved by :func:`save_model`.
+
+    Raises
+    ------
+    ModelLoadError
+        If the archive is corrupt, truncated, missing required arrays, or
+        written by an unsupported format version.
+    """
+    from repro.nn.layers import mlp
+
+    header, archive = load_archive(path, kind="model")
+    try:
+        config = config_from_header(header)
+        model = TargAD(config)
+        model.m_ = header["m"]
+        model.k_ = header["k"]
+
+        n_features = archive["kmeans_centers"].shape[1]
+        model.network_ = mlp(
+            [n_features, *config.clf_hidden, model.m_ + model.k_],
+            activation="relu", rng=np.random.default_rng(0),
+        )
+        unpack_module("classifier", model.network_, archive)
+
+        model.selector_, model.selection_ = unpack_selector(
+            header, archive, config, model.k_
+        )
+        model._calibration_logits = (archive["calibration_id"], archive["calibration_ood"])
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise ModelLoadError(
+            f"model archive {path} (format version {header.get('format_version')}) "
+            f"is missing or mangles required entries: {exc}"
+        ) from exc
     model._strategies = {}
     return model

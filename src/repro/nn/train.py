@@ -61,6 +61,51 @@ def train_epoch(
     return total / max(batches, 1)
 
 
+def optimizer_state(optimizer: Optimizer) -> dict:
+    """Snapshot an optimizer's internal state (copies).
+
+    Returns ``{"lr": float, "step_count": int | None, "slots": {name: [arrays]}}``
+    covering the moment/velocity buffers of :class:`~repro.nn.optimizers.Adam`,
+    ``SGD``, and ``RMSprop``. Slots that have not been materialized yet (no
+    ``step()`` taken) are omitted. Used by training checkpoint/resume so an
+    interrupted run continues with identical optimizer dynamics.
+    """
+    slot_names = {"_m": "m", "_v": "v", "_velocity": "velocity", "_sq": "sq"}
+    slots = {}
+    for attr, name in slot_names.items():
+        value = getattr(optimizer, attr, None)
+        if value is not None:
+            slots[name] = [np.array(arr, copy=True) for arr in value]
+    return {
+        "lr": float(optimizer.lr),
+        "step_count": getattr(optimizer, "_step_count", None),
+        "slots": slots,
+    }
+
+
+def load_optimizer_state(optimizer: Optimizer, state: dict) -> None:
+    """Restore a snapshot produced by :func:`optimizer_state`.
+
+    The optimizer must wrap the same parameter list (same order/shapes) it
+    had when the snapshot was taken.
+    """
+    optimizer.lr = float(state["lr"])
+    if state.get("step_count") is not None and hasattr(optimizer, "_step_count"):
+        optimizer._step_count = int(state["step_count"])
+    slot_names = {"m": "_m", "v": "_v", "velocity": "_velocity", "sq": "_sq"}
+    for name, arrays in state.get("slots", {}).items():
+        attr = slot_names[name]
+        if not hasattr(optimizer, attr):
+            raise ValueError(f"optimizer {type(optimizer).__name__} has no slot {name!r}")
+        restored = [np.array(arr, copy=True) for arr in arrays]
+        if len(restored) != len(optimizer.params):
+            raise ValueError(
+                f"slot {name!r} has {len(restored)} arrays, "
+                f"optimizer has {len(optimizer.params)} parameters"
+            )
+        setattr(optimizer, attr, restored)
+
+
 def infer_output_dim(model: Module) -> Optional[int]:
     """Output width of ``model``, inferred from its last ``Dense`` layer.
 

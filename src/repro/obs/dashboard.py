@@ -23,6 +23,7 @@ _KNOWN_SERIES = (
     ("train.epoch", "rows_per_sec", "training throughput (rows/s) / epoch"),
     ("serve.batch", "n_alerts", "alerts / batch"),
     ("serve.batch", "latency_ms", "process latency (ms) / batch"),
+    ("serve.batch", "n_quarantined", "quarantined rows / batch"),
 )
 
 

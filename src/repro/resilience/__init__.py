@@ -1,0 +1,71 @@
+"""Resilience layer: checkpoint/resume, circuit breaking, fault injection.
+
+Production serving meets bad data and partial failures as a matter of
+course — the paper's own premise is an unlabeled pool polluted by
+anomalies nobody labeled. This package makes the pipeline survive them:
+
+- :mod:`~repro.resilience.checkpoint` — periodic training checkpoints for
+  ``TargAD.fit(..., checkpoint_dir=..., resume=True)`` with bit-identical
+  resume;
+- :mod:`~repro.resilience.breaker` — a closed/open/half-open
+  :class:`CircuitBreaker` with a deterministic, injectable clock;
+- :mod:`~repro.resilience.fallback` — :class:`ReconstructionFallback`,
+  the degraded-mode scorer built from the candidate-selection
+  autoencoders' Eq. 2 reconstruction error;
+- :mod:`~repro.resilience.sanitize` — input sanitization that quarantines
+  non-finite / wrong-width rows instead of crashing the batch;
+- :mod:`~repro.resilience.faultinject` — declarative, seeded
+  :class:`FaultPlan` chaos harness for tests and the ``repro resilience``
+  CLI replay.
+
+Everything emits ``resilience.*`` telemetry through the standard
+:mod:`repro.obs` registry.
+"""
+
+from repro.core.persistence import ModelLoadError
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ManualClock,
+)
+from repro.resilience.checkpoint import (
+    TrainingState,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.errors import (
+    CheckpointError,
+    InjectedFault,
+    TrainingDivergenceError,
+)
+from repro.resilience.fallback import ReconstructionFallback
+from repro.resilience.faultinject import FaultPlan, FaultyModel, corrupt_rows
+from repro.resilience.sanitize import SanitizedBatch, expected_width, sanitize_batch
+
+__all__ = [
+    "CLOSED",
+    "CheckpointError",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultyModel",
+    "HALF_OPEN",
+    "InjectedFault",
+    "ManualClock",
+    "ModelLoadError",
+    "OPEN",
+    "ReconstructionFallback",
+    "SanitizedBatch",
+    "TrainingDivergenceError",
+    "TrainingState",
+    "corrupt_rows",
+    "expected_width",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "sanitize_batch",
+    "save_checkpoint",
+]

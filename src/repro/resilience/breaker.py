@@ -1,0 +1,172 @@
+"""Circuit breaker for the serving path.
+
+A classic closed → open → half-open state machine guarding the primary
+scorer:
+
+- **closed** — traffic flows; ``failure_threshold`` *consecutive* faults
+  trip the breaker;
+- **open** — the primary is not attempted at all until ``cooldown``
+  seconds have elapsed;
+- **half-open** — after the cooldown one probe batch at a time is let
+  through; ``half_open_successes`` consecutive probe successes close the
+  breaker, any probe failure re-opens it (and restarts the cooldown).
+
+Time is injectable: the breaker never calls ``time.monotonic`` directly
+but whatever ``clock`` callable it was given, so tests (and the CLI
+replay) drive it with a :class:`ManualClock` and stay fully
+deterministic. State changes emit ``resilience.breaker.*`` telemetry
+events through the :mod:`repro.obs` registry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.obs import ensure_telemetry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding used for the ``resilience.breaker.state`` gauge.
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class ManualClock:
+    """A deterministic clock for tests and replays: advances only on demand."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with an injectable clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    cooldown:
+        Seconds the breaker stays open before allowing half-open probes.
+    half_open_successes:
+        Consecutive successful probes required to close again.
+    clock:
+        Monotonic-time callable; defaults to ``time.monotonic``. Inject a
+        :class:`ManualClock` for deterministic tests.
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryRegistry` receiving the
+        ``resilience.breaker.*`` events/counters. ``None`` = no-op.
+    name:
+        Label attached to every telemetry event (one registry may watch
+        several breakers).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        half_open_successes: int = 1,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry=None,
+        name: str = "serve",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        if half_open_successes < 1:
+            raise ValueError("half_open_successes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_successes = half_open_successes
+        self.name = name
+        self._clock = clock if clock is not None else time.monotonic
+        self.telemetry = ensure_telemetry(telemetry)
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at: Optional[float] = None
+
+    # -- state -----------------------------------------------------------
+    def _poll(self) -> None:
+        """Open → half-open once the cooldown has elapsed."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._transition(HALF_OPEN)
+            self._probe_successes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state string: ``closed`` / ``open`` / ``half_open``."""
+        self._poll()
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the primary path right now?"""
+        self._poll()
+        return self._state != OPEN
+
+    # -- outcome reporting ----------------------------------------------
+    def record_success(self) -> None:
+        """Report one successful primary call."""
+        self._poll()
+        self.telemetry.increment("resilience.breaker.successes")
+        if self._state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_successes:
+                self._consecutive_failures = 0
+                self._transition(CLOSED, event="recover")
+        elif self._state == CLOSED:
+            self._consecutive_failures = 0
+        # A success reported while OPEN (caller ignored allow()) is a no-op.
+
+    def record_failure(self) -> None:
+        """Report one failed primary call."""
+        self._poll()
+        self.telemetry.increment("resilience.breaker.failures")
+        if self._state == HALF_OPEN:
+            self._open(event="reopen")
+        elif self._state == CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open(event="trip")
+        # Failures while OPEN cannot happen through allow(); ignore them.
+
+    def _open(self, event: str) -> None:
+        self._opened_at = self._clock()
+        self._probe_successes = 0
+        self._transition(OPEN, event=event)
+
+    def _transition(self, new_state: str, event: Optional[str] = None) -> None:
+        old = self._state
+        self._state = new_state
+        self.telemetry.set_gauge("resilience.breaker.state", STATE_CODES[new_state])
+        if event is not None:
+            self.telemetry.increment(f"resilience.breaker.{event}s")
+            self.telemetry.record_event(
+                f"resilience.breaker.{event}",
+                breaker=self.name,
+                from_state=old,
+                to_state=new_state,
+                consecutive_failures=self._consecutive_failures,
+            )
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for dashboards and the CLI summary."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown": self.cooldown,
+            "half_open_successes": self.half_open_successes,
+        }

@@ -1,0 +1,223 @@
+"""Periodic training checkpoints for ``TargAD.fit``.
+
+A checkpoint is a complete, self-contained snapshot of training at an
+epoch boundary: the candidate-selection artifacts (k-means centroids,
+per-cluster SAD autoencoders, the selection itself), the classifier
+network, the optimizer's moment buffers, the Eq. 5 instance weights, the
+loss/weight histories, the RNG state, and the epoch counter. Resuming
+from it replays the remaining epochs *bit-for-bit identically* to an
+uninterrupted run — candidate selection is skipped entirely and the
+restored RNG continues the exact shuffle stream.
+
+Files are ``ckpt-<epoch>.npz`` in the checkpoint directory, written
+atomically through :func:`repro.core.persistence.atomic_savez` (same
+JSON-header npz format as saved models); older checkpoints are pruned,
+keeping the most recent few. Corrupt or mismatched checkpoints raise
+:class:`~repro.resilience.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core import persistence
+from repro.nn.train import optimizer_state as snapshot_optimizer_state
+from repro.resilience.errors import CheckpointError
+
+_CKPT_RE = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+@dataclass
+class TrainingState:
+    """Everything ``fit(resume=True)`` needs to continue training.
+
+    ``epoch`` counts *completed* classifier epochs; resume starts at that
+    epoch index. ``selector``/``selection`` are fully rebuilt fitted
+    objects; ``network_state`` stays raw (the model rebuilds its network —
+    including any dropout modules — and loads the arrays into it).
+    """
+
+    epoch: int
+    lr: float
+    rollbacks: int
+    rng_state: dict
+    weights: np.ndarray
+    loss_history: List[float]
+    weight_history: List[np.ndarray]
+    network_state: List[np.ndarray]
+    optimizer_state: dict
+    m: int
+    k: int
+    n_unlabeled: int
+    n_labeled: int
+    n_features: int
+    config: dict
+    selector: object = field(default=None, repr=False)
+    selection: object = field(default=None, repr=False)
+
+
+def checkpoint_path(directory: Union[str, Path], epoch: int) -> Path:
+    return Path(directory) / f"ckpt-{epoch:05d}.npz"
+
+
+def list_checkpoints(directory: Union[str, Path]) -> List[Path]:
+    """Checkpoint files in ``directory``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _CKPT_RE.match(entry.name)
+        if match is not None:
+            found.append((int(match.group(1)), entry))
+    return [path for _, path in sorted(found)]
+
+
+def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
+    """Most recent checkpoint in ``directory``, or ``None``."""
+    checkpoints = list_checkpoints(directory)
+    return checkpoints[-1] if checkpoints else None
+
+
+def save_checkpoint(
+    directory: Union[str, Path],
+    model,
+    optimizer,
+    rng: np.random.Generator,
+    epoch: int,
+    lr: float,
+    rollbacks: int = 0,
+    n_unlabeled: int = 0,
+    n_labeled: int = 0,
+    keep: int = 3,
+) -> Path:
+    """Write one checkpoint atomically and prune older ones.
+
+    ``model`` is a mid-``fit`` TargAD whose selection stage has completed;
+    ``epoch`` is the number of classifier epochs finished so far.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    header = {
+        "format_version": persistence._FORMAT_VERSION,
+        "kind": "checkpoint",
+        "config": dataclasses.asdict(model.config),
+        "m": model.m_,
+        "k": model.k_,
+        "epoch": int(epoch),
+        "lr": float(lr),
+        "rollbacks": int(rollbacks),
+        "rng_state": rng.bit_generator.state,
+        "n_unlabeled": int(n_unlabeled),
+        "n_labeled": int(n_labeled),
+    }
+    arrays: dict = {}
+    persistence.pack_selector(model, arrays, header)
+    persistence.pack_module("classifier", model.network_, arrays)
+
+    opt_state = snapshot_optimizer_state(optimizer)
+    header["optimizer"] = {
+        "type": type(optimizer).__name__,
+        "lr": opt_state["lr"],
+        "step_count": opt_state["step_count"],
+        "slots": sorted(opt_state["slots"]),
+    }
+    for name, slot_arrays in opt_state["slots"].items():
+        for i, value in enumerate(slot_arrays):
+            arrays[f"opt:{name}:{i}"] = value
+
+    weights = model._candidate_weights
+    arrays["weights"] = (weights if weights is not None
+                         else np.empty(0, dtype=np.float64))
+    arrays["loss_history"] = np.asarray(model.loss_history, dtype=np.float64)
+    if model.weight_history:
+        arrays["weight_history"] = np.vstack(model.weight_history)
+    else:
+        arrays["weight_history"] = np.empty((0, len(arrays["weights"])))
+    arrays["header"] = persistence.encode_header(header)
+
+    path = checkpoint_path(directory, epoch)
+    persistence.atomic_savez(path, arrays)
+
+    if keep >= 1:
+        for old in list_checkpoints(directory)[:-keep]:
+            try:
+                old.unlink()
+            except OSError:
+                pass
+    return path
+
+
+def _unpack_list(prefix: str, archive) -> List[np.ndarray]:
+    values = []
+    i = 0
+    while f"{prefix}:{i}" in archive:
+        values.append(archive[f"{prefix}:{i}"])
+        i += 1
+    return values
+
+
+def load_checkpoint(path: Union[str, Path]) -> TrainingState:
+    """Read a checkpoint back into a :class:`TrainingState`.
+
+    Raises
+    ------
+    CheckpointError
+        On corrupt/truncated archives or archives that are not training
+        checkpoints.
+    """
+    try:
+        header, archive = persistence.load_archive(path, kind="checkpoint")
+    except persistence.ModelLoadError as exc:
+        raise CheckpointError(str(exc)) from exc
+    if header.get("kind") != "checkpoint":
+        raise CheckpointError(
+            f"{path} is not a training checkpoint (kind={header.get('kind')!r}); "
+            "did you point --checkpoint-dir at saved models?"
+        )
+    try:
+        config = persistence.config_from_header(header)
+        k = header["k"]
+        selector, selection = persistence.unpack_selector(header, archive, config, k)
+
+        slots = {
+            name: _unpack_list(f"opt:{name}", archive)
+            for name in header["optimizer"]["slots"]
+        }
+        optimizer_state = {
+            "lr": header["optimizer"]["lr"],
+            "step_count": header["optimizer"]["step_count"],
+            "slots": slots,
+        }
+        weight_history = [row for row in archive["weight_history"]]
+        return TrainingState(
+            epoch=int(header["epoch"]),
+            lr=float(header["lr"]),
+            rollbacks=int(header["rollbacks"]),
+            rng_state=header["rng_state"],
+            weights=archive["weights"],
+            loss_history=[float(x) for x in archive["loss_history"]],
+            weight_history=weight_history,
+            network_state=_unpack_list("classifier", archive),
+            optimizer_state=optimizer_state,
+            m=int(header["m"]),
+            k=int(k),
+            n_unlabeled=int(header["n_unlabeled"]),
+            n_labeled=int(header["n_labeled"]),
+            n_features=int(archive["kmeans_centers"].shape[1]),
+            config=header["config"],
+            selector=selector,
+            selection=selection,
+        )
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} (format version {header.get('format_version')}) "
+            f"is missing or mangles required entries: {exc}"
+        ) from exc

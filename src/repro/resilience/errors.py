@@ -1,0 +1,36 @@
+"""Exception types of the resilience layer.
+
+Kept free of heavyweight imports so every other resilience module (and
+test) can import them cheaply. :class:`~repro.core.persistence.ModelLoadError`
+— the corrupt-artifact error — lives in :mod:`repro.core.persistence`
+next to the archive reader and is re-exported from
+:mod:`repro.resilience` for discoverability.
+"""
+
+from __future__ import annotations
+
+
+class TrainingDivergenceError(RuntimeError):
+    """Training produced non-finite losses and exhausted its retries.
+
+    Raised by ``TargAD.fit`` after the non-finite-loss guard has rolled
+    back to the last checkpoint and retried with learning-rate backoff
+    the configured number of times without recovering.
+    """
+
+
+class CheckpointError(RuntimeError):
+    """A training checkpoint could not be loaded or does not match.
+
+    Covers corrupt/truncated checkpoint archives and checkpoints whose
+    recorded workload (pool size, feature width, label count, classifier
+    architecture) disagrees with the data passed to ``fit(resume=True)``.
+    """
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic fault raised by a fault-injection plan.
+
+    A distinct type so chaos tests can tell injected faults apart from
+    genuine bugs surfacing during the same run.
+    """

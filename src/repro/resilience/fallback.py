@@ -1,0 +1,80 @@
+"""Degraded-mode scorer built from the candidate-selection autoencoders.
+
+When the circuit breaker takes the primary classifier out of rotation,
+serving must still produce a ranked alert queue. The candidate-selection
+stage of a fitted TargAD already contains one autoencoder per behaviour
+cluster trained on the (mostly normal) unlabeled pool, and its per-row
+reconstruction error — Eq. (2), ``S^Rec`` — is a classical anomaly
+score: normal traffic reconstructs well, anomalies do not.
+
+:class:`ReconstructionFallback` rank-normalizes that error against a
+calibration sample so degraded-mode scores live on the same ``[0, 1]``
+scale as the primary Eq. (9) score, and sets its alert threshold so the
+degraded queue flags (approximately) the same fraction of traffic the
+calibrated primary threshold did. The fallback cannot separate target
+from non-target anomalies — everything it flags goes to the analyst
+queue, which is the conservative failure direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ReconstructionFallback:
+    """Eq. 2 reconstruction-error scorer calibrated to an alert fraction.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.TargAD` (only its candidate-selection
+        autoencoders are used, so the fallback keeps working when the
+        classifier network misbehaves).
+    """
+
+    def __init__(self, model):
+        selector = getattr(model, "selector_", None)
+        if selector is None or selector.selection_ is None:
+            raise RuntimeError(
+                "fallback scorer needs a fitted TargAD with its "
+                "candidate-selection stage; call fit() or load_model() first"
+            )
+        self._selector = selector
+        self._calibration: Optional[np.ndarray] = None
+        self.threshold_: Optional[float] = None
+
+    def calibrate(self, X_val: np.ndarray, alert_fraction: float) -> "ReconstructionFallback":
+        """Fit the error ECDF on ``X_val`` and place the alert threshold.
+
+        ``alert_fraction`` is the share of validation traffic the primary
+        scorer alerts on; the fallback threshold is set so the same share
+        of calibration rows would be flagged by reconstruction error.
+        """
+        if not 0.0 <= alert_fraction <= 1.0:
+            raise ValueError("alert_fraction must be in [0, 1]")
+        X_val = np.asarray(X_val, dtype=np.float64)
+        if X_val.ndim != 2 or len(X_val) == 0:
+            raise ValueError("X_val must be a non-empty 2-D array")
+        errors = self._selector.reconstruction_error(X_val)
+        self._calibration = np.sort(errors[np.isfinite(errors)])
+        if len(self._calibration) == 0:
+            raise ValueError("calibration reconstruction errors are all non-finite")
+        self.threshold_ = 1.0 - alert_fraction
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Rank-normalized reconstruction error in ``[0, 1]``.
+
+        A row's score is the fraction of calibration rows with a smaller
+        or equal error, so ``score >= threshold_`` flags the top
+        ``alert_fraction`` of the calibration distribution.
+        """
+        if self._calibration is None:
+            raise RuntimeError("fallback is not calibrated; call calibrate() first")
+        errors = self._selector.reconstruction_error(np.asarray(X, dtype=np.float64))
+        ranks = np.searchsorted(self._calibration, errors, side="right")
+        scores = ranks / len(self._calibration)
+        # Non-finite reconstruction errors rank as maximally anomalous.
+        return np.where(np.isfinite(errors), scores, 1.0)

@@ -1,0 +1,133 @@
+"""Input sanitization for the serving path.
+
+A live stream feeds the detector whatever upstream produced: rows with
+NaN/inf from broken feature joins, rows of the wrong width from schema
+drift in a ragged payload. :func:`sanitize_batch` splits one incoming
+batch into the clean sub-batch that is safe to score and the quarantined
+rows that are not — the two index sets always partition the batch, which
+is the invariant the property tests pin down.
+
+The distinction between *row* problems and *batch* problems matters: a
+ragged payload with a few short rows is row noise and is quarantined, but
+a uniform 2-D batch whose width disagrees with the model is a wiring
+mistake and raises a :class:`ValueError` naming both widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SanitizedBatch:
+    """Outcome of sanitizing one incoming batch.
+
+    ``kept`` and ``quarantined`` are index arrays into the *original*
+    batch; together they partition ``range(n_total)``. ``X`` holds the
+    kept rows (in original order) as a finite ``(len(kept), n_features)``
+    float array.
+    """
+
+    X: np.ndarray
+    kept: np.ndarray
+    quarantined: np.ndarray
+
+    @property
+    def n_total(self) -> int:
+        return len(self.kept) + len(self.quarantined)
+
+
+def expected_width(model) -> int:
+    """Feature width a fitted TargAD accepts.
+
+    Read from the k-means centroids of the candidate-selection stage
+    (always present after ``fit``/``load_model``), falling back to the
+    first dense layer of the classifier.
+    """
+    selector = getattr(model, "selector_", None)
+    if selector is not None and getattr(selector, "kmeans_", None) is not None:
+        return int(selector.kmeans_.cluster_centers_.shape[1])
+    network = getattr(model, "network_", None)
+    if network is not None:
+        for module in getattr(network, "modules", []):
+            in_features = getattr(module, "in_features", None)
+            if in_features is not None:
+                return int(in_features)
+    raise ValueError("cannot infer the model's feature width; is it fitted?")
+
+
+def _sanitize_ragged(rows: Sequence, n_features: int) -> SanitizedBatch:
+    kept, quarantined, clean = [], [], []
+    for i, row in enumerate(rows):
+        try:
+            values = np.asarray(row, dtype=np.float64).ravel()
+        except (TypeError, ValueError):
+            quarantined.append(i)
+            continue
+        if values.size != n_features or not np.all(np.isfinite(values)):
+            quarantined.append(i)
+        else:
+            kept.append(i)
+            clean.append(values)
+    X = (np.vstack(clean) if clean
+         else np.empty((0, n_features), dtype=np.float64))
+    return SanitizedBatch(
+        X=X,
+        kept=np.asarray(kept, dtype=np.int64),
+        quarantined=np.asarray(quarantined, dtype=np.int64),
+    )
+
+
+def sanitize_batch(X_batch, n_features: int) -> SanitizedBatch:
+    """Split a batch into scoreable rows and quarantined rows.
+
+    Parameters
+    ----------
+    X_batch:
+        A 2-D numeric array, or any sequence of row-likes (which may be
+        ragged — rows of the wrong length are quarantined individually).
+    n_features:
+        The feature width the model expects (:func:`expected_width`).
+
+    Raises
+    ------
+    ValueError
+        If the batch is a *uniform* 2-D array whose width differs from
+        ``n_features`` (every row is "wrong" the same way — that is a
+        schema/wiring error, not row noise), or if the input cannot be
+        interpreted as a batch of rows at all.
+    """
+    if n_features < 1:
+        raise ValueError("n_features must be >= 1")
+    try:
+        arr = np.asarray(X_batch, dtype=np.float64)
+    except (TypeError, ValueError):
+        arr = None  # ragged / mixed payload: fall through to row-by-row
+    if arr is not None and arr.ndim == 2:
+        if arr.shape[1] != n_features and arr.shape[0] > 0:
+            raise ValueError(
+                f"batch has {arr.shape[1]} features, model expects {n_features}"
+            )
+        finite = np.all(np.isfinite(arr), axis=1)
+        kept = np.flatnonzero(finite)
+        return SanitizedBatch(
+            X=arr[kept] if arr.shape[1] == n_features
+            else np.empty((0, n_features), dtype=np.float64),
+            kept=kept.astype(np.int64),
+            quarantined=np.flatnonzero(~finite).astype(np.int64),
+        )
+    if arr is not None and arr.ndim == 0:
+        raise ValueError("batch must be a sequence of rows, got a scalar")
+    if arr is not None and arr.ndim > 2:
+        raise ValueError(f"batch must be 2-D, got shape {arr.shape}")
+    # 1-D numeric array: a single bare row is ambiguous with a column —
+    # treat it as one row only when the width matches, else row-by-row
+    # handling quarantines each scalar "row".
+    if arr is not None and arr.ndim == 1 and arr.size == n_features and n_features > 1:
+        rows: Sequence = [arr]
+    else:
+        rows = list(X_batch)
+    return _sanitize_ragged(rows, n_features)

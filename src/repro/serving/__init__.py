@@ -10,9 +10,20 @@ pipelines). This package wraps a fitted TargAD for that setting:
   drift that would silently invalidate the detector;
 - :class:`~repro.serving.pipeline.AlertBatch` — the structured result a
   downstream queue consumes.
+
+The pipeline is hardened through :mod:`repro.resilience`: incoming rows
+are sanitized (bad rows quarantined, marked :data:`ROUTE_QUARANTINED` in
+the routing), and the primary scorer is guarded by a circuit breaker
+with a reconstruction-error fallback for degraded operation.
 """
 
 from repro.serving.drift import DriftMonitor, DriftReport
-from repro.serving.pipeline import AlertBatch, ScoringPipeline
+from repro.serving.pipeline import ROUTE_QUARANTINED, AlertBatch, ScoringPipeline
 
-__all__ = ["AlertBatch", "DriftMonitor", "DriftReport", "ScoringPipeline"]
+__all__ = [
+    "AlertBatch",
+    "DriftMonitor",
+    "DriftReport",
+    "ROUTE_QUARANTINED",
+    "ScoringPipeline",
+]

@@ -89,8 +89,13 @@ class DriftMonitor:
         if self._reference is None:
             raise RuntimeError("monitor is not fitted; call fit() first")
         X_batch = np.asarray(X_batch, dtype=np.float64)
+        if X_batch.ndim != 2:
+            raise ValueError(f"batch must be 2-D, got shape {X_batch.shape}")
         if X_batch.shape[1] != self._reference.shape[1]:
-            raise ValueError("batch feature count differs from reference")
+            raise ValueError(
+                f"batch has {X_batch.shape[1]} features but the drift "
+                f"reference has {self._reference.shape[1]}"
+            )
         stats = np.array([
             ks_statistic(self._reference[:, j], X_batch[:, j])
             for j in range(X_batch.shape[1])

@@ -1,17 +1,27 @@
 """Batch scoring pipeline around a fitted TargAD.
 
 Calibrates an operating threshold on a validation split (best-F1, target-
-recall, or review-budget policy), then processes live batches: score,
-route into normal / target / non-target via the tri-class rule, check for
-covariate drift, and emit a structured :class:`AlertBatch` for the
-downstream queue.
+recall, or review-budget policy), then processes live batches: sanitize,
+score, route into normal / target / non-target via the tri-class rule,
+check for covariate drift, and emit a structured :class:`AlertBatch` for
+the downstream queue.
+
+The pipeline is guarded for production: rows that cannot be scored
+(non-finite values, wrong width in a ragged payload) are quarantined
+instead of crashing the batch, and the primary scorer sits behind a
+:class:`~repro.resilience.breaker.CircuitBreaker`. When the primary
+faults repeatedly — raises, or emits non-finite scores — the breaker
+trips and batches are scored by the degraded
+:class:`~repro.resilience.fallback.ReconstructionFallback` until a
+half-open probe succeeds. Degraded results are annotated as such; the
+queue never silently mixes primary and fallback scores.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,7 +29,13 @@ from repro.core.model import TargAD
 from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
 from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
 from repro.obs import ensure_telemetry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.fallback import ReconstructionFallback
+from repro.resilience.sanitize import expected_width, sanitize_batch
 from repro.serving.drift import DriftMonitor, DriftReport
+
+#: Routing code for rows that were quarantined before scoring.
+ROUTE_QUARANTINED = -1
 
 
 @dataclass
@@ -28,7 +44,10 @@ class AlertBatch:
 
     ``alerts`` indexes rows whose score crossed the calibrated threshold,
     ordered by decreasing score (the analyst queue order). ``routing``
-    carries the tri-class decision per row.
+    carries the tri-class decision per row, with
+    :data:`ROUTE_QUARANTINED` marking rows that were never scored; their
+    ``scores`` entry is NaN. All index arrays refer to positions in the
+    *original* incoming batch.
     """
 
     scores: np.ndarray
@@ -37,17 +56,28 @@ class AlertBatch:
     threshold: float
     drift: Optional[DriftReport] = None
     deferred: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    quarantined: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    degraded: bool = False
 
     @property
     def n_alerts(self) -> int:
         return len(self.alerts)
 
+    @property
+    def scored(self) -> np.ndarray:
+        """Indices of rows that were actually scored (not quarantined)."""
+        return np.flatnonzero(self.routing != ROUTE_QUARANTINED)
+
     def summary(self) -> str:
         parts = [
-            f"{len(self.scores)} scored",
+            f"{len(self.scored)} scored",
             f"{self.n_alerts} alert(s) >= {self.threshold:.3f}",
             f"{len(self.deferred)} deferred (non-target)",
         ]
+        if len(self.quarantined):
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.degraded:
+            parts.append("DEGRADED (fallback scorer)")
         if self.drift is not None:
             parts.append(self.drift.summary())
         return "; ".join(parts)
@@ -68,10 +98,22 @@ class ScoringPipeline:
         OOD strategy for the tri-class routing ("msp" / "es" / "ed").
     monitor_drift:
         Attach a :class:`DriftMonitor` over the training features.
+    circuit_breaker:
+        Breaker guarding the primary scorer; defaults to a
+        :class:`~repro.resilience.breaker.CircuitBreaker` wired to this
+        pipeline's telemetry. Pass one explicitly to control thresholds,
+        cooldown, or the clock (tests use a ``ManualClock``).
+    fallback:
+        Degraded-mode scorer used while the breaker is open. Defaults to
+        a :class:`~repro.resilience.fallback.ReconstructionFallback`
+        calibrated during :meth:`calibrate` to alert on the same traffic
+        fraction as the primary threshold.
     telemetry:
         Optional :class:`~repro.obs.TelemetryRegistry`; records the
         ``serve.*`` series — per-batch process latency, alert/deferred
-        counts, and a drift-event counter. ``None`` = no-op.
+        counts, and a drift-event counter — plus the ``resilience.*``
+        series (quarantine counts, scoring faults, breaker transitions,
+        degraded batches). ``None`` = no-op.
     """
 
     def __init__(
@@ -83,10 +125,18 @@ class ScoringPipeline:
         strategy: str = "ed",
         monitor_drift: bool = True,
         drift_threshold: float = 0.2,
+        circuit_breaker: Optional[CircuitBreaker] = None,
+        fallback: Optional[ReconstructionFallback] = None,
         telemetry=None,
     ):
         if policy not in ("f1", "recall", "budget"):
             raise ValueError('policy must be "f1", "recall", or "budget"')
+        if policy == "budget" and review_budget < 1:
+            raise ValueError(
+                f'policy "budget" needs a positive review capacity; got '
+                f"review_budget={review_budget}. Set review_budget >= 1 (the "
+                "number of instances analysts can review per batch)."
+            )
         model._check_fitted()
         self.model = model
         self.telemetry = ensure_telemetry(telemetry)
@@ -98,6 +148,13 @@ class ScoringPipeline:
         self._monitor: Optional[DriftMonitor] = None
         self._monitor_enabled = monitor_drift
         self._drift_threshold = drift_threshold
+        self._n_features = expected_width(model)
+        self.circuit_breaker = (
+            circuit_breaker
+            if circuit_breaker is not None
+            else CircuitBreaker(telemetry=self.telemetry, name="serve")
+        )
+        self.fallback = fallback
 
     def calibrate(
         self,
@@ -105,10 +162,11 @@ class ScoringPipeline:
         y_val: Optional[np.ndarray] = None,
         X_reference: Optional[np.ndarray] = None,
     ) -> "ScoringPipeline":
-        """Pick the operating threshold (and fit the drift reference).
+        """Pick the operating threshold (and fit drift + fallback scorers).
 
         ``y_val`` (binary target-anomaly labels) is required for the "f1"
-        and "recall" policies; "budget" only needs scores.
+        and "recall" policies and must contain at least one positive;
+        "budget" only needs scores.
         """
         scores = self.model.decision_function(X_val)
         if self.policy == "budget":
@@ -117,6 +175,19 @@ class ScoringPipeline:
         else:
             if y_val is None:
                 raise ValueError(f'policy "{self.policy}" needs y_val')
+            y_val = np.asarray(y_val).ravel()
+            if len(y_val) != len(scores):
+                raise ValueError(
+                    f"y_val has {len(y_val)} labels for {len(scores)} validation rows"
+                )
+            if not np.any(y_val == 1):
+                raise ValueError(
+                    f'policy "{self.policy}" cannot calibrate on a validation '
+                    "split with zero positive (target-anomaly) labels: every "
+                    "threshold has undefined recall. Provide a split containing "
+                    'target anomalies, or use the "budget" policy which needs '
+                    "no labels."
+                )
             if self.policy == "f1":
                 self.threshold_, _ = best_f1_threshold(y_val, scores)
             else:
@@ -124,6 +195,12 @@ class ScoringPipeline:
         if self._monitor_enabled:
             reference = X_reference if X_reference is not None else X_val
             self._monitor = DriftMonitor(threshold=self._drift_threshold).fit(reference)
+        if self.fallback is None or self.fallback.threshold_ is None:
+            alert_fraction = float(np.mean(scores >= self.threshold_))
+            fallback = self.fallback if self.fallback is not None else (
+                ReconstructionFallback(self.model)
+            )
+            self.fallback = fallback.calibrate(X_val, alert_fraction)
         if self.telemetry.enabled:
             self.telemetry.set_gauge("serve.threshold", float(self.threshold_))
             self.telemetry.record_event(
@@ -135,30 +212,113 @@ class ScoringPipeline:
         return self
 
     def process(self, X_batch: np.ndarray) -> AlertBatch:
-        """Score one live batch and build the alert payload."""
+        """Score one live batch and build the alert payload.
+
+        Never raises on bad *rows*: non-finite or wrong-length rows are
+        quarantined (``routing == ROUTE_QUARANTINED``, ``score == NaN``)
+        and the rest of the batch proceeds. A uniform 2-D batch of the
+        wrong width still raises — that is a wiring error, not row noise.
+        When the primary scorer faults, the circuit breaker routes the
+        batch to the degraded fallback scorer instead of propagating the
+        exception.
+        """
         if self.threshold_ is None:
             raise RuntimeError("pipeline is not calibrated; call calibrate() first")
         start = time.perf_counter()
-        X_batch = np.asarray(X_batch, dtype=np.float64)
-        scores = self.model.decision_function(X_batch)
-        routing = self.model.predict_triclass(X_batch, strategy=self.strategy)
+        sanitized = sanitize_batch(X_batch, self._n_features)
+        n_total = sanitized.n_total
 
-        flagged = np.flatnonzero((scores >= self.threshold_) & (routing == KIND_TARGET))
+        scores = np.full(n_total, np.nan, dtype=np.float64)
+        routing = np.full(n_total, ROUTE_QUARANTINED, dtype=np.int64)
+        degraded = False
+        if len(sanitized.kept):
+            clean_scores, clean_routing, degraded = self._score_with_guardrails(
+                sanitized.X
+            )
+            scores[sanitized.kept] = clean_scores
+            routing[sanitized.kept] = clean_routing
+
+        threshold = (
+            float(self.fallback.threshold_) if degraded else float(self.threshold_)
+        )
+        flagged = np.flatnonzero(
+            np.isfinite(scores) & (scores >= threshold) & (routing == KIND_TARGET)
+        )
         alerts = flagged[np.argsort(-scores[flagged])]
         deferred = np.flatnonzero(routing == KIND_NONTARGET)
 
-        drift = self._monitor.check(X_batch) if self._monitor is not None else None
+        drift = None
+        if self._monitor is not None and len(sanitized.kept):
+            drift = self._monitor.check(sanitized.X)
         result = AlertBatch(
             scores=scores,
             alerts=alerts,
             routing=routing,
-            threshold=float(self.threshold_),
+            threshold=threshold,
             drift=drift,
             deferred=deferred,
+            quarantined=sanitized.quarantined,
+            degraded=degraded,
         )
         if self.telemetry.enabled:
-            self._record_batch_telemetry(result, len(X_batch), time.perf_counter() - start)
+            self._record_batch_telemetry(result, n_total, time.perf_counter() - start)
         return result
+
+    # -- guarded scoring --------------------------------------------------
+    def _score_with_guardrails(
+        self, X: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Score sanitized rows via the primary if the breaker allows it.
+
+        Returns ``(scores, routing, degraded)``. A primary fault — an
+        exception or non-finite scores — is reported to the breaker and
+        the batch falls through to the degraded scorer.
+        """
+        breaker = self.circuit_breaker
+        if breaker.allow():
+            try:
+                scores = np.asarray(
+                    self.model.decision_function(X), dtype=np.float64
+                )
+                if scores.shape != (len(X),) or not np.all(np.isfinite(scores)):
+                    raise RuntimeError(
+                        "primary scorer produced non-finite or misshapen scores"
+                    )
+                routing = np.asarray(
+                    self.model.predict_triclass(X, strategy=self.strategy),
+                    dtype=np.int64,
+                )
+            except Exception as exc:
+                breaker.record_failure()
+                self.telemetry.increment("resilience.scoring_faults")
+                self.telemetry.record_event(
+                    "resilience.scoring_fault",
+                    error=type(exc).__name__,
+                    detail=str(exc)[:200],
+                )
+                return self._degraded_scores(X)
+            breaker.record_success()
+            return scores, routing, False
+        return self._degraded_scores(X)
+
+    def _degraded_scores(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
+        """Score via the reconstruction fallback while the primary is out.
+
+        The fallback cannot tell target from non-target anomalies, so
+        everything it flags routes to the analyst queue (``KIND_TARGET``)
+        — the conservative failure direction.
+        """
+        if self.fallback is None or self.fallback.threshold_ is None:
+            raise RuntimeError(
+                "degraded path needs a calibrated fallback scorer; call "
+                "calibrate() first or pass a calibrated fallback="
+            )
+        scores = self.fallback.score(X)
+        routing = np.where(
+            scores >= self.fallback.threshold_, KIND_TARGET, KIND_NORMAL
+        ).astype(np.int64)
+        self.telemetry.increment("resilience.degraded_batches")
+        return scores, routing, True
 
     def _record_batch_telemetry(self, batch: AlertBatch, n_rows: int, seconds: float) -> None:
         """One ``serve.process`` latency sample + counters per batch."""
@@ -167,6 +327,13 @@ class ScoringPipeline:
         self.telemetry.increment("serve.rows", n_rows)
         self.telemetry.increment("serve.alerts", batch.n_alerts)
         self.telemetry.increment("serve.deferred", len(batch.deferred))
+        if len(batch.quarantined):
+            self.telemetry.increment("resilience.quarantine", len(batch.quarantined))
+            self.telemetry.record_event(
+                "resilience.quarantined",
+                n_rows=int(len(batch.quarantined)),
+                n_total=n_rows,
+            )
         drifted = batch.drift is not None and batch.drift.drifted
         if drifted:
             self.telemetry.increment("serve.drift_events")
@@ -180,6 +347,8 @@ class ScoringPipeline:
             n=n_rows,
             n_alerts=batch.n_alerts,
             n_deferred=len(batch.deferred),
+            n_quarantined=int(len(batch.quarantined)),
+            degraded=batch.degraded,
             latency_ms=seconds * 1e3,
             drifted=drifted,
         )

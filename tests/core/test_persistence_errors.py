@@ -50,6 +50,102 @@ class TestModelPersistenceErrors:
         assert model.predict_target_class(split.X_test[:10]).shape == (10,)
 
 
+class TestCorruptArchives:
+    def test_truncated_archive_raises_model_load_error(self, saved_model, tmp_path):
+        from repro.core import ModelLoadError
+
+        src, _ = saved_model
+        bad = tmp_path / "truncated.npz"
+        data = src.read_bytes()
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ModelLoadError):
+            load_model(bad)
+
+    def test_garbage_bytes_raise_model_load_error(self, tmp_path):
+        from repro.core import ModelLoadError
+
+        bad = tmp_path / "garbage.npz"
+        bad.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(ModelLoadError):
+            load_model(bad)
+
+    def test_missing_header_raises_model_load_error(self, saved_model, tmp_path):
+        from repro.core import ModelLoadError
+
+        src, _ = saved_model
+        archive = dict(np.load(src, allow_pickle=False))
+        del archive["header"]
+        bad = tmp_path / "headerless.npz"
+        with open(bad, "wb") as fh:
+            np.savez_compressed(fh, **archive)
+        with pytest.raises(ModelLoadError, match="header"):
+            load_model(bad)
+
+    def test_missing_arrays_raise_model_load_error(self, saved_model, tmp_path):
+        from repro.core import ModelLoadError
+
+        src, _ = saved_model
+        archive = dict(np.load(src, allow_pickle=False))
+        victim = next(k for k in archive if k.startswith("classifier"))
+        del archive[victim]
+        bad = tmp_path / "missing-arrays.npz"
+        with open(bad, "wb") as fh:
+            np.savez_compressed(fh, **archive)
+        with pytest.raises(ModelLoadError, match="format version"):
+            load_model(bad)
+
+    def test_model_load_error_is_a_value_error(self):
+        from repro.core import ModelLoadError
+
+        assert issubclass(ModelLoadError, ValueError)
+
+
+class TestAtomicSave:
+    def test_failed_save_leaves_no_partial_file(self, saved_model, tmp_path,
+                                                monkeypatch):
+        import repro.core.persistence as persistence
+
+        src, split = saved_model
+        model = load_model(src)
+        target = tmp_path / "model.npz"
+
+        def exploding_savez(fh, **arrays):
+            fh.write(b"partial bytes")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_model(model, target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up too
+
+    def test_failed_save_preserves_previous_version(self, saved_model, tmp_path,
+                                                    monkeypatch):
+        import repro.core.persistence as persistence
+
+        src, _ = saved_model
+        model = load_model(src)
+        target = tmp_path / "model.npz"
+        save_model(model, target)
+        good_bytes = target.read_bytes()
+
+        def exploding_savez(fh, **arrays):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence.np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError):
+            save_model(model, target)
+        assert target.read_bytes() == good_bytes
+
+    def test_save_overwrites_atomically(self, saved_model, tmp_path):
+        src, _ = saved_model
+        model = load_model(src)
+        target = tmp_path / "model.npz"
+        save_model(model, target)
+        save_model(model, target)  # second save replaces in place
+        assert load_model(target).m_ == model.m_
+
+
 class TestSplitExportErrors:
     def test_future_format_version_rejected(self, tmp_path):
         from tests.conftest import TINY_SPEC, make_tiny_generator

@@ -1,0 +1,200 @@
+"""Circuit-breaker state machine: unit tests + hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import TelemetryRegistry
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, ManualClock
+
+
+def make_breaker(telemetry=None, **kwargs):
+    clock = ManualClock()
+    defaults = dict(failure_threshold=3, cooldown=30.0, half_open_successes=1)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, telemetry=telemetry, **defaults), clock
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_only_on_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_cooldown_gates_half_open(self):
+        breaker, clock = make_breaker(cooldown=30.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(29.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_success_closes(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_needs_enough_successes(self):
+        breaker, clock = make_breaker(half_open_successes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(29.0)
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_success_while_open_is_noop(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == OPEN
+
+    def test_trip_resets_after_recovery(self):
+        breaker, clock = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(30.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Needs a fresh full streak to trip again.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_snapshot_fields(self):
+        breaker, _ = make_breaker()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["failure_threshold"] == 3
+        assert snap["name"] == "serve"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown": 0.0},
+        {"half_open_successes": 0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_breaker(**kwargs)
+
+    def test_clock_cannot_go_backwards(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestTelemetry:
+    def test_trip_and_recover_events(self):
+        registry = TelemetryRegistry()
+        breaker, clock = make_breaker(telemetry=registry)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        breaker.state  # poll: open -> half_open
+        breaker.record_success()
+        names = [e.name for e in registry.events]
+        assert "resilience.breaker.trip" in names
+        assert "resilience.breaker.recover" in names
+        assert registry.counters["resilience.breaker.trips"] == 1
+        assert registry.counters["resilience.breaker.recovers"] == 1
+
+
+# -- property tests -------------------------------------------------------
+
+#: One simulated interaction: report an outcome, then advance the clock.
+STEP = st.tuples(st.booleans(),
+                 st.floats(min_value=0.0, max_value=120.0,
+                           allow_nan=False, allow_infinity=False))
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=st.lists(STEP, max_size=60))
+def test_state_is_always_valid_and_transitions_legal(steps):
+    """Arbitrary outcome/advance sequences never reach an invalid state,
+    and every observed state change is an edge of the breaker automaton."""
+    breaker, clock = make_breaker(failure_threshold=2, cooldown=10.0)
+    legal = {
+        (CLOSED, OPEN),        # trip
+        (OPEN, HALF_OPEN),     # cooldown elapsed
+        (HALF_OPEN, CLOSED),   # probe success(es)
+        (HALF_OPEN, OPEN),     # probe failure
+    }
+    previous = breaker.state
+    for success, advance in steps:
+        if breaker.allow():
+            if success:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        observed = breaker.state
+        assert observed in (CLOSED, OPEN, HALF_OPEN)
+        if observed != previous:
+            assert (previous, observed) in legal, (previous, observed)
+        previous = observed
+        clock.advance(advance)
+        polled = breaker.state  # advancing time may legally open the probe
+        if polled != previous:
+            assert (previous, polled) in legal, (previous, polled)
+        previous = polled
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    failures=st.integers(min_value=1, max_value=10),
+    threshold=st.integers(min_value=1, max_value=5),
+    probes=st.integers(min_value=1, max_value=3),
+)
+def test_always_recovers_after_cooldown_on_sustained_success(
+    failures, threshold, probes
+):
+    """However the breaker got wedged, cooldown + enough successful probes
+    always returns it to CLOSED and traffic flows again."""
+    breaker, clock = make_breaker(
+        failure_threshold=threshold, cooldown=5.0, half_open_successes=probes
+    )
+    for _ in range(failures):
+        if breaker.allow():
+            breaker.record_failure()
+        else:
+            break
+    # Sustained success: every time we are allowed through, report success.
+    for _ in range(probes + 2):
+        clock.advance(5.0)
+        if breaker.allow():
+            breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()

@@ -1,0 +1,193 @@
+"""Checkpoint/resume for TargAD.fit: roundtrip, kill/resume, divergence."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig, save_model
+from repro.resilience import (
+    CheckpointError,
+    TrainingDivergenceError,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(random_state=0, k=2, ae_lr=3e-3, ae_epochs=3, clf_epochs=6)
+    defaults.update(overrides)
+    return TargADConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def split():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+
+class _KillAt:
+    """Epoch callback that simulates a crash after N completed epochs."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+
+    def __call__(self, epoch, model):
+        if epoch == self.epoch:
+            raise KeyboardInterrupt(f"simulated kill at epoch {epoch}")
+
+
+class TestCheckpointFiles:
+    def test_fit_writes_and_prunes_checkpoints(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        # Default keep=3: only the newest three survive pruning.
+        assert names == ["ckpt-00004.npz", "ckpt-00005.npz", "ckpt-00006.npz"]
+
+    def test_loaded_state_matches_run(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)
+        state = load_checkpoint(latest_checkpoint(tmp_path))
+        assert state.epoch == model.config.clf_epochs
+        assert state.loss_history == pytest.approx(model.loss_history)
+        assert state.n_features == split.X_unlabeled.shape[1]
+        assert state.m == model.m_ and state.k == model.k_
+        np.testing.assert_allclose(state.weights, model._candidate_weights)
+
+    def test_checkpoint_every_thins_the_cadence(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path, checkpoint_every=3)
+        epochs = [int(p.name[5:10]) for p in list_checkpoints(tmp_path)]
+        assert epochs == [0, 3, 6]
+
+
+class TestResume:
+    def test_kill_and_resume_matches_uninterrupted_run(self, split, tmp_path):
+        uninterrupted = TargAD(tiny_config())
+        uninterrupted.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+        model = TargAD(tiny_config())
+        with pytest.raises(KeyboardInterrupt):
+            model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                      checkpoint_dir=tmp_path, epoch_callback=_KillAt(2))
+
+        resumed = TargAD(tiny_config())
+        resumed.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                    checkpoint_dir=tmp_path, resume=True)
+
+        assert len(resumed.loss_history) == resumed.config.clf_epochs
+        np.testing.assert_allclose(resumed.loss_history,
+                                   uninterrupted.loss_history, rtol=1e-10)
+        np.testing.assert_allclose(
+            resumed.decision_function(split.X_test),
+            uninterrupted.decision_function(split.X_test), rtol=1e-10,
+        )
+
+    def test_resume_without_checkpoints_trains_from_scratch(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path / "empty", resume=True)
+        assert len(model.loss_history) == model.config.clf_epochs
+
+    def test_resume_requires_checkpoint_dir(self, split):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            TargAD(tiny_config()).fit(
+                split.X_unlabeled, split.X_labeled, split.y_labeled, resume=True
+            )
+
+    def test_resume_rejects_mismatched_data(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)
+        with pytest.raises(CheckpointError, match="unlabeled pool"):
+            TargAD(tiny_config()).fit(
+                split.X_unlabeled[:-5], split.X_labeled, split.y_labeled,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+
+    def test_resume_rejects_mismatched_config(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)
+        with pytest.raises(CheckpointError, match="config"):
+            TargAD(tiny_config(lambda1=0.42)).fit(
+                split.X_unlabeled, split.X_labeled, split.y_labeled,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+
+
+class TestCheckpointErrors:
+    def test_truncated_checkpoint_raises_checkpoint_error(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)
+        path = latest_checkpoint(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_saved_model_is_not_a_checkpoint(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with pytest.raises(CheckpointError, match="not a training checkpoint"):
+            load_checkpoint(path)
+
+    def test_missing_checkpoint_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "ckpt-00001.npz")
+
+
+class TestDivergenceGuard:
+    def test_transient_nan_loss_recovers_with_backoff(self, split, monkeypatch):
+        import repro.core.model as model_module
+
+        real_loss = model_module.classifier_loss
+        calls = {"n": 0}
+
+        def flaky_loss(*args, **kwargs):
+            calls["n"] += 1
+            loss = real_loss(*args, **kwargs)
+            return loss * float("nan") if calls["n"] <= 2 else loss
+
+        monkeypatch.setattr(model_module, "classifier_loss", flaky_loss)
+        model = TargAD(tiny_config(clf_epochs=4))
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+        assert len(model.loss_history) == 4
+        assert np.all(np.isfinite(model.loss_history))
+
+    def test_persistent_nan_loss_raises_clear_error(self, split, monkeypatch):
+        import repro.core.model as model_module
+
+        real_loss = model_module.classifier_loss
+
+        def broken_loss(*args, **kwargs):
+            return real_loss(*args, **kwargs) * float("nan")
+
+        monkeypatch.setattr(model_module, "classifier_loss", broken_loss)
+        model = TargAD(tiny_config(clf_epochs=4))
+        with pytest.raises(TrainingDivergenceError, match="rollback"):
+            model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                      max_rollbacks=2)
+
+    def test_max_rollbacks_zero_fails_fast(self, split, monkeypatch):
+        import repro.core.model as model_module
+
+        real_loss = model_module.classifier_loss
+
+        def broken_loss(*args, **kwargs):
+            return real_loss(*args, **kwargs) * float("nan")
+
+        monkeypatch.setattr(model_module, "classifier_loss", broken_loss)
+        with pytest.raises(TrainingDivergenceError):
+            TargAD(tiny_config(clf_epochs=2)).fit(
+                split.X_unlabeled, split.X_labeled, split.y_labeled,
+                max_rollbacks=0,
+            )

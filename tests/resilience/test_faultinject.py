@@ -1,0 +1,104 @@
+"""Fault-injection harness: plan validation, determinism, delegation."""
+
+import numpy as np
+import pytest
+
+from repro.obs import TelemetryRegistry
+from repro.resilience import FaultPlan, FaultyModel, InjectedFault, corrupt_rows
+
+
+class _StubModel:
+    """Minimal stand-in: scores are the row sums."""
+
+    m_ = 2
+
+    def decision_function(self, X):
+        return np.asarray(X, dtype=np.float64).sum(axis=1)
+
+
+class TestFaultPlan:
+    def test_roundtrip_through_json_dict(self):
+        plan = FaultPlan(raise_on=(2, 5), nan_fraction=0.25, nan_on=(3,),
+                         latency=0.01, seed=9)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"raise_on": [1], "typo": True})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"raise_on": (0,)},
+        {"nan_on": (0,), "nan_fraction": 0.5},
+        {"nan_fraction": 1.5},
+        {"latency": -0.1},
+    ])
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan(raise_on=(2,), nan_fraction=0.5, latency=0.05)
+        text = plan.describe()
+        assert "raise" in text and "NaN" in text and "latency" in text
+        assert FaultPlan().describe() == "no faults"
+
+
+class TestFaultyModel:
+    def test_raises_exactly_on_planned_calls(self):
+        model = FaultyModel(_StubModel(), FaultPlan(raise_on=(2,)))
+        X = np.ones((3, 2))
+        model.decision_function(X)  # call 1: fine
+        with pytest.raises(InjectedFault, match="call 2"):
+            model.decision_function(X)
+        model.decision_function(X)  # call 3: fine again
+
+    def test_nan_corruption_is_deterministic(self):
+        X = np.ones((20, 2))
+        plan = FaultPlan(nan_fraction=0.3, seed=11)
+        a = FaultyModel(_StubModel(), plan).decision_function(X)
+        b = FaultyModel(_StubModel(), plan).decision_function(X)
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+        assert np.isnan(a).sum() == max(int(round(0.3 * 20)), 1)
+
+    def test_latency_uses_injected_sleep(self):
+        slept = []
+        model = FaultyModel(_StubModel(), FaultPlan(latency=0.25),
+                            sleep=slept.append)
+        model.decision_function(np.ones((2, 2)))
+        assert slept == [0.25]
+
+    def test_other_attributes_delegate(self):
+        model = FaultyModel(_StubModel(), FaultPlan())
+        assert model.m_ == 2
+
+    def test_fault_telemetry_events(self):
+        registry = TelemetryRegistry()
+        model = FaultyModel(_StubModel(), FaultPlan(raise_on=(1,)),
+                            telemetry=registry)
+        with pytest.raises(InjectedFault):
+            model.decision_function(np.ones((2, 2)))
+        assert registry.counters["resilience.fault.raises"] == 1
+        assert any(e.name == "resilience.fault.injected"
+                   for e in registry.events)
+
+
+class TestCorruptRows:
+    def test_deterministic_and_at_least_one_row(self):
+        X = np.ones((10, 3))
+        a = corrupt_rows(X, 0.05, np.random.default_rng(3))
+        b = corrupt_rows(X, 0.05, np.random.default_rng(3))
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+        assert np.isnan(a).any(axis=1).sum() == 1
+
+    def test_zero_fraction_is_identity(self):
+        X = np.ones((4, 2))
+        assert np.array_equal(corrupt_rows(X, 0.0, np.random.default_rng(0)), X)
+
+    def test_original_untouched(self):
+        X = np.ones((4, 2))
+        corrupt_rows(X, 1.0, np.random.default_rng(0))
+        assert np.all(np.isfinite(X))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_rows(np.ones((2, 2)), 1.5, np.random.default_rng(0))

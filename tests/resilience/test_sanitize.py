@@ -1,0 +1,100 @@
+"""Input sanitization: unit edge cases + the partition property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import SanitizedBatch, sanitize_batch
+
+
+class TestCleanBatches:
+    def test_all_finite_rows_kept(self):
+        X = np.arange(12.0).reshape(4, 3)
+        out = sanitize_batch(X, 3)
+        assert np.array_equal(out.kept, [0, 1, 2, 3])
+        assert len(out.quarantined) == 0
+        assert np.array_equal(out.X, X)
+
+    def test_nonfinite_rows_quarantined(self):
+        X = np.ones((4, 3))
+        X[1, 0] = np.nan
+        X[3, 2] = np.inf
+        out = sanitize_batch(X, 3)
+        assert np.array_equal(out.kept, [0, 2])
+        assert np.array_equal(out.quarantined, [1, 3])
+        assert np.all(np.isfinite(out.X))
+
+    def test_empty_batch(self):
+        out = sanitize_batch(np.empty((0, 3)), 3)
+        assert out.n_total == 0
+        assert out.X.shape == (0, 3)
+
+
+class TestSchemaErrors:
+    def test_uniform_wrong_width_raises_naming_both(self):
+        with pytest.raises(ValueError, match=r"has 5 features, model expects 3"):
+            sanitize_batch(np.ones((4, 5)), 3)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError, match="scalar"):
+            sanitize_batch(np.float64(1.0), 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            sanitize_batch(np.ones((2, 3, 4)), 3)
+
+
+class TestRaggedPayloads:
+    def test_short_rows_quarantined_individually(self):
+        rows = [[1.0, 2.0, 3.0], [1.0, 2.0], [4.0, 5.0, 6.0]]
+        out = sanitize_batch(rows, 3)
+        assert np.array_equal(out.kept, [0, 2])
+        assert np.array_equal(out.quarantined, [1])
+
+    def test_non_numeric_rows_quarantined(self):
+        rows = [[1.0, 2.0, 3.0], ["a", "b", "c"]]
+        out = sanitize_batch(rows, 3)
+        assert np.array_equal(out.kept, [0])
+        assert np.array_equal(out.quarantined, [1])
+
+    def test_single_bare_row_is_one_row(self):
+        out = sanitize_batch(np.array([1.0, 2.0, 3.0]), 3)
+        assert out.n_total == 1
+        assert out.X.shape == (1, 3)
+
+
+# -- property test --------------------------------------------------------
+
+ROW = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    min_size=0, max_size=6,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(rows=st.lists(ROW, max_size=20), n_features=st.integers(2, 6))
+def test_kept_and_quarantined_partition_the_batch(rows, n_features):
+    """For any ragged/non-finite payload, kept ∪ quarantined is exactly
+    range(n) with no overlap, and kept rows are finite at model width."""
+    try:
+        out = sanitize_batch(rows, n_features)
+    except ValueError:
+        # Uniform wrong-width batches legitimately raise; anything else is
+        # a bug the reconstruction below would have caught.
+        arr = np.asarray(rows, dtype=np.float64)
+        assert arr.ndim == 2 and arr.shape[1] != n_features and arr.shape[0] > 0
+        return
+    assert isinstance(out, SanitizedBatch)
+    kept = set(out.kept.tolist())
+    quarantined = set(out.quarantined.tolist())
+    assert kept | quarantined == set(range(len(rows)))
+    assert kept & quarantined == set()
+    assert out.n_total == len(rows)
+    assert out.X.shape == (len(kept), n_features)
+    assert np.all(np.isfinite(out.X))
+    # Kept rows survive unchanged, in original order.
+    for position, index in enumerate(out.kept.tolist()):
+        assert np.array_equal(
+            out.X[position], np.asarray(rows[index], dtype=np.float64)
+        )

@@ -1,0 +1,151 @@
+"""Chaos scenarios: the pipeline under injected faults never raises.
+
+The acceptance scenario: a fault plan takes the primary scorer down, the
+breaker trips within ``failure_threshold`` batches, batches are served
+degraded by the reconstruction fallback, and after the cooldown a
+half-open probe restores the primary — with the trip and recovery on the
+telemetry record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.data.schema import KIND_NORMAL, KIND_TARGET
+from repro.obs import TelemetryRegistry
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPlan,
+    FaultyModel,
+    ManualClock,
+    corrupt_rows,
+)
+from repro.serving import ROUTE_QUARANTINED, ScoringPipeline
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+def make_pipeline(model, split, plan, registry, clock, **breaker_kwargs):
+    defaults = dict(failure_threshold=2, cooldown=30.0)
+    defaults.update(breaker_kwargs)
+    breaker = CircuitBreaker(clock=clock, telemetry=registry, **defaults)
+    pipe = ScoringPipeline(model, policy="budget", review_budget=10,
+                           circuit_breaker=breaker, telemetry=registry,
+                           monitor_drift=False)
+    pipe.calibrate(split.X_val)
+    # Wrap after calibration so plan call indices count serving batches.
+    pipe.model = FaultyModel(model, plan, sleep=lambda s: None,
+                             telemetry=registry)
+    return pipe, breaker
+
+
+class TestChaosEndToEnd:
+    def test_trip_degrade_and_half_open_recovery(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(raise_on=(1, 2), seed=0)
+        pipe, breaker = make_pipeline(model, split, plan, registry, clock)
+
+        degraded = []
+        for _ in range(5):
+            batch = pipe.process(split.X_test)  # must never raise
+            degraded.append(batch.degraded)
+            clock.advance(40.0)  # past the cooldown before the next batch
+
+        # Batches 1-2 fault (degraded, trip on the 2nd = failure_threshold);
+        # batch 3 is the successful half-open probe back on the primary.
+        assert degraded == [True, True, False, False, False]
+        names = [e.name for e in registry.events]
+        assert names.count("resilience.breaker.trip") == 1
+        assert names.count("resilience.breaker.recover") == 1
+        assert registry.counters["resilience.degraded_batches"] == 2
+        assert registry.counters["resilience.scoring_faults"] == 2
+        assert breaker.state == "closed"
+
+    def test_open_breaker_serves_fallback_without_touching_primary(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(raise_on=(1, 2), seed=0)
+        pipe, breaker = make_pipeline(model, split, plan, registry, clock)
+
+        for _ in range(2):
+            pipe.process(split.X_test)
+        assert breaker.state == "open"
+        calls_before = pipe.model.calls
+        batch = pipe.process(split.X_test)  # within cooldown: no primary call
+        assert batch.degraded
+        assert pipe.model.calls == calls_before
+
+    def test_nan_scores_count_as_faults_and_trip(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(nan_fraction=0.2, seed=3)  # every call corrupted
+        pipe, breaker = make_pipeline(model, split, plan, registry, clock)
+
+        first = pipe.process(split.X_test)
+        second = pipe.process(split.X_test)
+        assert first.degraded and second.degraded
+        assert np.all(np.isfinite(first.scores[first.scored]))
+        assert breaker.state == "open"
+        assert registry.counters["resilience.scoring_faults"] == 2
+
+    def test_degraded_batch_flags_anomalies_conservatively(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(raise_on=(1,), seed=0)
+        pipe, _ = make_pipeline(model, split, plan, registry, clock)
+
+        batch = pipe.process(split.X_test)
+        assert batch.degraded
+        assert batch.threshold == pipe.fallback.threshold_
+        # Fallback routing is binary: analyst queue or normal, never deferred.
+        scored_routes = set(batch.routing[batch.scored].tolist())
+        assert scored_routes <= {KIND_NORMAL, KIND_TARGET}
+        assert len(batch.deferred) == 0
+        if batch.n_alerts:
+            assert np.all(batch.scores[batch.alerts] >= batch.threshold)
+
+    def test_quarantine_and_faults_compose(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(raise_on=(1,), seed=0)
+        pipe, _ = make_pipeline(model, split, plan, registry, clock)
+
+        X = corrupt_rows(split.X_test, 0.1, np.random.default_rng(5))
+        batch = pipe.process(X)  # bad rows + primary fault in one batch
+        bad = np.flatnonzero(~np.isfinite(X).all(axis=1))
+        assert np.array_equal(np.sort(batch.quarantined), bad)
+        assert np.all(batch.routing[batch.quarantined] == ROUTE_QUARANTINED)
+        assert np.all(np.isnan(batch.scores[batch.quarantined]))
+        assert batch.degraded
+        assert registry.counters["resilience.quarantine"] == len(bad)
+        # Index sets partition the original batch.
+        assert len(batch.scored) + len(batch.quarantined) == len(X)
+
+    def test_latency_fault_is_observable_but_harmless(self, fitted):
+        model, split = fitted
+        registry = TelemetryRegistry()
+        clock = ManualClock()
+        plan = FaultPlan(latency=0.5, seed=0)
+        pipe, breaker = make_pipeline(model, split, plan, registry, clock)
+
+        batch = pipe.process(split.X_test)
+        assert not batch.degraded
+        assert breaker.state == "closed"

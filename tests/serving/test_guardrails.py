@@ -1,0 +1,163 @@
+"""Serving guardrail regressions: sanitization, calibration edges, drift."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.resilience import ReconstructionFallback
+from repro.serving import DriftMonitor, ROUTE_QUARANTINED, ScoringPipeline
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+class TestSanitizationInPipeline:
+    def test_nonfinite_rows_quarantined_not_fatal(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10,
+                               monitor_drift=False)
+        pipe.calibrate(split.X_val)
+        X = split.X_test.copy()
+        X[3, 0] = np.nan
+        X[7, 1] = np.inf
+        batch = pipe.process(X)
+        assert np.array_equal(batch.quarantined, [3, 7])
+        assert not batch.degraded
+        assert np.all(np.isnan(batch.scores[[3, 7]]))
+        assert np.all(batch.routing[[3, 7]] == ROUTE_QUARANTINED)
+        assert 3 not in batch.alerts and 7 not in batch.alerts
+        assert "quarantined" in batch.summary()
+
+    def test_clean_scores_unchanged_by_quarantine(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10,
+                               monitor_drift=False)
+        pipe.calibrate(split.X_val)
+        clean = pipe.process(split.X_test)
+        X = split.X_test.copy()
+        X[0] = np.nan
+        dirty = pipe.process(X)
+        np.testing.assert_allclose(dirty.scores[1:], clean.scores[1:])
+
+    def test_uniform_wrong_width_batch_raises(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10)
+        pipe.calibrate(split.X_val)
+        with pytest.raises(ValueError, match="features, model expects"):
+            pipe.process(split.X_test[:, :-1])
+
+    def test_all_rows_quarantined_yields_empty_batch(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10,
+                               monitor_drift=False)
+        pipe.calibrate(split.X_val)
+        X = np.full((4, split.X_test.shape[1]), np.nan)
+        batch = pipe.process(X)
+        assert len(batch.quarantined) == 4
+        assert batch.n_alerts == 0 and not batch.degraded
+
+
+class TestCalibrationEdges:
+    def test_zero_positive_yval_f1_policy(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="f1")
+        with pytest.raises(ValueError, match="zero positive"):
+            pipe.calibrate(split.X_val, np.zeros(len(split.X_val)))
+
+    def test_zero_positive_yval_recall_policy(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="recall")
+        with pytest.raises(ValueError, match="zero positive"):
+            pipe.calibrate(split.X_val, np.zeros(len(split.X_val)))
+
+    def test_mismatched_yval_length(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="f1")
+        with pytest.raises(ValueError, match="labels for"):
+            pipe.calibrate(split.X_val, split.y_val_binary[:-3])
+
+    @pytest.mark.parametrize("budget", [0, -5])
+    def test_nonpositive_budget_rejected_at_init(self, fitted, budget):
+        model, _ = fitted
+        with pytest.raises(ValueError, match="review_budget"):
+            ScoringPipeline(model, policy="budget", review_budget=budget)
+
+    def test_budget_larger_than_split_is_clamped(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget",
+                               review_budget=10 * len(split.X_val))
+        pipe.calibrate(split.X_val)
+        assert pipe.threshold_ is not None
+
+    def test_calibrate_builds_fallback(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10)
+        assert pipe.fallback is None
+        pipe.calibrate(split.X_val)
+        assert pipe.fallback is not None
+        assert pipe.fallback.threshold_ is not None
+
+
+class TestDriftWidths:
+    def test_mismatch_error_names_both_widths(self, fitted):
+        _, split = fitted
+        monitor = DriftMonitor().fit(split.X_val)
+        with pytest.raises(ValueError, match=r"batch has \d+ features but the "
+                                             r"drift reference has \d+"):
+            monitor.check(split.X_test[:, :-1])
+
+    def test_non_2d_batch_rejected(self, fitted):
+        _, split = fitted
+        monitor = DriftMonitor().fit(split.X_val)
+        with pytest.raises(ValueError, match="2-D"):
+            monitor.check(split.X_test[0])
+
+    def test_pipeline_drift_checks_only_clean_rows(self, fitted):
+        model, split = fitted
+        pipe = ScoringPipeline(model, policy="budget", review_budget=10,
+                               drift_threshold=0.25)
+        pipe.calibrate(split.X_val, X_reference=split.X_unlabeled)
+        X = split.X_test.copy()
+        X[:5] = np.nan  # would crash the KS check if not excluded
+        batch = pipe.process(X)
+        assert batch.drift is not None and not batch.drift.drifted
+
+
+class TestReconstructionFallback:
+    def test_scores_in_unit_interval(self, fitted):
+        model, split = fitted
+        fb = ReconstructionFallback(model).calibrate(split.X_val, 0.1)
+        scores = fb.score(split.X_test)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert fb.threshold_ == pytest.approx(0.9)
+
+    def test_alert_fraction_matches_on_calibration_data(self, fitted):
+        model, split = fitted
+        fb = ReconstructionFallback(model).calibrate(split.X_val, 0.1)
+        frac = float(np.mean(fb.score(split.X_val) >= fb.threshold_))
+        assert frac == pytest.approx(0.1, abs=0.03)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            ReconstructionFallback(TargAD(TargADConfig()))
+
+    def test_uncalibrated_score_rejected(self, fitted):
+        model, _ = fitted
+        fb = ReconstructionFallback(model)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            fb.score(np.ones((2, 2)))
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_bad_alert_fraction_rejected(self, fitted, fraction):
+        model, split = fitted
+        with pytest.raises(ValueError, match="alert_fraction"):
+            ReconstructionFallback(model).calibrate(split.X_val, fraction)

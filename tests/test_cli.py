@@ -63,3 +63,50 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestResilienceCLI:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("resilience") / "model.npz")
+        assert main([
+            "train", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--k", "3", "--output", path,
+        ]) == 0
+        return path
+
+    def test_default_plan_trips_and_recovers(self, capsys, model_path):
+        code = main([
+            "resilience", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--model", model_path, "--batches", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault plan:" in out
+        assert "DEGRADED" in out
+        assert "resilience.breaker.trips = 1" in out
+        assert "resilience.breaker.recovers = 1" in out
+        assert "breaker transitions:" in out
+
+    def test_custom_plan_file_and_corrupt_rows(self, capsys, model_path, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"raise_on": [1], "seed": 3}))
+        code = main([
+            "resilience", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--model", model_path, "--batches", "3",
+            "--plan", str(plan), "--corrupt-rows", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "raise on call(s) [1]" in out
+        assert "quarantined" in out
+
+    def test_corrupt_model_file_exits_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"junk")
+        code = main([
+            "resilience", "--dataset", "kddcup99", "--scale", "0.02",
+            "--seed", "0", "--model", str(bad),
+        ])
+        assert code == 2
+        assert "cannot load model" in capsys.readouterr().err

@@ -20,6 +20,7 @@ CASES = [
     ("build_your_own_dataset.py", "Test AUPRC for firmware tampering"),
     ("deployment_pipeline.py", "operating threshold"),
     ("bring_your_own_csv.py", "inferred schema"),
+    ("chaos_demo.py", "half-open"),
 ]
 
 

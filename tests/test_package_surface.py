@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.experiments",
+    "repro.obs",
+    "repro.resilience",
     "repro.serving",
     "repro.viz",
 ]
