@@ -1,0 +1,163 @@
+"""Inference throughput: autodiff graph path vs compiled graph-free path.
+
+Measures rows/sec through ``forward_in_batches`` — the entry point every
+read path in the repository uses — for two workloads:
+
+- ``classifier_head`` — the TargAD classifier MLP that scores every
+  serving batch (``score_batch``/``decision_function``). This is the
+  primary serving workload and the headline number.
+- ``autoencoder_fallback`` — the fused candidate-selection autoencoder
+  the degraded fallback scores with. Its wider matmuls are BLAS-bound,
+  so the compiled path's allocation savings matter less.
+
+Three variants per workload, interleaved inside a single timing loop so
+clock drift and CPU frequency scaling hit all variants equally:
+
+- ``graph``        — Tensor graph forward (``force_graph_forward()``)
+- ``compiled``     — compiled float64 plan (the serving default)
+- ``compiled_f32`` — compiled float32 plan (opt-in reduced precision)
+
+Each workload runs in its own subprocess. This is deliberate: the graph
+path's throughput depends on allocator history (glibc raises its mmap
+threshold after large frees, which can double the speed of the graph
+path's per-op temporary allocations), so measuring workloads back to
+back in one process lets the first workload change what the second one
+measures. A fresh process per workload is both isolated and what a
+fresh serving process actually experiences.
+
+Writes ``BENCH_inference.json`` at the repo root. Non-gating: the ci.sh
+``bench`` lane runs this for trend tracking, not as a pass/fail check.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_inference.py [--repeats 9] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BATCH_SIZE = 2048
+ROWS = 16384
+
+#: name -> mlp() layer sizes (all take 32 input features).
+WORKLOADS = {
+    # TargAD classifier head: features -> m + k logits (Eq. 9 inputs).
+    "classifier_head": [32, 64, 32, 5],
+    # Candidate-selection AE, encoder+decoder fused (Eq. 2 read path).
+    "autoencoder_fallback": [32, 64, 16, 64, 32],
+}
+
+
+def _measure(name: str, repeats: int) -> dict:
+    """Best-of-``repeats`` rows/sec per variant, variants interleaved."""
+    from repro.backend import inference_precision
+    from repro.nn import force_graph_forward, forward_in_batches
+    from repro.nn.layers import mlp
+
+    sizes = WORKLOADS[name]
+    rng = np.random.default_rng(0)
+    output_activation = "relu" if name == "autoencoder_fallback" else "linear"
+    model = mlp(sizes, activation="relu",
+                output_activation=output_activation, rng=rng)
+    X = rng.normal(size=(ROWS, sizes[0]))
+
+    def once() -> float:
+        start = time.perf_counter()
+        forward_in_batches(model, X, batch_size=BATCH_SIZE)
+        return time.perf_counter() - start
+
+    # Warm every variant (first call allocates plan buffers / graph arrays).
+    with force_graph_forward():
+        once()
+    once()
+    with inference_precision(np.float32):
+        once()
+    best = {"graph": float("inf"), "compiled": float("inf"), "f32": float("inf")}
+    for _ in range(repeats):
+        with force_graph_forward():
+            best["graph"] = min(best["graph"], once())
+        best["compiled"] = min(best["compiled"], once())
+        with inference_precision(np.float32):
+            best["f32"] = min(best["f32"], once())
+    return {
+        "workload": name,
+        "rows": ROWS,
+        "graph_rows_per_sec": round(ROWS / best["graph"], 1),
+        "compiled_rows_per_sec": round(ROWS / best["compiled"], 1),
+        "compiled_f32_rows_per_sec": round(ROWS / best["f32"], 1),
+        "speedup_compiled_vs_graph": round(best["graph"] / best["compiled"], 2),
+        "speedup_f32_vs_graph": round(best["graph"] / best["f32"], 2),
+    }
+
+
+def run(repeats: int) -> dict:
+    results = []
+    for name in WORKLOADS:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, __file__, "--worker", name,
+             "--repeats", str(repeats)],
+            capture_output=True, text=True, check=True,
+            cwd=REPO_ROOT, env=env,
+        )
+        results.append(json.loads(proc.stdout))
+    serving = [r for r in results if r["workload"] == "classifier_head"]
+    return {
+        "benchmark": "inference_throughput",
+        "repeats": repeats,
+        "batch_size": BATCH_SIZE,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        # Headline: the serving scoring path every batch goes through.
+        "serving_speedup_compiled_vs_graph": min(
+            r["speedup_compiled_vs_graph"] for r in serving
+        ),
+        "serving_speedup_f32_vs_graph": min(
+            r["speedup_f32_vs_graph"] for r in serving
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_inference.json")
+    parser.add_argument("--worker", choices=sorted(WORKLOADS),
+                        help="internal: measure one workload, print JSON")
+    args = parser.parse_args()
+    if args.worker:
+        print(json.dumps(_measure(args.worker, args.repeats)))
+        return
+    payload = run(args.repeats)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for row in payload["results"]:
+        print(
+            f"  {row['workload']:>20} rows={row['rows']:<6} "
+            f"graph={row['graph_rows_per_sec']:>12,.0f} r/s  "
+            f"compiled={row['compiled_rows_per_sec']:>12,.0f} r/s  "
+            f"({row['speedup_compiled_vs_graph']}x, "
+            f"f32 {row['speedup_f32_vs_graph']}x)"
+        )
+    print(
+        "  serving headline: "
+        f"{payload['serving_speedup_compiled_vs_graph']}x compiled, "
+        f"{payload['serving_speedup_f32_vs_graph']}x float32"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@
 #   scripts/ci.sh fast     # fast lane only (-m "not slow")
 #   scripts/ci.sh tier1    # tier-1 gate only
 #   scripts/ci.sh chaos    # chaos lane only (-m chaos fault-injection scenarios)
+#   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
 # run from ROADMAP.md. The fast lane re-runs the suite without the `slow`
@@ -32,10 +33,18 @@ run_chaos() {
     python -m pytest -x -q -m chaos
 }
 
+run_bench() {
+    # Non-gating: records graph vs compiled inference throughput in
+    # BENCH_inference.json for trend tracking; never fails the build.
+    echo '== bench lane: inference throughput (non-gating) =='
+    python scripts/bench_inference.py || echo "bench lane failed (non-gating)"
+}
+
 case "$lane" in
     tier1) run_tier1 ;;
     fast)  run_fast ;;
     chaos) run_chaos ;;
+    bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|bench|all]" >&2; exit 2 ;;
 esac

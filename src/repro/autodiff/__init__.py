@@ -12,7 +12,7 @@ It implements a small but complete dynamic-graph autodiff engine:
   verification utilities used heavily by the test suite.
 """
 
-from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.tensor import Tensor, is_grad_enabled, no_grad
 from repro.autodiff.grad_check import check_gradients, numerical_gradient
 
-__all__ = ["Tensor", "no_grad", "check_gradients", "numerical_gradient"]
+__all__ = ["Tensor", "check_gradients", "is_grad_enabled", "no_grad", "numerical_gradient"]

@@ -1,4 +1,4 @@
-"""A reverse-mode automatic differentiation tensor over numpy arrays.
+"""A reverse-mode automatic differentiation tensor over backend arrays.
 
 The engine builds a dynamic computation graph as operations execute; calling
 :meth:`Tensor.backward` on a scalar output propagates gradients to every
@@ -6,46 +6,75 @@ tensor created with ``requires_grad=True``.
 
 Design notes
 ------------
-- All data is stored as ``float64`` numpy arrays. The models in this
-  repository are small (tabular MLPs/autoencoders), so we favour numerical
-  robustness and exact gradient checks over memory footprint.
+- All array math is routed through :mod:`repro.backend` (``B.*``), the
+  pluggable numeric backend, instead of calling numpy directly. The
+  reference backend is numpy; the op surface is documented in
+  :class:`repro.backend.NumpyBackend`.
+- All data is stored in the training dtype of the backend policy
+  (``float64``). The models in this repository are small (tabular
+  MLPs/autoencoders), so we favour numerical robustness and exact gradient
+  checks over memory footprint. Inference that wants ``float32`` should use
+  the graph-free compiled path (:func:`repro.nn.inference.compile_inference`)
+  rather than this engine.
 - Broadcasting follows numpy semantics; gradients are "unbroadcast" (summed
   over broadcast axes) on the way back.
 - Graph recording can be suspended with the :func:`no_grad` context manager,
-  which is used during inference to avoid retaining activations.
+  which is used during inference to avoid retaining activations. The flag is
+  **thread-local**, so one serving thread entering/leaving ``no_grad`` can
+  never re-enable graph recording under a concurrent trainer (or vice
+  versa).
+- Backward rules are module-level functions bound into tiny
+  :class:`_Backward` records (``__slots__`` objects) instead of per-op
+  closures, cutting allocation overhead on the training path.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Union
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
-import numpy as np
+from repro.backend import ops as B
 
-ArrayLike = Union[np.ndarray, float, int, Sequence]
+ArrayLike = Union[B.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread graph-recording flag; reads fall back to the class default."""
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops executed by the *current thread* record the graph."""
+    return _GRAD_MODE.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction within its scope."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction within its scope.
+
+    The suspension is thread-local: concurrent threads each carry their
+    own flag, so an inference thread inside ``no_grad`` cannot observe —
+    or clobber — a training thread's recording state.
+    """
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    array = np.asarray(value, dtype=np.float64)
-    return array
+def _as_array(value: ArrayLike) -> B.ndarray:
+    return B.asarray(value)
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
-    """Sum ``grad`` over the axes that numpy broadcasting introduced.
+def _unbroadcast(grad: B.ndarray, shape: tuple) -> B.ndarray:
+    """Sum ``grad`` over the axes that broadcasting introduced.
 
     ``grad`` has the shape of the broadcast result; the returned array has
     the original ``shape`` of the operand.
@@ -63,13 +92,33 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
+class _Backward:
+    """A recorded backward rule plus the saved state it needs.
+
+    One ``__slots__`` record per op replaces the per-op Python closure
+    (a function object plus one cell per free variable), cutting
+    allocation overhead on the training path; the rules themselves are
+    shared module-level functions invoked as ``rule(grad, *state)``.
+    """
+
+    __slots__ = ("rule", "state")
+
+    def __init__(self, rule: Callable, state: tuple):
+        self.rule = rule
+        self.state = state
+
+    def __call__(self, grad: B.ndarray) -> None:
+        self.rule(grad, *self.state)
+
+
 class Tensor:
     """An n-dimensional array with reverse-mode gradient tracking.
 
     Parameters
     ----------
     data:
-        Array-like payload; converted to a float64 numpy array.
+        Array-like payload; converted to an array of the backend's
+        training dtype (``float64``).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
@@ -79,9 +128,9 @@ class Tensor:
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self.grad: Optional[np.ndarray] = None
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
+        self.grad: Optional[B.ndarray] = None
+        self._backward: Optional[_Backward] = None
         self._parents: tuple = ()
 
     # ------------------------------------------------------------------
@@ -106,8 +155,8 @@ class Tensor:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor({self.data!r}{grad_flag})"
 
-    def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (no copy)."""
+    def numpy(self) -> B.ndarray:
+        """Return the underlying backend array (no copy)."""
         return self.data
 
     def item(self) -> float:
@@ -122,25 +171,28 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(
-        data: np.ndarray,
+        data: B.ndarray,
         parents: Iterable["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        rule: Callable,
+        state: tuple,
     ) -> "Tensor":
         """Create a graph node from an op result.
 
-        ``backward`` receives the upstream gradient and is responsible for
-        calling :meth:`_accumulate` on each parent that requires a gradient.
+        ``rule(grad, *state)`` receives the upstream gradient and is
+        responsible for calling :meth:`_accumulate` on each parent that
+        requires a gradient. The :class:`_Backward` record is only
+        allocated when the graph is actually being recorded.
         """
         parents = tuple(parents)
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _GRAD_MODE.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
-            out._backward = backward
+            out._backward = _Backward(rule, state)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: B.ndarray) -> None:
+        grad = _unbroadcast(B.asarray(grad), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -164,13 +216,13 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            grad = B.ones_like(self.data)
+        grad = B.asarray(grad)
 
         # Topological order over the reachable graph.
         order: list[Tensor] = []
         visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
         while stack:
             node, processed = stack.pop()
             if processed:
@@ -197,147 +249,90 @@ class Tensor:
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(grad)
-
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        return Tensor._make(
+            self.data + other.data, (self, other), _add_backward, (self, other)
+        )
 
     __radd__ = __add__
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(-grad)
-
-        return Tensor._make(self.data - other.data, (self, other), backward)
+        return Tensor._make(
+            self.data - other.data, (self, other), _sub_backward, (self, other)
+        )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * other.data)
-            if other.requires_grad:
-                other._accumulate(grad * self.data)
-
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        return Tensor._make(
+            self.data * other.data, (self, other), _mul_backward, (self, other)
+        )
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / other.data)
-            if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
-
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        return Tensor._make(
+            self.data / other.data, (self, other), _div_backward, (self, other)
+        )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), _neg_backward, (self,))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
         exponent = float(exponent)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * np.power(self.data, exponent - 1.0))
-
-        return Tensor._make(np.power(self.data, exponent), (self,), backward)
+        return Tensor._make(
+            B.power(self.data, exponent), (self,), _pow_backward, (self, exponent)
+        )
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = self._coerce(other)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
-                else:
-                    self._accumulate(grad @ other.data.swapaxes(-1, -2))
-            if other.requires_grad:
-                if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad))
-                else:
-                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
-
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return Tensor._make(
+            B.matmul(self.data, other.data), (self, other), _matmul_backward, (self, other)
+        )
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
-
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            (self,),
+            _sum_backward,
+            (self, axis, keepdims),
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
             count = self.data.size
         else:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.data.shape[a] for a in axes]))
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape) / count)
-
-        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+            count = int(B.prod([self.data.shape[a] for a in axes]))
+        return Tensor._make(
+            self.data.mean(axis=axis, keepdims=keepdims),
+            (self,),
+            _mean_backward,
+            (self, axis, keepdims, count),
+        )
 
     def _extremum(self, axis, keepdims: bool, reducer) -> "Tensor":
         out_data = reducer(self.data, axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad
-            out = out_data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                out = np.expand_dims(out, axis=axis)
-            mask = (self.data == out).astype(np.float64)
-            # Split gradient equally among ties to keep the operator linear.
-            mask /= np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
-            self._accumulate(np.broadcast_to(g, self.data.shape) * mask)
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(
+            out_data, (self,), _extremum_backward, (self, axis, keepdims, out_data)
+        )
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        return self._extremum(axis, keepdims, np.max)
+        return self._extremum(axis, keepdims, B.amax)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
-        return self._extremum(axis, keepdims, np.min)
+        return self._extremum(axis, keepdims, B.amin)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Population variance (ddof=0), differentiable."""
@@ -350,180 +345,118 @@ class Tensor:
         return (self.var(axis=axis, keepdims=keepdims) + eps).sqrt()
 
     @staticmethod
-    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+    def where(condition: B.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
         """Elementwise select; ``condition`` is a non-differentiable mask."""
-        condition = np.asarray(condition, dtype=bool)
+        condition = B.as_bool(condition)
         a = a if isinstance(a, Tensor) else Tensor(a)
         b = b if isinstance(b, Tensor) else Tensor(b)
-
-        def backward(grad: np.ndarray) -> None:
-            if a.requires_grad:
-                a._accumulate(grad * condition)
-            if b.requires_grad:
-                b._accumulate(grad * ~condition)
-
-        return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+        return Tensor._make(
+            B.where(condition, a.data, b.data),
+            (a, b),
+            _where_backward,
+            (condition, a, b),
+        )
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         """Elementwise max of two tensors (ties split half/half)."""
         other = self._coerce(other)
         a_wins = self.data > other.data
         tie = self.data == other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (a_wins + 0.5 * tie))
-            if other.requires_grad:
-                other._accumulate(grad * (~a_wins & ~tie) + grad * 0.5 * tie)
-
-        return Tensor._make(np.maximum(self.data, other.data), (self, other), backward)
+        return Tensor._make(
+            B.maximum(self.data, other.data),
+            (self, other),
+            _pairwise_extremum_backward,
+            (self, other, a_wins, tie),
+        )
 
     def minimum(self, other: ArrayLike) -> "Tensor":
         """Elementwise min of two tensors (ties split half/half)."""
         other = self._coerce(other)
         a_wins = self.data < other.data
         tie = self.data == other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (a_wins + 0.5 * tie))
-            if other.requires_grad:
-                other._accumulate(grad * (~a_wins & ~tie) + grad * 0.5 * tie)
-
-        return Tensor._make(np.minimum(self.data, other.data), (self, other), backward)
+        return Tensor._make(
+            B.minimum(self.data, other.data),
+            (self, other),
+            _pairwise_extremum_backward,
+            (self, other, a_wins, tie),
+        )
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        out_data = B.exp(self.data)
+        return Tensor._make(out_data, (self,), _exp_backward, (self, out_data))
 
     def log(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
-
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return Tensor._make(B.log(self.data), (self,), _log_backward, (self,))
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * 0.5 / out_data)
-
-        return Tensor._make(out_data, (self,), backward)
+        out_data = B.sqrt(self.data)
+        return Tensor._make(out_data, (self,), _sqrt_backward, (self, out_data))
 
     def abs(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * np.sign(self.data))
-
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(B.abs(self.data), (self,), _abs_backward, (self,))
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
-
-        return Tensor._make(out_data, (self,), backward)
+        out_data = B.tanh(self.data)
+        return Tensor._make(out_data, (self,), _tanh_backward, (self, out_data))
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (self,), backward)
+        out_data = B.sigmoid(self.data)
+        return Tensor._make(out_data, (self,), _sigmoid_backward, (self, out_data))
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return Tensor._make(self.data * mask, (self,), backward)
+        mask = B.as_float(self.data > 0)
+        return Tensor._make(self.data * mask, (self,), _masked_backward, (self, mask))
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
-        factor = np.where(self.data > 0, 1.0, slope)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * factor)
-
-        return Tensor._make(self.data * factor, (self,), backward)
+        factor = B.where(self.data > 0, 1.0, slope)
+        return Tensor._make(
+            self.data * factor, (self,), _masked_backward, (self, factor)
+        )
 
     def softplus(self) -> "Tensor":
-        # log(1 + exp(x)), numerically stabilized.
-        out_data = np.logaddexp(0.0, self.data)
-        sig = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * sig)
-
-        return Tensor._make(out_data, (self,), backward)
+        # log(1 + exp(x)), numerically stabilized; d/dx = sigmoid(x).
+        out_data = B.softplus(self.data)
+        sig = B.sigmoid(self.data)
+        return Tensor._make(out_data, (self,), _masked_backward, (self, sig))
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        mask = B.as_float((self.data >= low) & (self.data <= high))
+        return Tensor._make(
+            B.clip(self.data, low, high), (self,), _masked_backward, (self, mask)
+        )
 
     # ------------------------------------------------------------------
     # Softmax family (fused for numerical stability)
     # ------------------------------------------------------------------
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        shifted = self.data - B.amax(self.data, axis=axis, keepdims=True)
+        log_norm = B.log(B.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_norm
-        softmax = np.exp(out_data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
-
-        return Tensor._make(out_data, (self,), backward)
+        softmax = B.exp(out_data)
+        return Tensor._make(
+            out_data, (self,), _log_softmax_backward, (self, softmax, axis)
+        )
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
+        shifted = self.data - B.amax(self.data, axis=axis, keepdims=True)
+        exp = B.exp(shifted)
         out_data = exp / exp.sum(axis=axis, keepdims=True)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                inner = (grad * out_data).sum(axis=axis, keepdims=True)
-                self._accumulate(out_data * (grad - inner))
-
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(
+            out_data, (self,), _softmax_backward, (self, out_data, axis)
+        )
 
     def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        sums = np.exp(shifted).sum(axis=axis, keepdims=True)
-        out_keep = self.data.max(axis=axis, keepdims=True) + np.log(sums)
-        softmax = np.exp(self.data - out_keep)
-        out_data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            g = grad if keepdims else np.expand_dims(grad, axis=axis)
-            self._accumulate(g * softmax)
-
-        return Tensor._make(out_data, (self,), backward)
+        shifted = self.data - B.amax(self.data, axis=axis, keepdims=True)
+        sums = B.exp(shifted).sum(axis=axis, keepdims=True)
+        out_keep = B.amax(self.data, axis=axis, keepdims=True) + B.log(sums)
+        softmax = B.exp(self.data - out_keep)
+        out_data = out_keep if keepdims else B.squeeze(out_keep, axis=axis)
+        return Tensor._make(
+            out_data, (self,), _logsumexp_backward, (self, softmax, axis, keepdims)
+        )
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -531,54 +464,222 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.reshape(self.data.shape))
-
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return Tensor._make(
+            self.data.reshape(shape), (self,), _reshape_backward, (self,)
+        )
 
     @property
     def T(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.T)
-
-        return Tensor._make(self.data.T, (self,), backward)
+        return Tensor._make(self.data.T, (self,), _transpose_backward, (self,))
 
     def __getitem__(self, index) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
-
-        return Tensor._make(self.data[index], (self,), backward)
+        return Tensor._make(
+            self.data[index], (self,), _getitem_backward, (self, index)
+        )
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-        sizes = [t.data.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
-
-        def backward(grad: np.ndarray) -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if tensor.requires_grad:
-                    slicer = [slice(None)] * grad.ndim
-                    slicer[axis] = slice(start, stop)
-                    tensor._accumulate(grad[tuple(slicer)])
-
-        data = np.concatenate([t.data for t in tensors], axis=axis)
-        return Tensor._make(data, tensors, backward)
+        offsets = [0]
+        for t in tensors:
+            offsets.append(offsets[-1] + t.data.shape[axis])
+        data = B.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._make(
+            data, tensors, _concatenate_backward, (tuple(tensors), tuple(offsets), axis)
+        )
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = B.stack([t.data for t in tensors], axis=axis)
+        return Tensor._make(data, tensors, _stack_backward, (tuple(tensors), axis))
 
-        def backward(grad: np.ndarray) -> None:
-            for i, tensor in enumerate(tensors):
-                if tensor.requires_grad:
-                    tensor._accumulate(np.take(grad, i, axis=axis))
 
-        data = np.stack([t.data for t in tensors], axis=axis)
-        return Tensor._make(data, tensors, backward)
+# ----------------------------------------------------------------------
+# Backward rules (module-level; bound into _Backward records by the ops)
+# ----------------------------------------------------------------------
+def _add_backward(grad, a, b):
+    if a.requires_grad:
+        a._accumulate(grad)
+    if b.requires_grad:
+        b._accumulate(grad)
+
+
+def _sub_backward(grad, a, b):
+    if a.requires_grad:
+        a._accumulate(grad)
+    if b.requires_grad:
+        b._accumulate(-grad)
+
+
+def _mul_backward(grad, a, b):
+    if a.requires_grad:
+        a._accumulate(grad * b.data)
+    if b.requires_grad:
+        b._accumulate(grad * a.data)
+
+
+def _div_backward(grad, a, b):
+    if a.requires_grad:
+        a._accumulate(grad / b.data)
+    if b.requires_grad:
+        b._accumulate(-grad * a.data / (b.data**2))
+
+
+def _neg_backward(grad, a):
+    if a.requires_grad:
+        a._accumulate(-grad)
+
+
+def _pow_backward(grad, a, exponent):
+    if a.requires_grad:
+        a._accumulate(grad * exponent * B.power(a.data, exponent - 1.0))
+
+
+def _matmul_backward(grad, a, b):
+    if a.requires_grad:
+        if b.data.ndim == 1:
+            a._accumulate(
+                B.outer(grad, b.data) if grad.ndim == 1 else grad[..., None] * b.data
+            )
+        else:
+            a._accumulate(B.matmul(grad, b.data.swapaxes(-1, -2)))
+    if b.requires_grad:
+        if a.data.ndim == 1:
+            b._accumulate(B.outer(a.data, grad))
+        else:
+            b._accumulate(B.matmul(a.data.swapaxes(-1, -2), grad))
+
+
+def _sum_backward(grad, a, axis, keepdims):
+    if not a.requires_grad:
+        return
+    g = grad
+    if axis is not None and not keepdims:
+        g = B.expand_dims(g, axis=axis)
+    a._accumulate(B.broadcast_to(g, a.data.shape))
+
+
+def _mean_backward(grad, a, axis, keepdims, count):
+    if not a.requires_grad:
+        return
+    g = grad
+    if axis is not None and not keepdims:
+        g = B.expand_dims(g, axis=axis)
+    a._accumulate(B.broadcast_to(g, a.data.shape) / count)
+
+
+def _extremum_backward(grad, a, axis, keepdims, out_data):
+    if not a.requires_grad:
+        return
+    g = grad
+    out = out_data
+    if axis is not None and not keepdims:
+        g = B.expand_dims(g, axis=axis)
+        out = B.expand_dims(out, axis=axis)
+    mask = B.as_float(a.data == out)
+    # Split gradient equally among ties to keep the operator linear.
+    mask /= B.maximum(
+        mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0
+    )
+    a._accumulate(B.broadcast_to(g, a.data.shape) * mask)
+
+
+def _where_backward(grad, condition, a, b):
+    if a.requires_grad:
+        a._accumulate(grad * condition)
+    if b.requires_grad:
+        b._accumulate(grad * ~condition)
+
+
+def _pairwise_extremum_backward(grad, a, b, a_wins, tie):
+    if a.requires_grad:
+        a._accumulate(grad * (a_wins + 0.5 * tie))
+    if b.requires_grad:
+        b._accumulate(grad * (~a_wins & ~tie) + grad * 0.5 * tie)
+
+
+def _exp_backward(grad, a, out_data):
+    if a.requires_grad:
+        a._accumulate(grad * out_data)
+
+
+def _log_backward(grad, a):
+    if a.requires_grad:
+        a._accumulate(grad / a.data)
+
+
+def _sqrt_backward(grad, a, out_data):
+    if a.requires_grad:
+        a._accumulate(grad * 0.5 / out_data)
+
+
+def _abs_backward(grad, a):
+    if a.requires_grad:
+        a._accumulate(grad * B.sign(a.data))
+
+
+def _tanh_backward(grad, a, out_data):
+    if a.requires_grad:
+        a._accumulate(grad * (1.0 - out_data**2))
+
+
+def _sigmoid_backward(grad, a, out_data):
+    if a.requires_grad:
+        a._accumulate(grad * out_data * (1.0 - out_data))
+
+
+def _masked_backward(grad, a, factor):
+    """Shared rule for ops whose derivative is a precomputed factor
+    (relu/leaky-relu masks, clip's pass-through mask, softplus' sigmoid)."""
+    if a.requires_grad:
+        a._accumulate(grad * factor)
+
+
+def _log_softmax_backward(grad, a, softmax, axis):
+    if a.requires_grad:
+        a._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+
+def _softmax_backward(grad, a, out_data, axis):
+    if a.requires_grad:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (grad - inner))
+
+
+def _logsumexp_backward(grad, a, softmax, axis, keepdims):
+    if not a.requires_grad:
+        return
+    g = grad if keepdims else B.expand_dims(grad, axis=axis)
+    a._accumulate(g * softmax)
+
+
+def _reshape_backward(grad, a):
+    if a.requires_grad:
+        a._accumulate(grad.reshape(a.data.shape))
+
+
+def _transpose_backward(grad, a):
+    if a.requires_grad:
+        a._accumulate(grad.T)
+
+
+def _getitem_backward(grad, a, index):
+    if a.requires_grad:
+        full = B.zeros_like(a.data)
+        B.index_add(full, index, grad)
+        a._accumulate(full)
+
+
+def _concatenate_backward(grad, tensors, offsets, axis):
+    for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        if tensor.requires_grad:
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+
+def _stack_backward(grad, tensors, axis):
+    for i, tensor in enumerate(tensors):
+        if tensor.requires_grad:
+            tensor._accumulate(B.take(grad, i, axis=axis))

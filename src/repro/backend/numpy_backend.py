@@ -1,0 +1,142 @@
+"""The reference numpy execution backend.
+
+A backend is a plain object exposing the array-op surface that
+:mod:`repro.autodiff` (and anything else that wants backend-agnostic
+array math) calls instead of touching numpy directly. The numpy backend
+is the default and the only one shipped; alternative backends (e.g. a
+GPU array library with a numpy-compatible API) register themselves via
+:func:`repro.backend.register_backend` and only need to provide this
+same surface.
+
+Every method follows numpy semantics exactly — the autodiff engine's
+gradient rules are written against them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class NumpyBackend:
+    """Array ops implemented on numpy ``float64``/``float32`` arrays."""
+
+    name = "numpy"
+
+    #: Array type produced by this backend (used for isinstance checks and
+    #: type annotations by backend-agnostic callers).
+    ndarray = np.ndarray
+
+    float64 = np.dtype(np.float64)
+    float32 = np.dtype(np.float32)
+    bool_ = np.dtype(bool)
+
+    # -- construction / casting ----------------------------------------
+    def asarray(self, value, dtype=None) -> np.ndarray:
+        from repro.backend.policy import training_dtype
+
+        return np.asarray(value, dtype=training_dtype() if dtype is None else dtype)
+
+    def as_float(self, value) -> np.ndarray:
+        """Cast to the training float dtype (masks -> 0.0/1.0)."""
+        from repro.backend.policy import training_dtype
+
+        return np.asarray(value).astype(training_dtype())
+
+    def as_bool(self, value) -> np.ndarray:
+        return np.asarray(value, dtype=bool)
+
+    def zeros_like(self, x) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def ones_like(self, x) -> np.ndarray:
+        return np.ones_like(x)
+
+    def empty(self, shape, dtype=None) -> np.ndarray:
+        from repro.backend.policy import training_dtype
+
+        return np.empty(shape, dtype=training_dtype() if dtype is None else dtype)
+
+    # -- elementwise ----------------------------------------------------
+    def exp(self, x) -> np.ndarray:
+        return np.exp(x)
+
+    def log(self, x) -> np.ndarray:
+        return np.log(x)
+
+    def sqrt(self, x) -> np.ndarray:
+        return np.sqrt(x)
+
+    def abs(self, x) -> np.ndarray:
+        return np.abs(x)
+
+    def sign(self, x) -> np.ndarray:
+        return np.sign(x)
+
+    def tanh(self, x) -> np.ndarray:
+        return np.tanh(x)
+
+    def sigmoid(self, x) -> np.ndarray:
+        """Numerically-guarded logistic ``1 / (1 + exp(-x))``."""
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+    def softplus(self, x) -> np.ndarray:
+        """``log(1 + exp(x))`` via ``logaddexp`` for stability."""
+        return np.logaddexp(0.0, x)
+
+    def power(self, x, exponent) -> np.ndarray:
+        return np.power(x, exponent)
+
+    def clip(self, x, low, high) -> np.ndarray:
+        return np.clip(x, low, high)
+
+    def where(self, condition, a, b) -> np.ndarray:
+        return np.where(condition, a, b)
+
+    def maximum(self, a, b) -> np.ndarray:
+        return np.maximum(a, b)
+
+    def minimum(self, a, b) -> np.ndarray:
+        return np.minimum(a, b)
+
+    # -- linear algebra --------------------------------------------------
+    def matmul(self, a, b, out: Optional[np.ndarray] = None) -> np.ndarray:
+        return np.matmul(a, b, out=out)
+
+    def outer(self, a, b) -> np.ndarray:
+        return np.outer(a, b)
+
+    # -- reductions ------------------------------------------------------
+    def amax(self, x, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.max(x, axis=axis, keepdims=keepdims)
+
+    def amin(self, x, axis=None, keepdims: bool = False) -> np.ndarray:
+        return np.min(x, axis=axis, keepdims=keepdims)
+
+    def prod(self, values) -> float:
+        return np.prod(values)
+
+    # -- shape manipulation ---------------------------------------------
+    def expand_dims(self, x, axis) -> np.ndarray:
+        return np.expand_dims(x, axis=axis)
+
+    def squeeze(self, x, axis) -> np.ndarray:
+        return np.squeeze(x, axis=axis)
+
+    def broadcast_to(self, x, shape) -> np.ndarray:
+        return np.broadcast_to(x, shape)
+
+    def concatenate(self, arrays, axis: int = 0) -> np.ndarray:
+        return np.concatenate(arrays, axis=axis)
+
+    def stack(self, arrays, axis: int = 0) -> np.ndarray:
+        return np.stack(arrays, axis=axis)
+
+    def take(self, x, index, axis) -> np.ndarray:
+        return np.take(x, index, axis=axis)
+
+    # -- scatter ---------------------------------------------------------
+    def index_add(self, target, index, values) -> None:
+        """In-place unbuffered scatter-add: ``target[index] += values``."""
+        np.add.at(target, index, values)

@@ -1,0 +1,142 @@
+"""Backend-dispatching array ops.
+
+These thin wrappers are what backend-agnostic code imports (``from
+repro.backend import ops as B``); each call forwards to the currently
+active backend from :mod:`repro.backend.registry`. The indirection is a
+single attribute lookup per op — negligible against the array math it
+dispatches — and is what makes the numeric backend swappable without
+touching any call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import registry as _registry
+
+#: Array type of the reference backend, for annotations/isinstance use.
+ndarray = np.ndarray
+
+
+def asarray(value, dtype=None):
+    return _registry._ACTIVE.asarray(value, dtype)
+
+
+def as_float(value):
+    return _registry._ACTIVE.as_float(value)
+
+
+def as_bool(value):
+    return _registry._ACTIVE.as_bool(value)
+
+
+def zeros_like(x):
+    return _registry._ACTIVE.zeros_like(x)
+
+
+def ones_like(x):
+    return _registry._ACTIVE.ones_like(x)
+
+
+def empty(shape, dtype=None):
+    return _registry._ACTIVE.empty(shape, dtype)
+
+
+def exp(x):
+    return _registry._ACTIVE.exp(x)
+
+
+def log(x):
+    return _registry._ACTIVE.log(x)
+
+
+def sqrt(x):
+    return _registry._ACTIVE.sqrt(x)
+
+
+def abs(x):  # noqa: A001 - mirrors the numpy name on purpose
+    return _registry._ACTIVE.abs(x)
+
+
+def sign(x):
+    return _registry._ACTIVE.sign(x)
+
+
+def tanh(x):
+    return _registry._ACTIVE.tanh(x)
+
+
+def sigmoid(x):
+    return _registry._ACTIVE.sigmoid(x)
+
+
+def softplus(x):
+    return _registry._ACTIVE.softplus(x)
+
+
+def power(x, exponent):
+    return _registry._ACTIVE.power(x, exponent)
+
+
+def clip(x, low, high):
+    return _registry._ACTIVE.clip(x, low, high)
+
+
+def where(condition, a, b):
+    return _registry._ACTIVE.where(condition, a, b)
+
+
+def maximum(a, b):
+    return _registry._ACTIVE.maximum(a, b)
+
+
+def minimum(a, b):
+    return _registry._ACTIVE.minimum(a, b)
+
+
+def matmul(a, b, out=None):
+    return _registry._ACTIVE.matmul(a, b, out=out)
+
+
+def outer(a, b):
+    return _registry._ACTIVE.outer(a, b)
+
+
+def amax(x, axis=None, keepdims=False):
+    return _registry._ACTIVE.amax(x, axis=axis, keepdims=keepdims)
+
+
+def amin(x, axis=None, keepdims=False):
+    return _registry._ACTIVE.amin(x, axis=axis, keepdims=keepdims)
+
+
+def prod(values):
+    return _registry._ACTIVE.prod(values)
+
+
+def expand_dims(x, axis):
+    return _registry._ACTIVE.expand_dims(x, axis)
+
+
+def squeeze(x, axis):
+    return _registry._ACTIVE.squeeze(x, axis)
+
+
+def broadcast_to(x, shape):
+    return _registry._ACTIVE.broadcast_to(x, shape)
+
+
+def concatenate(arrays, axis=0):
+    return _registry._ACTIVE.concatenate(arrays, axis=axis)
+
+
+def stack(arrays, axis=0):
+    return _registry._ACTIVE.stack(arrays, axis=axis)
+
+
+def take(x, index, axis):
+    return _registry._ACTIVE.take(x, index, axis)
+
+
+def index_add(target, index, values):
+    return _registry._ACTIVE.index_add(target, index, values)

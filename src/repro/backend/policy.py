@@ -1,0 +1,101 @@
+"""The repository's explicit dtype policy.
+
+Training and gradient checking always run in ``float64``: the models are
+small tabular MLPs, and double precision is what makes the finite-
+difference gradient checks in :mod:`repro.autodiff.grad_check` exact to
+~1e-9. Inference carries no such obligation — a forward pass through a
+few dense layers loses nothing of consequence at ``float32`` while
+roughly doubling effective memory bandwidth — so serving may *opt in* to
+single precision, either per call (the ``dtype=`` argument of
+:func:`repro.nn.train.forward_in_batches` /
+:func:`repro.nn.inference.compile_inference`) or lexically via
+:func:`inference_precision`.
+
+The two halves of the policy:
+
+- :func:`training_dtype` — fixed ``float64``; this is what every
+  :class:`~repro.autodiff.Tensor` stores.
+- :func:`inference_dtype` — ``float64`` by default (bit-identical
+  serving and training scores), overridable per thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+DtypeLike = Union[str, np.dtype, type, None]
+
+#: The fixed training/grad-check precision. Not configurable by design:
+#: every gradient rule and tolerance in the test suite assumes it.
+TRAINING_DTYPE = np.dtype(np.float64)
+
+_ALLOWED_INFERENCE = {
+    np.dtype(np.float64): np.dtype(np.float64),
+    np.dtype(np.float32): np.dtype(np.float32),
+}
+
+
+class _InferencePolicy(threading.local):
+    dtype = np.dtype(np.float64)
+
+
+_POLICY = _InferencePolicy()
+
+
+def training_dtype() -> np.dtype:
+    """The dtype all trainable tensors and gradients use (``float64``)."""
+    return TRAINING_DTYPE
+
+
+def resolve_dtype(dtype: DtypeLike) -> np.dtype:
+    """Normalize a user-facing dtype spec to an allowed inference dtype.
+
+    Accepts ``None`` (the current thread's inference default),
+    ``"float64"``/``"float32"``, numpy dtypes, or the scalar types.
+    Anything else raises ``ValueError`` — the policy deliberately
+    whitelists the two float precisions rather than passing arbitrary
+    dtypes through to the kernels.
+    """
+    if dtype is None:
+        return _POLICY.dtype
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(f"unrecognized dtype spec {dtype!r}") from exc
+    if resolved not in _ALLOWED_INFERENCE:
+        raise ValueError(
+            f"dtype {resolved} is not an allowed inference precision; "
+            "use float64 or float32"
+        )
+    return _ALLOWED_INFERENCE[resolved]
+
+
+def inference_dtype() -> np.dtype:
+    """The current thread's default inference precision."""
+    return _POLICY.dtype
+
+
+def set_inference_dtype(dtype: DtypeLike) -> None:
+    """Set this thread's default inference precision (``None`` = float64)."""
+    _POLICY.dtype = (
+        np.dtype(np.float64) if dtype is None else resolve_dtype(dtype)
+    )
+
+
+@contextlib.contextmanager
+def inference_precision(dtype: DtypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch this thread's inference precision.
+
+    ``with inference_precision("float32"): pipeline.process(batch)``
+    runs every compiled forward inside the block in single precision.
+    """
+    previous = _POLICY.dtype
+    _POLICY.dtype = resolve_dtype(dtype)
+    try:
+        yield _POLICY.dtype
+    finally:
+        _POLICY.dtype = previous

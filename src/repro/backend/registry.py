@@ -1,0 +1,73 @@
+"""Backend registry: named backends, one active at a time.
+
+The registry keeps the numeric backend pluggable without threading a
+backend handle through every call site: :mod:`repro.autodiff` and the
+compiled-inference machinery always dispatch through
+:func:`active_backend`. Swapping the backend (globally with
+:func:`set_backend` or lexically with :func:`use_backend`) redirects all
+subsequent array math.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Optional
+
+from repro.backend.numpy_backend import NumpyBackend
+
+_BACKENDS: Dict[str, object] = {}
+_ACTIVE: object = None  # set at import bottom
+
+
+def register_backend(name: str, backend, *, activate: bool = False) -> None:
+    """Register ``backend`` under ``name`` (optionally activating it).
+
+    ``backend`` must expose the :class:`~repro.backend.numpy_backend.
+    NumpyBackend` op surface; re-registering a name replaces it.
+    """
+    _BACKENDS[name] = backend
+    if activate:
+        set_backend(name)
+
+
+def backend_names() -> list:
+    """Sorted names of all registered backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: Optional[str] = None):
+    """Return the backend registered under ``name`` (default: active)."""
+    if name is None:
+        return _ACTIVE
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"no backend named {name!r}; registered: {backend_names()}"
+        ) from None
+
+
+def set_backend(name: str) -> None:
+    """Make the named backend the process-wide active backend."""
+    global _ACTIVE
+    _ACTIVE = get_backend(name)
+
+
+def active_backend():
+    """The backend all backend-agnostic array math dispatches to."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[object]:
+    """Temporarily activate the named backend within a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = get_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+register_backend("numpy", NumpyBackend(), activate=True)

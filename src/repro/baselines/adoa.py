@@ -25,7 +25,7 @@ from repro.cluster import KMeans
 from repro.nn.layers import mlp
 from repro.nn.losses import soft_cross_entropy
 from repro.nn.optimizers import Adam
-from repro.nn.train import forward_in_batches, iterate_minibatches
+from repro.nn.train import iterate_minibatches
 
 
 class ADOA(BaseDetector):
@@ -131,7 +131,7 @@ class ADOA(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        logits = forward_in_batches(self._network, np.asarray(X, dtype=np.float64))
+        logits = self._forward(self._network, X)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         probs = exp / exp.sum(axis=1, keepdims=True)

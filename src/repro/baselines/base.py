@@ -25,6 +25,10 @@ class BaseDetector:
     name = "base"
     supervision = "semi-supervised"
 
+    #: Inference precision for :meth:`_forward` (``None`` = backend policy
+    #: default, normally float64). Training always stays float64.
+    inference_dtype = None
+
     def __init__(self, random_state: Optional[int] = None):
         self.random_state = random_state
         self._fitted = False
@@ -67,6 +71,21 @@ class BaseDetector:
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Anomaly scores; higher = more anomalous."""
         raise NotImplementedError
+
+    def _forward(self, network, X: np.ndarray) -> np.ndarray:
+        """Shared batched read-path forward for neural subclasses.
+
+        Routes through :func:`repro.nn.train.forward_in_batches`, i.e.
+        the compiled graph-free inference path (with automatic graph
+        fallback), honouring the detector's ``inference_dtype``. All
+        neural baselines score through this helper so a backend or
+        precision change lands in one place.
+        """
+        from repro.nn.train import forward_in_batches
+
+        return forward_in_batches(
+            network, np.asarray(X, dtype=np.float64), dtype=self.inference_dtype
+        )
 
     def _check_fitted(self) -> None:
         if not self._fitted:

@@ -17,7 +17,7 @@ from repro.autodiff import Tensor
 from repro.baselines.base import BaseDetector
 from repro.nn.autoencoder import Autoencoder
 from repro.nn.optimizers import Adam
-from repro.nn.train import forward_in_batches, iterate_minibatches
+from repro.nn.train import iterate_minibatches
 
 _EPS = 1e-6
 
@@ -97,5 +97,5 @@ class DeepSAD(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        latent = forward_in_batches(self._encoder, np.asarray(X, dtype=np.float64))
+        latent = self._forward(self._encoder, X)
         return ((latent - self._center) ** 2).sum(axis=1)

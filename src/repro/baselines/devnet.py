@@ -19,7 +19,7 @@ from repro.baselines.base import BaseDetector
 from repro.nn.layers import mlp
 from repro.nn.losses import deviation_loss
 from repro.nn.optimizers import Adam
-from repro.nn.train import forward_in_batches, iterate_minibatches
+from repro.nn.train import iterate_minibatches
 
 
 class DevNet(BaseDetector):
@@ -82,4 +82,4 @@ class DevNet(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        return forward_in_batches(self._network, np.asarray(X, dtype=np.float64)).ravel()
+        return self._forward(self._network, X).ravel()

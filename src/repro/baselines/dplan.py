@@ -142,5 +142,5 @@ class DPLAN(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        q = forward_in_batches(self._q_network, np.asarray(X, dtype=np.float64))
+        q = self._forward(self._q_network, X)
         return q[:, 1]

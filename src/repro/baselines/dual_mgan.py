@@ -127,4 +127,4 @@ class DualMGAN(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        return forward_in_batches(self._detector, np.asarray(X, dtype=np.float64)).ravel()
+        return self._forward(self._detector, X).ravel()

@@ -20,7 +20,7 @@ from repro.baselines.base import BaseDetector
 from repro.nn.autoencoder import Autoencoder
 from repro.nn.layers import mlp
 from repro.nn.optimizers import Adam
-from repro.nn.train import forward_in_batches, iterate_minibatches
+from repro.nn.train import iterate_minibatches
 
 _EPS = 1e-12
 
@@ -105,4 +105,4 @@ class FEAWAD(BaseDetector):
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
         features = self._encode_features(np.asarray(X, dtype=np.float64))
-        return forward_in_batches(self._scorer, features).ravel()
+        return self._forward(self._scorer, features).ravel()

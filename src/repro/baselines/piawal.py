@@ -141,4 +141,4 @@ class PIAWAL(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        return forward_in_batches(self._scorer, np.asarray(X, dtype=np.float64)).ravel()
+        return self._forward(self._scorer, X).ravel()

@@ -19,7 +19,6 @@ from repro.autodiff import Tensor
 from repro.baselines.base import BaseDetector
 from repro.nn.layers import mlp
 from repro.nn.optimizers import Adam
-from repro.nn.train import forward_in_batches
 
 SCORE_AA = 8.0
 SCORE_AU = 4.0
@@ -121,5 +120,5 @@ class PReNet(BaseDetector):
             partners = ref[rng.integers(0, len(ref), size=count)]
             for partner in partners:
                 pairs = np.concatenate([X, np.tile(partner, (len(X), 1))], axis=1)
-                scores += forward_in_batches(self._network, pairs).ravel()
+                scores += self._forward(self._network, pairs).ravel()
         return scores / (2 * half)

@@ -137,5 +137,5 @@ class PUMAD(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        Z = forward_in_batches(self._network, np.asarray(X, dtype=np.float64))
+        Z = self._forward(self._network, X)
         return ((Z - self._centroid) ** 2).sum(axis=1)

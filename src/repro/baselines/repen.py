@@ -121,6 +121,6 @@ class REPEN(BaseDetector):
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._check_fitted()
-        Z = forward_in_batches(self._network, np.asarray(X, dtype=np.float64))
+        Z = self._forward(self._network, X)
         rng = np.random.default_rng(self.random_state)
         return lesinn_scores(Z, self._X_ref, rng=rng)

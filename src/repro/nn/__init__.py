@@ -9,6 +9,12 @@ DeepSAD-regularized variant used by TargAD's candidate-selection stage
 """
 
 from repro.nn.autoencoder import Autoencoder, SADAutoencoder
+from repro.nn.inference import (
+    CompiledInference,
+    NotCompilableError,
+    compile_inference,
+    force_graph_forward,
+)
 from repro.nn.initializers import he_normal, xavier_uniform, zeros
 from repro.nn.layers import Activation, Dense, Module, Sequential
 from repro.nn.losses import (
@@ -26,18 +32,20 @@ from repro.nn.regularization import (
     StepLR,
     set_training,
 )
-from repro.nn.train import iterate_minibatches, train_epoch
+from repro.nn.train import forward_in_batches, iterate_minibatches, train_epoch
 
 __all__ = [
     "Activation",
     "Adam",
     "Autoencoder",
+    "CompiledInference",
     "CosineLR",
     "Dense",
     "Dropout",
     "EarlyStopping",
     "MLPClassifier",
     "Module",
+    "NotCompilableError",
     "Optimizer",
     "RMSprop",
     "SADAutoencoder",
@@ -45,6 +53,9 @@ __all__ = [
     "Sequential",
     "StepLR",
     "binary_cross_entropy",
+    "compile_inference",
+    "force_graph_forward",
+    "forward_in_batches",
     "he_normal",
     "iterate_minibatches",
     "mse_loss",

@@ -69,6 +69,10 @@ class Autoencoder:
     def _reconstruct_tensor(self, x: Tensor) -> Tensor:
         return self.decoder(self.encoder(x))
 
+    def _reconstructor(self) -> Sequential:
+        """Encoder and decoder as one chain for the compiled read path."""
+        return Sequential(self.encoder, self.decoder)
+
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "Autoencoder":
         """Train on unlabeled data with plain reconstruction MSE."""
@@ -97,10 +101,13 @@ class Autoencoder:
         return forward_in_batches(self.encoder, np.asarray(X, dtype=np.float64))
 
     def reconstruct(self, X: np.ndarray) -> np.ndarray:
-        """Decoded reconstructions."""
+        """Decoded reconstructions.
+
+        Runs encoder and decoder as a single fused compiled pass — one
+        sweep over the data with no intermediate latent round-trip.
+        """
         self._check_fitted()
-        latent = self.encode(X)
-        return forward_in_batches(self.decoder, latent)
+        return forward_in_batches(self._reconstructor(), np.asarray(X, dtype=np.float64))
 
     def reconstruction_error(self, X: np.ndarray) -> np.ndarray:
         """Per-row squared L2 reconstruction error — Eq. (2), ``S^Rec``."""

@@ -1,0 +1,266 @@
+"""Compiled, graph-free inference over :class:`~repro.nn.layers.Module` trees.
+
+Training needs the autodiff graph; serving does not. A forward pass
+through the graph engine pays for ``Tensor`` wrappers, per-op output
+allocation, and activation retention bookkeeping that only ``backward``
+would ever use. :func:`compile_inference` walks a module tree once
+(``Dense`` / ``Activation`` / ``Sequential`` nesting, plus inference-mode
+``Dropout``, which is the identity) and emits a
+:class:`CompiledInference` plan: a flat list of steps executed as plain
+numpy calls into preallocated buffers — no ``Tensor`` objects, no graph,
+no ``no_grad`` juggling.
+
+The numeric contract: at ``float64`` (the default, per the
+:mod:`repro.backend` dtype policy) the compiled path executes the exact
+same floating-point operations as the graph forward, so outputs agree to
+machine precision (the parity suite asserts atol 1e-9). ``float32`` is
+an explicit opt-in (``dtype="float32"``) that casts the weights once at
+compile time and trades ~1e-6 relative error for roughly double
+throughput.
+
+Weights are captured *by reference* at compile time (no copy at
+``float64``); optimizers in this repository rebind ``param.data`` on
+every step, so a compiled plan is a snapshot — recompile after updating
+weights. :func:`~repro.nn.train.forward_in_batches` does exactly that
+(compilation is a cheap tree walk), which is how every read path in the
+repository picks up the compiled engine automatically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.policy import DtypeLike, resolve_dtype
+from repro.nn.layers import Activation, Dense, Module, Sequential
+from repro.nn.regularization import Dropout
+
+
+class NotCompilableError(TypeError):
+    """The module tree contains something the compiled path cannot run.
+
+    Raised for unknown module types, activations without a compiled
+    kernel, and training-mode dropout (whose stochastic mask belongs to
+    the graph engine). Callers that can fall back to the graph forward
+    (``forward_in_batches``) catch this and do so.
+    """
+
+
+# -- graph-forward escape hatch (parity tests, A/B benchmarks) ----------
+class _ForcedGraph(threading.local):
+    active = False
+
+
+_FORCED_GRAPH = _ForcedGraph()
+
+
+def graph_forward_forced() -> bool:
+    """Whether this thread is inside :func:`force_graph_forward`."""
+    return _FORCED_GRAPH.active
+
+
+@contextlib.contextmanager
+def force_graph_forward() -> Iterator[None]:
+    """Route ``forward_in_batches`` through the graph engine in this thread.
+
+    The escape hatch the parity tests and the inference benchmark use to
+    compare the two execution paths on identical inputs.
+    """
+    previous = _FORCED_GRAPH.active
+    _FORCED_GRAPH.active = True
+    try:
+        yield
+    finally:
+        _FORCED_GRAPH.active = previous
+
+
+# -- activation kernels -------------------------------------------------
+# Each kernel may work in place on its argument (it always owns it) and
+# must return the result array. The float64 sequences mirror the graph
+# ops exactly so parity holds to machine precision.
+def _relu_kernel(x: np.ndarray) -> np.ndarray:
+    np.maximum(x, 0.0, out=x)
+    return x
+
+
+def _leaky_relu_kernel(x: np.ndarray) -> np.ndarray:
+    np.multiply(x, np.where(x > 0, x.dtype.type(1.0), x.dtype.type(0.01)), out=x)
+    return x
+
+
+def _tanh_kernel(x: np.ndarray) -> np.ndarray:
+    np.tanh(x, out=x)
+    return x
+
+
+def _sigmoid_kernel(x: np.ndarray) -> np.ndarray:
+    # 1 / (1 + exp(-clip(x))), the same guarded form as Tensor.sigmoid.
+    np.clip(x, -500, 500, out=x)
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += x.dtype.type(1.0)
+    np.reciprocal(x, out=x)
+    return x
+
+
+def _softplus_kernel(x: np.ndarray) -> np.ndarray:
+    np.logaddexp(x.dtype.type(0.0), x, out=x)
+    return x
+
+
+_KERNELS: dict = {
+    "relu": _relu_kernel,
+    "leaky_relu": _leaky_relu_kernel,
+    "tanh": _tanh_kernel,
+    "sigmoid": _sigmoid_kernel,
+    "softplus": _softplus_kernel,
+    "linear": None,  # identity; dropped at compile time
+}
+
+_DENSE = 0
+_ACT = 1
+
+
+def _flatten(module: Module) -> Iterator[Module]:
+    """Yield the leaf modules of a (possibly nested) Sequential tree."""
+    if isinstance(module, Sequential):
+        for child in module.modules:
+            yield from _flatten(child)
+    elif isinstance(module, Dropout):
+        if module.training and module.p > 0.0:
+            raise NotCompilableError(
+                "training-mode Dropout cannot be compiled; call "
+                "set_training(module, False) first or use the graph forward"
+            )
+        # Inference-mode dropout is the identity: skip it.
+    elif hasattr(module, "modules"):
+        # Sequential-like containers (e.g. an object exposing .modules).
+        for child in module.modules:
+            yield from _flatten(child)
+    else:
+        yield module
+
+
+class CompiledInference:
+    """An executable forward plan over plain arrays.
+
+    Call it with a 2-D batch ``(n, in_features)``; it returns a *fresh*
+    ``(n, out_features)`` array of the compiled dtype. Internal buffers
+    are preallocated per batch size and reused across calls, so repeated
+    same-sized batches (the serving steady state) run allocation-free
+    except for the output copy.
+    """
+
+    __slots__ = ("_steps", "out_dim", "in_dim", "dtype", "_buffers", "_rows")
+
+    def __init__(
+        self,
+        steps: List[tuple],
+        in_dim: Optional[int],
+        out_dim: Optional[int],
+        dtype: np.dtype,
+    ):
+        self._steps = steps
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.dtype = dtype
+        self._buffers: List[np.ndarray] = []
+        self._rows = -1
+
+    def _allocate(self, rows: int) -> None:
+        self._buffers = [
+            np.empty((rows, step[2].shape[1]), dtype=self.dtype)
+            for step in self._steps
+            if step[0] == _DENSE
+        ]
+        self._rows = rows
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.dtype)
+        if X.ndim != 2:
+            raise ValueError(f"compiled inference expects a 2-D batch, got ndim={X.ndim}")
+        n = X.shape[0]
+        if n == 0:
+            width = self.out_dim if self.out_dim is not None else X.shape[1]
+            return np.empty((0, width), dtype=self.dtype)
+        if n != self._rows:
+            self._allocate(n)
+        current = X
+        owns_current = False  # may we mutate `current` in place?
+        buffer_index = 0
+        for step in self._steps:
+            if step[0] == _DENSE:
+                _, _, weight, bias = step
+                out = self._buffers[buffer_index]
+                buffer_index += 1
+                np.matmul(current, weight, out=out)
+                if bias is not None:
+                    out += bias
+                current = out
+                owns_current = True
+            else:
+                kernel = step[1]
+                if not owns_current:
+                    current = np.array(current, dtype=self.dtype)
+                    owns_current = True
+                current = kernel(current)
+        # Hand back a copy: `current` is a reused internal buffer.
+        return current.copy() if owns_current else np.array(current, dtype=self.dtype)
+
+
+def compile_inference(module: Module, dtype: DtypeLike = None) -> CompiledInference:
+    """Compile a module tree into a graph-free forward plan.
+
+    Parameters
+    ----------
+    module:
+        A :class:`~repro.nn.layers.Module` built from ``Dense``,
+        ``Activation``, ``Sequential`` (arbitrarily nested), and
+        inference-mode ``Dropout``. Anything else raises
+        :class:`NotCompilableError`.
+    dtype:
+        Execution precision: ``None`` (the thread's policy default,
+        normally float64), ``"float64"``, or ``"float32"``. Weights are
+        captured by reference at float64 and cast once at float32.
+
+    Returns
+    -------
+    CompiledInference
+        The executable plan. It snapshots current weights; recompile
+        after an optimizer step or ``load_state_dict``.
+    """
+    resolved = resolve_dtype(dtype)
+    steps: List[tuple] = []
+    in_dim: Optional[int] = None
+    out_dim: Optional[int] = None
+    for leaf in _flatten(module):
+        if isinstance(leaf, Dense):
+            weight = leaf.weight.data
+            bias = leaf.bias.data if leaf.bias is not None else None
+            if weight.dtype != resolved:
+                weight = weight.astype(resolved)
+                bias = bias.astype(resolved) if bias is not None else None
+            if in_dim is None:
+                in_dim = int(leaf.in_features)
+            out_dim = int(leaf.out_features)
+            steps.append((_DENSE, None, weight, bias))
+        elif isinstance(leaf, Activation):
+            kernel = _KERNELS.get(leaf.name, _MISSING)
+            if kernel is _MISSING:
+                raise NotCompilableError(
+                    f"activation {leaf.name!r} has no compiled kernel"
+                )
+            if kernel is not None:
+                steps.append((_ACT, kernel))
+        else:
+            raise NotCompilableError(
+                f"module {type(leaf).__name__} is not supported by the "
+                "compiled inference path"
+            )
+    return CompiledInference(steps, in_dim, out_dim, resolved)
+
+
+_MISSING = object()

@@ -130,8 +130,33 @@ def forward_in_batches(
     model: Module,
     X: np.ndarray,
     batch_size: int = 4096,
+    dtype=None,
+    compiled: Optional[bool] = None,
 ) -> np.ndarray:
     """Run ``model`` over ``X`` without building a graph, batched for memory.
+
+    This is the repository's hot read path: TargAD scoring, the
+    candidate-selection autoencoders, serving, and every neural baseline
+    funnel through it. By default it executes on the **compiled
+    inference path** (:func:`repro.nn.inference.compile_inference`) —
+    pure array calls into preallocated buffers, no ``Tensor`` objects —
+    and falls back to the graph engine under ``no_grad`` only for module
+    trees the compiler does not understand (custom modules,
+    training-mode dropout).
+
+    Parameters
+    ----------
+    model, X, batch_size:
+        As before; ``X`` is processed in ``batch_size`` chunks.
+    dtype:
+        Inference precision per the :mod:`repro.backend` policy:
+        ``None`` (thread default, normally float64) or
+        ``"float64"``/``"float32"``. The graph fallback always computes
+        in float64 and casts the result.
+    compiled:
+        ``None`` (default) — compile when possible; ``False`` — force
+        the graph engine; ``True`` — require the compiled path
+        (:class:`~repro.nn.inference.NotCompilableError` propagates).
 
     Empty input returns an empty ``(0, out_dim)`` array (``out_dim``
     inferred from the model's last dense layer) so downstream reductions
@@ -139,13 +164,35 @@ def forward_in_batches(
     unchanged on zero rows.
     """
     from repro.autodiff import no_grad
+    from repro.backend.policy import resolve_dtype
+    from repro.nn.inference import (
+        NotCompilableError,
+        compile_inference,
+        graph_forward_forced,
+    )
 
+    resolved = resolve_dtype(dtype)
+    plan = None
+    if compiled is not False and not graph_forward_forced():
+        try:
+            plan = compile_inference(model, dtype=resolved)
+        except NotCompilableError:
+            if compiled:
+                raise
     outputs = []
-    with no_grad():
+    if plan is not None and len(X):
+        if len(X) <= batch_size:
+            return plan(X)  # single chunk: the plan already returns a fresh array
         for start in range(0, len(X), batch_size):
-            out = model(Tensor(X[start : start + batch_size]))
-            outputs.append(out.data)
+            outputs.append(plan(X[start : start + batch_size]))
+    elif plan is None:
+        with no_grad():
+            for start in range(0, len(X), batch_size):
+                out = model(Tensor(X[start : start + batch_size]))
+                outputs.append(out.data.astype(resolved, copy=False))
     if outputs:
+        # concatenate always copies, so reused compiled buffers are safe
+        # to hand out even for a single chunk.
         return np.concatenate(outputs, axis=0)
     out_dim = infer_output_dim(model)
-    return np.empty((0, out_dim) if out_dim is not None else (0,))
+    return np.empty((0, out_dim) if out_dim is not None else (0,), dtype=resolved)

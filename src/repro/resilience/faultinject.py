@@ -129,10 +129,12 @@ def corrupt_rows(
 class FaultyModel:
     """Chaos wrapper around a fitted model, driven by a :class:`FaultPlan`.
 
-    Only ``decision_function`` is intercepted (it is the serving path's
-    first and mandatory model call); every other attribute — ``selector_``,
-    ``predict_triclass``, ``m_``, ... — is delegated untouched, so the
-    degraded fallback keeps working while the primary scorer misbehaves.
+    The scoring entry points — ``decision_function`` and the fused
+    serving call ``score_batch`` — are intercepted (they are the serving
+    path's mandatory model calls); every other attribute —
+    ``selector_``, ``predict_triclass``, ``m_``, ... — is delegated
+    untouched, so the degraded fallback keeps working while the primary
+    scorer misbehaves.
 
     Parameters
     ----------
@@ -189,3 +191,14 @@ class FaultyModel:
                     kind="nan", call=self.calls, n_rows=int(n_bad),
                 )
         return scores
+
+    def score_batch(self, X: np.ndarray, strategy: str = "ed"):
+        """Fused serving call, with the same fault machinery on the scores.
+
+        Routed through :meth:`decision_function` so injected raises and
+        NaN corruption hit the pipeline exactly as they would on the
+        unfused path; the tri-class routing is delegated untouched.
+        """
+        scores = self.decision_function(X)
+        routing = self._model.predict_triclass(X, strategy=strategy)
+        return scores, routing

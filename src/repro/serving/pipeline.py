@@ -277,17 +277,18 @@ class ScoringPipeline:
         breaker = self.circuit_breaker
         if breaker.allow():
             try:
-                scores = np.asarray(
-                    self.model.decision_function(X), dtype=np.float64
+                # score_batch runs the classifier once on the compiled
+                # graph-free path and yields scores + routing together —
+                # no Tensor objects are constructed at serve time.
+                raw_scores, raw_routing = self.model.score_batch(
+                    X, strategy=self.strategy
                 )
+                scores = np.asarray(raw_scores, dtype=np.float64)
                 if scores.shape != (len(X),) or not np.all(np.isfinite(scores)):
                     raise RuntimeError(
                         "primary scorer produced non-finite or misshapen scores"
                     )
-                routing = np.asarray(
-                    self.model.predict_triclass(X, strategy=self.strategy),
-                    dtype=np.int64,
-                )
+                routing = np.asarray(raw_routing, dtype=np.int64)
             except Exception as exc:
                 breaker.record_failure()
                 self.telemetry.increment("resilience.scoring_faults")

@@ -1,0 +1,109 @@
+"""Thread-locality of grad mode and slots guarantees on hot-path objects."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, is_grad_enabled, no_grad
+from repro.autodiff.tensor import _Backward
+
+
+def test_no_grad_disables_recording():
+    a = Tensor(np.ones((2, 2)), requires_grad=True)
+    with no_grad():
+        assert not is_grad_enabled()
+        out = (a * 2.0).sum()
+    assert is_grad_enabled()
+    assert out._backward is None
+    assert not out.requires_grad
+
+
+def test_no_grad_is_thread_local():
+    """One thread entering no_grad() must not disable recording elsewhere.
+
+    The main thread parks inside ``no_grad()`` while a worker thread checks
+    its own grad mode and records a backward graph; a barrier pins both
+    threads inside the critical section at the same time.
+    """
+    inside = threading.Barrier(2, timeout=5)
+    done = threading.Event()
+    results = {}
+
+    def worker():
+        inside.wait()
+        results["enabled"] = is_grad_enabled()
+        x = Tensor(np.full((3,), 2.0), requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        results["grad"] = x.grad
+        # Symmetrically: the worker's no_grad() must not leak to the main
+        # thread, which is still inside its own no_grad() block.
+        with no_grad():
+            results["worker_disabled"] = not is_grad_enabled()
+        done.set()
+        inside.wait()  # hold the main thread in its block until we finish
+
+    t = threading.Thread(target=worker)
+    t.start()
+    with no_grad():
+        inside.wait()
+        assert not is_grad_enabled()
+        assert done.wait(timeout=5)
+        assert not is_grad_enabled()  # worker's enter/exit did not leak here
+        inside.wait()
+    t.join(timeout=5)
+    assert results["enabled"] is True
+    assert results["worker_disabled"] is True
+    np.testing.assert_allclose(results["grad"], np.full((3,), 4.0))
+
+
+def test_no_grad_restores_after_exception():
+    with pytest.raises(RuntimeError):
+        with no_grad():
+            raise RuntimeError("boom")
+    assert is_grad_enabled()
+
+
+def test_nested_no_grad():
+    with no_grad():
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+class TestSlots:
+    def test_tensor_has_no_instance_dict(self):
+        t = Tensor(np.ones(3))
+        assert not hasattr(t, "__dict__")
+        with pytest.raises(AttributeError):
+            t.some_new_attribute = 1
+
+    def test_backward_record_has_no_instance_dict(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        assert isinstance(out._backward, _Backward)
+        assert not hasattr(out._backward, "__dict__")
+
+    def test_compiled_inference_has_no_instance_dict(self):
+        from repro.nn import compile_inference
+        from repro.nn.layers import mlp
+
+        plan = compile_inference(mlp([4, 3, 2], rng=np.random.default_rng(0)))
+        assert not hasattr(plan, "__dict__")
+
+    def test_state_dict_round_trip_with_slots(self):
+        """Persistence relies on public params, not __dict__ — must survive."""
+        from repro.nn.layers import mlp
+
+        rng = np.random.default_rng(0)
+        model = mlp([4, 5, 2], rng=rng)
+        state = model.state_dict()
+        clone = mlp([4, 5, 2], rng=np.random.default_rng(1))
+        clone.load_state_dict(state)
+        X = np.asarray(rng.normal(size=(6, 4)))
+        with no_grad():
+            np.testing.assert_array_equal(
+                model(Tensor(X)).data, clone(Tensor(X)).data
+            )

@@ -1,0 +1,191 @@
+"""Compiled graph-free inference: parity with the autodiff graph path.
+
+The contract under test: ``compile_inference`` produces *bitwise* float64
+parity with the Tensor graph (both paths execute the same sequence of
+numpy fp ops), honours the empty-batch shape contract, refuses
+non-compilable trees (training-mode Dropout), and never aliases its
+internal buffers into results handed to callers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, no_grad
+from repro.nn import (
+    NotCompilableError,
+    Sequential,
+    compile_inference,
+    force_graph_forward,
+    forward_in_batches,
+)
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.layers import mlp
+from repro.nn.regularization import Dropout
+
+ACTIVATIONS = ["relu", "leaky_relu", "tanh", "sigmoid", "softplus", "linear"]
+
+architectures = st.builds(
+    lambda sizes, act, out_act, seed: (sizes, act, out_act, seed),
+    st.lists(st.integers(1, 8), min_size=2, max_size=4),
+    st.sampled_from(ACTIVATIONS),
+    st.sampled_from(ACTIVATIONS),
+    st.integers(0, 2**31 - 1),
+)
+
+
+def graph_forward(module, X):
+    with no_grad():
+        return module(Tensor(X)).data
+
+
+@settings(max_examples=50, deadline=None)
+@given(architectures, st.integers(1, 17))
+def test_compiled_matches_graph_bitwise_float64(arch, rows):
+    sizes, act, out_act, seed = arch
+    rng = np.random.default_rng(seed)
+    model = mlp(sizes, activation=act, output_activation=out_act, rng=rng)
+    X = rng.normal(size=(rows, sizes[0]))
+    plan = compile_inference(model)
+    expected = graph_forward(model, X)
+    got = plan(X)
+    assert got.dtype == np.float64
+    # Bitwise: compiled kernels replay the exact graph fp op sequence.
+    np.testing.assert_array_equal(got, expected)
+    # atol documented in the acceptance criteria.
+    np.testing.assert_allclose(got, expected, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=2),
+    st.integers(1, 12),
+    st.integers(0, 2**31 - 1),
+)
+def test_autoencoder_reconstructor_parity(hidden, rows, seed):
+    rng = np.random.default_rng(seed)
+    n_features = 5
+    ae = Autoencoder(hidden_sizes=hidden, epochs=1, random_state=seed)
+    ae._build(n_features, rng)
+    X = rng.normal(size=(rows, n_features))
+    chain = ae._reconstructor()
+    expected = graph_forward(chain, X)
+    got = compile_inference(chain)(X)
+    np.testing.assert_array_equal(got, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(architectures, st.integers(0, 40), st.integers(1, 16))
+def test_forward_in_batches_parity_any_batch_size(arch, rows, batch_size):
+    sizes, act, out_act, seed = arch
+    rng = np.random.default_rng(seed)
+    model = mlp(sizes, activation=act, output_activation=out_act, rng=rng)
+    X = rng.normal(size=(rows, sizes[0]))
+    compiled = forward_in_batches(model, X, batch_size=batch_size)
+    with force_graph_forward():
+        graphed = forward_in_batches(model, X, batch_size=batch_size)
+    np.testing.assert_array_equal(compiled, graphed)
+    assert compiled.shape == (rows, sizes[-1])
+
+
+def test_empty_batch_shape_contract():
+    rng = np.random.default_rng(0)
+    model = mlp([4, 3, 2], rng=rng)
+    plan = compile_inference(model)
+    out = plan(np.empty((0, 4)))
+    assert out.shape == (0, 2)
+    assert out.dtype == np.float64
+    out2 = forward_in_batches(model, np.empty((0, 4)))
+    assert out2.shape == (0, 2)
+
+
+def test_float32_plan_casts_and_stays_close():
+    rng = np.random.default_rng(1)
+    model = mlp([6, 8, 3], rng=rng)
+    X = rng.normal(size=(9, 6))
+    plan = compile_inference(model, dtype=np.float32)
+    got = plan(X)
+    assert got.dtype == np.float32
+    expected = graph_forward(model, X)
+    np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-5)
+
+
+def test_training_dropout_is_not_compilable():
+    rng = np.random.default_rng(2)
+    drop = Dropout(0.5, rng=rng)
+    drop.training = True
+    model = Sequential(mlp([4, 4], rng=rng), drop)
+    with pytest.raises(NotCompilableError):
+        compile_inference(model)
+    # forward_in_batches silently falls back to the graph path...
+    X = rng.normal(size=(5, 4))
+    out = forward_in_batches(model, X)
+    assert out.shape == (5, 4)
+    # ...unless compiled=True demands the fast path.
+    with pytest.raises(NotCompilableError):
+        forward_in_batches(model, X, compiled=True)
+
+
+def test_inference_dropout_compiles_to_identity():
+    rng = np.random.default_rng(3)
+    drop = Dropout(0.5, rng=rng)
+    drop.training = False
+    model = Sequential(mlp([4, 3], rng=rng), drop)
+    plan = compile_inference(model)
+    X = rng.normal(size=(6, 4))
+    np.testing.assert_array_equal(plan(X), graph_forward(model, X))
+
+
+def test_compiled_does_not_alias_buffers_or_mutate_input():
+    rng = np.random.default_rng(4)
+    model = mlp([3, 5, 2], activation="tanh", rng=rng)
+    plan = compile_inference(model)
+    X1 = rng.normal(size=(7, 3))
+    X1_copy = X1.copy()
+    out1 = plan(X1)
+    snapshot = out1.copy()
+    # Same-shape second call reuses internal buffers; out1 must not change.
+    out2 = plan(rng.normal(size=(7, 3)))
+    np.testing.assert_array_equal(out1, snapshot)
+    assert not np.array_equal(out1, out2)
+    np.testing.assert_array_equal(X1, X1_copy)
+
+
+def test_activation_first_module_does_not_mutate_input():
+    from repro.nn.layers import Activation
+
+    model = Sequential(Activation("relu"))
+    plan = compile_inference(model)
+    X = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    X_copy = X.copy()
+    out = plan(X)
+    np.testing.assert_array_equal(X, X_copy)
+    np.testing.assert_array_equal(out, np.maximum(X, 0.0))
+
+
+def test_compiled_requires_2d_input():
+    model = mlp([3, 2], rng=np.random.default_rng(5))
+    plan = compile_inference(model)
+    with pytest.raises(ValueError):
+        plan(np.zeros(3))
+
+
+def test_recompile_sees_updated_weights():
+    """Plans snapshot weights by reference; optimizers rebind param.data,
+    so forward_in_batches recompiles per call — fresh weights, fresh plan."""
+    from repro.nn.losses import mse_loss
+    from repro.nn.optimizers import SGD
+
+    rng = np.random.default_rng(6)
+    model = mlp([3, 4, 1], rng=rng)
+    X = rng.normal(size=(8, 3))
+    before = forward_in_batches(model, X)
+    opt = SGD(model.parameters(), lr=0.1)
+    opt.zero_grad()
+    pred = model(Tensor(X))
+    mse_loss(pred, Tensor(np.zeros((8, 1)))).backward()
+    opt.step()
+    after = forward_in_batches(model, X)
+    assert not np.array_equal(before, after)
+    np.testing.assert_array_equal(after, graph_forward(model, X))
