@@ -9,9 +9,14 @@ read path in the repository uses — for two workloads:
 - ``autoencoder_fallback`` — the fused candidate-selection autoencoder
   the degraded fallback scores with. Its wider matmuls are BLAS-bound,
   so the compiled path's allocation savings matter less.
+- ``sharded_serving`` — end-to-end ``ScoringPipeline.process`` over a
+  large batch, single-process vs a 2-worker shard pool (see
+  :mod:`repro.serving.sharding`). On many-core hosts sharding wins once
+  batches are large; on small hosts the IPC overhead shows up honestly
+  as a sub-1x speedup.
 
-Three variants per workload, interleaved inside a single timing loop so
-clock drift and CPU frequency scaling hit all variants equally:
+Three variants per forward workload, interleaved inside a single timing
+loop so clock drift and CPU frequency scaling hit all variants equally:
 
 - ``graph``        — Tensor graph forward (``force_graph_forward()``)
 - ``compiled``     — compiled float64 plan (the serving default)
@@ -23,7 +28,10 @@ threshold after large frees, which can double the speed of the graph
 path's per-op temporary allocations), so measuring workloads back to
 back in one process lets the first workload change what the second one
 measures. A fresh process per workload is both isolated and what a
-fresh serving process actually experiences.
+fresh serving process actually experiences. Worker subprocesses run
+with BLAS/OMP thread pools pinned to one thread (the payload records
+the pinning and the host's ``cpu_count``), so numbers compare across
+runs instead of tracking whatever thread count the host BLAS picked.
 
 Writes ``BENCH_inference.json`` at the repo root. Non-gating: the ci.sh
 ``bench`` lane runs this for trend tracking, not as a pass/fail check.
@@ -56,6 +64,20 @@ WORKLOADS = {
     "classifier_head": [32, 64, 32, 5],
     # Candidate-selection AE, encoder+decoder fused (Eq. 2 read path).
     "autoencoder_fallback": [32, 64, 16, 64, 32],
+}
+
+#: End-to-end pipeline workload (not a plain forward pass).
+SHARDED_WORKLOAD = "sharded_serving"
+SHARD_ROWS = 65536
+SHARD_WORKERS = 2
+
+#: Pin every BLAS/OMP pool to one thread in worker subprocesses so the
+#: numbers measure the code, not the host's implicit thread count.
+THREAD_ENV = {
+    "OMP_NUM_THREADS": "1",
+    "OPENBLAS_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+    "NUMEXPR_NUM_THREADS": "1",
 }
 
 
@@ -101,11 +123,74 @@ def _measure(name: str, repeats: int) -> dict:
     }
 
 
+def _measure_sharded(repeats: int) -> dict:
+    """Pipeline rows/sec: single-process vs a 2-worker shard pool.
+
+    Fits a real (tiny, fast) TargAD whose classifier network is exactly
+    the ``classifier_head`` architecture — scoring throughput does not
+    care about accuracy, but the pipeline needs the full fitted model
+    (candidate selection included) to calibrate its fallback scorer.
+    """
+    from repro.core.config import TargADConfig
+    from repro.core.model import TargAD
+    from repro.serving import ScoringPipeline
+
+    rng = np.random.default_rng(0)
+    sizes = WORKLOADS["classifier_head"]
+    n_features = sizes[0]
+    m, k = 3, sizes[-1] - 3  # network: features -> clf_hidden -> m + k
+    X_unlabeled = np.vstack([
+        rng.normal(size=(600, n_features)),
+        rng.normal(3.0, 1.0, size=(60, n_features)),
+    ])
+    X_labeled = rng.normal(5.0, 1.0, size=(48, n_features))
+    y_labeled = rng.integers(0, m, size=48)
+    model = TargAD(TargADConfig(
+        k=k, clf_hidden=tuple(sizes[1:-1]), clf_epochs=3, ae_epochs=5,
+        random_state=0,
+    ))
+    model.fit(X_unlabeled, X_labeled, y_labeled)
+    X_val = rng.normal(size=(2048, n_features))
+    X = rng.normal(size=(SHARD_ROWS, n_features))
+
+    def make_pipeline(workers: int) -> "ScoringPipeline":
+        pipe = ScoringPipeline(
+            model, policy="budget", review_budget=100, monitor_drift=False,
+            shard_workers=workers, min_shard_rows=4096,
+        )
+        return pipe.calibrate(X_val)
+
+    single = make_pipeline(0)
+    sharded = make_pipeline(SHARD_WORKERS)
+
+    def once(pipe: "ScoringPipeline") -> float:
+        start = time.perf_counter()
+        pipe.process(X)
+        return time.perf_counter() - start
+
+    once(single)   # warm: plan cache
+    once(sharded)  # warm: pool spawn + per-worker plan cache
+    best = {"single": float("inf"), "sharded": float("inf")}
+    for _ in range(repeats):
+        best["single"] = min(best["single"], once(single))
+        best["sharded"] = min(best["sharded"], once(sharded))
+    sharded.close()
+    return {
+        "workload": SHARDED_WORKLOAD,
+        "rows": SHARD_ROWS,
+        "shard_workers": SHARD_WORKERS,
+        "single_rows_per_sec": round(SHARD_ROWS / best["single"], 1),
+        "sharded_rows_per_sec": round(SHARD_ROWS / best["sharded"], 1),
+        "speedup_sharded_vs_single": round(best["single"] / best["sharded"], 2),
+    }
+
+
 def run(repeats: int) -> dict:
     results = []
-    for name in WORKLOADS:
+    for name in [*WORKLOADS, SHARDED_WORKLOAD]:
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.update(THREAD_ENV)
         proc = subprocess.run(
             [sys.executable, __file__, "--worker", name,
              "--repeats", str(repeats)],
@@ -120,6 +205,8 @@ def run(repeats: int) -> dict:
         "batch_size": BATCH_SIZE,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "thread_env": dict(THREAD_ENV),
         "results": results,
         # Headline: the serving scoring path every batch goes through.
         "serving_speedup_compiled_vs_graph": min(
@@ -135,9 +222,13 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=9)
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_inference.json")
-    parser.add_argument("--worker", choices=sorted(WORKLOADS),
+    parser.add_argument("--worker",
+                        choices=sorted([*WORKLOADS, SHARDED_WORKLOAD]),
                         help="internal: measure one workload, print JSON")
     args = parser.parse_args()
+    if args.worker == SHARDED_WORKLOAD:
+        print(json.dumps(_measure_sharded(args.repeats)))
+        return
     if args.worker:
         print(json.dumps(_measure(args.worker, args.repeats)))
         return
@@ -145,6 +236,15 @@ def main() -> None:
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     for row in payload["results"]:
+        if row["workload"] == SHARDED_WORKLOAD:
+            print(
+                f"  {row['workload']:>20} rows={row['rows']:<6} "
+                f"single={row['single_rows_per_sec']:>12,.0f} r/s  "
+                f"sharded={row['sharded_rows_per_sec']:>12,.0f} r/s  "
+                f"({row['speedup_sharded_vs_single']}x, "
+                f"{row['shard_workers']} workers)"
+            )
+            continue
         print(
             f"  {row['workload']:>20} rows={row['rows']:<6} "
             f"graph={row['graph_rows_per_sec']:>12,.0f} r/s  "

@@ -5,6 +5,7 @@
 #   scripts/ci.sh fast     # fast lane only (-m "not slow")
 #   scripts/ci.sh tier1    # tier-1 gate only
 #   scripts/ci.sh chaos    # chaos lane only (-m chaos fault-injection scenarios)
+#   scripts/ci.sh shard    # multi-process sharding tests (2-worker pools)
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
@@ -33,18 +34,63 @@ run_chaos() {
     python -m pytest -x -q -m chaos
 }
 
+run_shard() {
+    # The serving fast-path suites: sharded pipelines spin up real
+    # 2-worker process pools, so this lane exercises true multi-process
+    # scoring plus the plan cache and fused kernels they depend on.
+    echo '== shard lane: multi-process sharding + serving fast path =='
+    python -m pytest -x -q tests/serving/test_sharding.py \
+        tests/nn/test_plan_cache.py tests/nn/test_fused_kernels.py
+}
+
 run_bench() {
     # Non-gating: records graph vs compiled inference throughput in
     # BENCH_inference.json for trend tracking; never fails the build.
+    # A compiled-speedup regression below the recorded baseline floors
+    # (scripts/bench_baseline.json) is announced loudly — a GitHub
+    # ::warning annotation when supported, stderr always — but still
+    # does not gate.
     echo '== bench lane: inference throughput (non-gating) =='
     python scripts/bench_inference.py || echo "bench lane failed (non-gating)"
+    python - <<'EOF' || true
+import json, sys
+from pathlib import Path
+
+try:
+    baseline = json.loads(Path("scripts/bench_baseline.json").read_text())
+    payload = json.loads(Path("BENCH_inference.json").read_text())
+except OSError as exc:
+    print(f"bench baseline check skipped: {exc}", file=sys.stderr)
+    raise SystemExit(0)
+speedups = {
+    row["workload"]: row.get("speedup_compiled_vs_graph")
+    for row in payload["results"]
+}
+for workload in ("autoencoder_fallback", "classifier_head"):
+    floor = baseline.get(f"{workload}_speedup_min")
+    got = speedups.get(workload)
+    if floor is None or got is None:
+        continue
+    if got < floor:
+        message = (
+            f"compiled inference speedup regression: {workload} at "
+            f"{got}x, baseline floor {floor}x (non-gating)"
+        )
+        # GitHub-style annotation so the regression is loud in CI UIs;
+        # plain stderr everywhere else.
+        print(f"::warning title=bench regression::{message}")
+        print(f"WARNING: {message}", file=sys.stderr)
+    else:
+        print(f"bench check: {workload} {got}x >= floor {floor}x")
+EOF
 }
 
 case "$lane" in
     tier1) run_tier1 ;;
     fast)  run_fast ;;
     chaos) run_chaos ;;
+    shard) run_shard ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|bench|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|shard|bench|all]" >&2; exit 2 ;;
 esac

@@ -140,3 +140,18 @@ def take(x, index, axis):
 
 def index_add(target, index, values):
     return _registry._ACTIVE.index_add(target, index, values)
+
+
+def fused_dense_act(x, weight, bias, activation, out):
+    """One fused ``act(x @ weight + bias)`` step into ``out``.
+
+    Serving-plan kernel (see :meth:`NumpyBackend.fused_dense_act`); a
+    backend opts out by exposing the attribute as ``None``, in which
+    case the compiled plan falls back to the unfused op sequence.
+    """
+    return _registry._ACTIVE.fused_dense_act(x, weight, bias, activation, out)
+
+
+def supports_fused_dense_act() -> bool:
+    """Whether the active backend provides a fused Dense+activation kernel."""
+    return callable(getattr(_registry._ACTIVE, "fused_dense_act", None))

@@ -26,9 +26,8 @@ from repro.core.pseudo_labels import (
     ood_pseudo_label,
     target_pseudo_labels,
 )
-from repro.core.scoring import is_normal_rule, softmax, target_anomaly_score
+from repro.core.scoring import route_from_logits, softmax, target_anomaly_score
 from repro.core.weighting import initial_weights, update_weights
-from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
 from repro.nn.layers import Sequential, mlp
 from repro.nn.optimizers import Adam
 from repro.nn.train import forward_in_batches
@@ -566,17 +565,15 @@ class TargAD:
     def _route_from_logits(
         self, logits: np.ndarray, probs: np.ndarray, strategy: str
     ) -> np.ndarray:
-        """Tri-class routing (Section III-C) from precomputed logits/probs."""
-        normal_mask = is_normal_rule(probs, self.m_, self.k_)
-        result = np.full(len(logits), KIND_TARGET, dtype=np.int64)
-        result[normal_mask] = KIND_NORMAL
-        anomalous = ~normal_mask
-        if anomalous.any():
-            strat = self._get_strategy(strategy)
-            ood_mask = strat.is_ood(logits[anomalous])
-            anomalous_idx = np.flatnonzero(anomalous)
-            result[anomalous_idx[ood_mask]] = KIND_NONTARGET
-        return result
+        """Tri-class routing (Section III-C) from precomputed logits/probs.
+
+        Delegates to :func:`repro.core.scoring.route_from_logits`, passing
+        the strategy lazily so calibration only happens when some row is
+        actually anomalous (the calibration set may be empty otherwise).
+        """
+        return route_from_logits(
+            logits, probs, self.m_, self.k_, lambda: self._get_strategy(strategy)
+        )
 
     def predict_triclass(self, X: np.ndarray, strategy: str = "ed") -> np.ndarray:
         """Section III-C: classify into normal / target / non-target.

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+
 
 def softmax(logits: np.ndarray) -> np.ndarray:
     """Numerically-stable softmax over the last axis."""
@@ -35,3 +37,35 @@ def is_normal_rule(probs: np.ndarray, m: int, k: int) -> np.ndarray:
         raise ValueError(f"probs must have m + k = {m + k} columns")
     normal_mass = probs[:, m:].sum(axis=1)
     return normal_mass > k / (m + k)
+
+
+def route_from_logits(
+    logits: np.ndarray,
+    probs: np.ndarray,
+    m: int,
+    k: int,
+    strategy,
+) -> np.ndarray:
+    """Tri-class routing (Section III-C) from precomputed logits/probs.
+
+    Applies :func:`is_normal_rule`, then splits the anomalous side with
+    a *calibrated* :class:`~repro.ood.OODStrategy` (OOD = non-target).
+    ``strategy`` may also be a zero-argument callable returning one —
+    it is invoked only when anomalous rows exist, which lets
+    :class:`TargAD` defer strategy calibration until routing actually
+    needs it. Shared by :meth:`TargAD.predict_triclass`/``score_batch``
+    and the sharded serving workers, which carry the fitted strategy in
+    their serialized scoring spec — one definition, identical routing
+    on both paths. Returns the kind codes of :mod:`repro.data.schema`
+    (0/1/2).
+    """
+    normal_mask = is_normal_rule(probs, m, k)
+    result = np.full(len(logits), KIND_TARGET, dtype=np.int64)
+    result[normal_mask] = KIND_NORMAL
+    anomalous = ~normal_mask
+    if anomalous.any():
+        strat = strategy() if callable(strategy) else strategy
+        ood_mask = strat.is_ood(logits[anomalous])
+        anomalous_idx = np.flatnonzero(anomalous)
+        result[anomalous_idx[ood_mask]] = KIND_NONTARGET
+    return result

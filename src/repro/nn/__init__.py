@@ -12,8 +12,14 @@ from repro.nn.autoencoder import Autoencoder, SADAutoencoder
 from repro.nn.inference import (
     CompiledInference,
     NotCompilableError,
+    cached_inference,
+    clear_plan_cache,
     compile_inference,
+    disable_fused_kernels,
     force_graph_forward,
+    fused_kernels_enabled,
+    plan_cache_stats,
+    reset_plan_cache_stats,
 )
 from repro.nn.initializers import he_normal, xavier_uniform, zeros
 from repro.nn.layers import Activation, Dense, Module, Sequential
@@ -53,10 +59,16 @@ __all__ = [
     "Sequential",
     "StepLR",
     "binary_cross_entropy",
+    "cached_inference",
+    "clear_plan_cache",
     "compile_inference",
+    "disable_fused_kernels",
     "force_graph_forward",
     "forward_in_batches",
+    "fused_kernels_enabled",
     "he_normal",
+    "plan_cache_stats",
+    "reset_plan_cache_stats",
     "iterate_minibatches",
     "mse_loss",
     "set_training",

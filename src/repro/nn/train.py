@@ -138,11 +138,15 @@ def forward_in_batches(
     This is the repository's hot read path: TargAD scoring, the
     candidate-selection autoencoders, serving, and every neural baseline
     funnel through it. By default it executes on the **compiled
-    inference path** (:func:`repro.nn.inference.compile_inference`) —
-    pure array calls into preallocated buffers, no ``Tensor`` objects —
-    and falls back to the graph engine under ``no_grad`` only for module
+    inference path** (:func:`repro.nn.inference.cached_inference`) —
+    pure array calls into preallocated buffers, no ``Tensor`` objects,
+    with the plan reused from the weight-keyed cache whenever the
+    model's parameters have not been rebound since the last call — and
+    falls back to the graph engine under ``no_grad`` only for module
     trees the compiler does not understand (custom modules,
-    training-mode dropout).
+    training-mode dropout). Multi-chunk results are written directly
+    into one preallocated output array (no per-chunk copy, no final
+    concatenate).
 
     Parameters
     ----------
@@ -167,7 +171,7 @@ def forward_in_batches(
     from repro.backend.policy import resolve_dtype
     from repro.nn.inference import (
         NotCompilableError,
-        compile_inference,
+        cached_inference,
         graph_forward_forced,
     )
 
@@ -175,24 +179,35 @@ def forward_in_batches(
     plan = None
     if compiled is not False and not graph_forward_forced():
         try:
-            plan = compile_inference(model, dtype=resolved)
+            plan = cached_inference(model, dtype=resolved)
         except NotCompilableError:
             if compiled:
                 raise
-    outputs = []
     if plan is not None and len(X):
         if len(X) <= batch_size:
-            return plan(X)  # single chunk: the plan already returns a fresh array
-        for start in range(0, len(X), batch_size):
-            outputs.append(plan(X[start : start + batch_size]))
-    elif plan is None:
+            return plan(X)  # single chunk: the plan returns a fresh array
+        if plan.out_dim is not None:
+            # Write each chunk's final dense segment straight into one
+            # preallocated result — no per-chunk copy, no concatenate.
+            result = np.empty((len(X), plan.out_dim), dtype=resolved)
+            for start in range(0, len(X), batch_size):
+                stop = start + batch_size
+                plan(X[start:stop], out=result[start:stop])
+            return result
+        # Dense-free plan (pure activation stack): chunk widths follow
+        # the input, so fall back to gathering fresh per-chunk arrays.
+        outputs = [
+            plan(X[start : start + batch_size])
+            for start in range(0, len(X), batch_size)
+        ]
+        return np.concatenate(outputs, axis=0)
+    if plan is None:
+        outputs = []
         with no_grad():
             for start in range(0, len(X), batch_size):
                 out = model(Tensor(X[start : start + batch_size]))
                 outputs.append(out.data.astype(resolved, copy=False))
-    if outputs:
-        # concatenate always copies, so reused compiled buffers are safe
-        # to hand out even for a single chunk.
-        return np.concatenate(outputs, axis=0)
+        if outputs:
+            return np.concatenate(outputs, axis=0)
     out_dim = infer_output_dim(model)
     return np.empty((0, out_dim) if out_dim is not None else (0,), dtype=resolved)

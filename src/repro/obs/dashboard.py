@@ -24,6 +24,7 @@ _KNOWN_SERIES = (
     ("serve.batch", "n_alerts", "alerts / batch"),
     ("serve.batch", "latency_ms", "process latency (ms) / batch"),
     ("serve.batch", "n_quarantined", "quarantined rows / batch"),
+    ("serve.batch", "n_shards", "shards / batch"),
 )
 
 

@@ -15,10 +15,23 @@ The pipeline is hardened through :mod:`repro.resilience`: incoming rows
 are sanitized (bad rows quarantined, marked :data:`ROUTE_QUARANTINED` in
 the routing), and the primary scorer is guarded by a circuit breaker
 with a reconstruction-error fallback for degraded operation.
+
+Large batches can additionally be sharded row-wise across a process
+pool (:mod:`repro.serving.sharding`): a picklable
+:class:`~repro.serving.sharding.ScoringSpec` snapshot of the fitted
+model is shipped to each worker, shards are merged deterministically in
+input order, and pool failures degrade to single-process scoring.
 """
 
 from repro.serving.drift import DriftMonitor, DriftReport
 from repro.serving.pipeline import ROUTE_QUARANTINED, AlertBatch, ScoringPipeline
+from repro.serving.sharding import (
+    ScoringSpec,
+    ShardedScorer,
+    ShardPoolUnavailable,
+    ShardResult,
+    build_scoring_spec,
+)
 
 __all__ = [
     "AlertBatch",
@@ -26,4 +39,9 @@ __all__ = [
     "DriftReport",
     "ROUTE_QUARANTINED",
     "ScoringPipeline",
+    "ScoringSpec",
+    "ShardedScorer",
+    "ShardPoolUnavailable",
+    "ShardResult",
+    "build_scoring_spec",
 ]

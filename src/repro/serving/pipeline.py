@@ -27,12 +27,18 @@ import numpy as np
 
 from repro.core.model import TargAD
 from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.nn.inference import plan_cache_stats
 from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
 from repro.obs import ensure_telemetry
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.fallback import ReconstructionFallback
 from repro.resilience.sanitize import expected_width, sanitize_batch
 from repro.serving.drift import DriftMonitor, DriftReport
+from repro.serving.sharding import (
+    ShardedScorer,
+    ShardPoolUnavailable,
+    build_scoring_spec,
+)
 
 #: Routing code for rows that were quarantined before scoring.
 ROUTE_QUARANTINED = -1
@@ -113,7 +119,26 @@ class ScoringPipeline:
         ``serve.*`` series — per-batch process latency, alert/deferred
         counts, and a drift-event counter — plus the ``resilience.*``
         series (quarantine counts, scoring faults, breaker transitions,
-        degraded batches). ``None`` = no-op.
+        degraded batches). With sharding enabled it also records the
+        per-shard ``serve.shard`` timer, the ``serve.shards`` counter,
+        and the ``serve.plan_cache.*`` hit/miss/invalidation deltas
+        observed around each batch. ``None`` = no-op.
+    shard_workers:
+        Number of worker processes for row-sharded scoring; ``0``
+        (default) keeps scoring single-process. Batches with at least
+        ``min_shard_rows`` sanitized rows are split into contiguous
+        shards scored in parallel (see :mod:`repro.serving.sharding`)
+        and merged in input order — output is identical to the
+        single-process path. If the pool cannot be created or breaks
+        down, sharding is disabled for the pipeline's lifetime and the
+        batch is rescored single-process (never counted as a scorer
+        fault by the circuit breaker).
+    min_shard_rows:
+        Smallest batch worth sharding; below it the per-shard IPC cost
+        dominates and the single-process fast path wins.
+    shard_start_method:
+        Multiprocessing start method for the pool (``None`` prefers
+        ``"fork"`` when available).
     """
 
     def __init__(
@@ -128,6 +153,9 @@ class ScoringPipeline:
         circuit_breaker: Optional[CircuitBreaker] = None,
         fallback: Optional[ReconstructionFallback] = None,
         telemetry=None,
+        shard_workers: int = 0,
+        min_shard_rows: int = 8192,
+        shard_start_method: Optional[str] = None,
     ):
         if policy not in ("f1", "recall", "budget"):
             raise ValueError('policy must be "f1", "recall", or "budget"')
@@ -155,6 +183,16 @@ class ScoringPipeline:
             else CircuitBreaker(telemetry=self.telemetry, name="serve")
         )
         self.fallback = fallback
+        if shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
+        if min_shard_rows < 1:
+            raise ValueError("min_shard_rows must be >= 1")
+        self.shard_workers = int(shard_workers)
+        self.min_shard_rows = int(min_shard_rows)
+        self.shard_start_method = shard_start_method
+        self._sharder: Optional[ShardedScorer] = None
+        self._sharding_disabled = False
+        self._last_n_shards = 0
 
     def calibrate(
         self,
@@ -231,12 +269,16 @@ class ScoringPipeline:
         scores = np.full(n_total, np.nan, dtype=np.float64)
         routing = np.full(n_total, ROUTE_QUARANTINED, dtype=np.int64)
         degraded = False
+        self._last_n_shards = 0
+        cache_before = plan_cache_stats() if self.telemetry.enabled else None
         if len(sanitized.kept):
             clean_scores, clean_routing, degraded = self._score_with_guardrails(
                 sanitized.X
             )
             scores[sanitized.kept] = clean_scores
             routing[sanitized.kept] = clean_routing
+        if cache_before is not None:
+            self._record_plan_cache_telemetry(cache_before)
 
         threshold = (
             float(self.fallback.threshold_) if degraded else float(self.threshold_)
@@ -277,12 +319,7 @@ class ScoringPipeline:
         breaker = self.circuit_breaker
         if breaker.allow():
             try:
-                # score_batch runs the classifier once on the compiled
-                # graph-free path and yields scores + routing together —
-                # no Tensor objects are constructed at serve time.
-                raw_scores, raw_routing = self.model.score_batch(
-                    X, strategy=self.strategy
-                )
+                raw_scores, raw_routing = self._primary_score(X)
                 scores = np.asarray(raw_scores, dtype=np.float64)
                 if scores.shape != (len(X),) or not np.all(np.isfinite(scores)):
                     raise RuntimeError(
@@ -302,6 +339,74 @@ class ScoringPipeline:
             return scores, routing, False
         return self._degraded_scores(X)
 
+    def _primary_score(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Primary scorer: sharded across the worker pool when eligible.
+
+        Eligible = ``shard_workers > 0``, sharding not disabled by an
+        earlier pool failure, and the batch has at least
+        ``min_shard_rows`` rows. Pool-infrastructure failures disable
+        sharding and fall through to the single-process path (one
+        telemetry event, no breaker involvement); model faults raised
+        *inside* a worker propagate to the caller's guardrails exactly
+        like single-process faults.
+        """
+        self._last_n_shards = 0
+        if (
+            self.shard_workers > 0
+            and not self._sharding_disabled
+            and len(X) >= self.min_shard_rows
+        ):
+            try:
+                sharder = self._ensure_sharder()
+                result = sharder.score(X)
+            except ShardPoolUnavailable as exc:
+                self._disable_sharding(exc)
+            else:
+                self._last_n_shards = result.n_shards
+                if self.telemetry.enabled:
+                    self.telemetry.increment("serve.shards", result.n_shards)
+                    for seconds in result.shard_seconds:
+                        self.telemetry.observe("serve.shard", seconds)
+                return result.scores, result.routing
+        # score_batch runs the classifier once on the compiled
+        # graph-free path and yields scores + routing together —
+        # no Tensor objects are constructed at serve time.
+        return self.model.score_batch(X, strategy=self.strategy)
+
+    def _ensure_sharder(self) -> ShardedScorer:
+        if self._sharder is None:
+            try:
+                spec = build_scoring_spec(self.model, self.strategy)
+            except Exception as exc:
+                # Spec extraction failed (e.g. strategy cannot calibrate):
+                # the single-process path keeps its lazier semantics, so
+                # treat this as "sharding unavailable", not a model fault.
+                raise ShardPoolUnavailable(
+                    f"cannot build scoring spec: {exc}"
+                ) from exc
+            self._sharder = ShardedScorer(
+                spec, self.shard_workers, start_method=self.shard_start_method
+            )
+        return self._sharder
+
+    def _disable_sharding(self, exc: Exception) -> None:
+        self._sharding_disabled = True
+        if self._sharder is not None:
+            self._sharder.close()
+            self._sharder = None
+        self.telemetry.increment("serve.sharding_disabled")
+        self.telemetry.record_event(
+            "serve.sharding_disabled",
+            error=type(exc).__name__,
+            detail=str(exc)[:200],
+        )
+
+    def close(self) -> None:
+        """Release the shard worker pool (if any). Idempotent."""
+        if self._sharder is not None:
+            self._sharder.close()
+            self._sharder = None
+
     def _degraded_scores(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
         """Score via the reconstruction fallback while the primary is out.
 
@@ -320,6 +425,20 @@ class ScoringPipeline:
         ).astype(np.int64)
         self.telemetry.increment("resilience.degraded_batches")
         return scores, routing, True
+
+    def _record_plan_cache_telemetry(self, before: dict) -> None:
+        """Mirror this batch's plan-cache deltas into ``serve.*`` counters.
+
+        The process-wide cache counters (from
+        :func:`repro.nn.inference.plan_cache_stats`) also move under
+        training and other pipelines; diffing around the scoring call
+        attributes to *this* pipeline only what it caused.
+        """
+        after = plan_cache_stats()
+        for key in ("hits", "misses", "invalidations"):
+            delta = after[key] - before[key]
+            if delta > 0:
+                self.telemetry.increment(f"serve.plan_cache.{key}", delta)
 
     def _record_batch_telemetry(self, batch: AlertBatch, n_rows: int, seconds: float) -> None:
         """One ``serve.process`` latency sample + counters per batch."""
@@ -349,6 +468,7 @@ class ScoringPipeline:
             n_alerts=batch.n_alerts,
             n_deferred=len(batch.deferred),
             n_quarantined=int(len(batch.quarantined)),
+            n_shards=int(self._last_n_shards),
             degraded=batch.degraded,
             latency_ms=seconds * 1e3,
             drifted=drifted,

@@ -1,0 +1,210 @@
+"""Multi-process batch sharding: determinism, parity, and failure modes.
+
+The contract under test: a sharded ``ScoringPipeline.process`` produces
+*identical* output to the single-process pipeline (scores, routing,
+alert order, quarantine), pool-infrastructure failures degrade to
+single-process scoring without touching the circuit breaker, worker
+model faults flow through the existing breaker/fallback guardrails,
+small batches skip sharding entirely, and the ``ScoringSpec`` pickle
+round-trip reproduces ``model.score_batch`` exactly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.obs import TelemetryRegistry
+from repro.serving import ScoringPipeline
+from repro.serving.sharding import (
+    ScoringSpec,
+    ShardedScorer,
+    ShardPoolUnavailable,
+    build_scoring_spec,
+)
+
+
+class FaultySpec(ScoringSpec):
+    """Spec whose worker-side scoring always faults (module-level: must
+    survive the trip into the worker process)."""
+
+    def score(self, network, X):
+        raise RuntimeError("injected worker fault")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.data.splits import build_split
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+def make_pipelines(model, split, **shard_kwargs):
+    single = ScoringPipeline(model, policy="budget", review_budget=10,
+                             monitor_drift=False)
+    single.calibrate(split.X_val)
+    sharded = ScoringPipeline(model, policy="budget", review_budget=10,
+                              monitor_drift=False, **shard_kwargs)
+    sharded.calibrate(split.X_val)
+    return single, sharded
+
+
+class TestScoringSpec:
+    def test_pickle_roundtrip_matches_score_batch(self, fitted):
+        model, split = fitted
+        spec = pickle.loads(pickle.dumps(build_scoring_spec(model, "ed")))
+        scores, routing = spec.score(spec.build_network(), split.X_test)
+        expected_scores, expected_routing = model.score_batch(
+            split.X_test, strategy="ed"
+        )
+        np.testing.assert_array_equal(scores, expected_scores)
+        np.testing.assert_array_equal(routing, expected_routing)
+
+    def test_spec_carries_calibrated_strategy(self, fitted):
+        model, _ = fitted
+        spec = build_scoring_spec(model, "msp")
+        assert spec.strategy.threshold_ is not None
+        assert spec.strategy is not model._get_strategy("msp")
+
+    def test_shard_slices_cover_in_order(self):
+        slices = ShardedScorer.shard_slices(10, 3)
+        covered = np.concatenate([np.arange(s.start, s.stop) for s in slices])
+        np.testing.assert_array_equal(covered, np.arange(10))
+        assert all(s.stop > s.start for s in slices)
+        # Never more shards than rows; never an empty shard.
+        assert len(ShardedScorer.shard_slices(2, 8)) == 2
+        assert ShardedScorer.shard_slices(0, 4) == []
+
+
+class TestShardedScorer:
+    def test_merged_output_matches_single_process(self, fitted):
+        model, split = fitted
+        expected_scores, expected_routing = model.score_batch(
+            split.X_test, strategy="ed"
+        )
+        with ShardedScorer(build_scoring_spec(model, "ed"), 2) as scorer:
+            result = scorer.score(split.X_test)
+        assert result.n_shards == 2
+        assert all(t >= 0 for t in result.shard_seconds)
+        np.testing.assert_array_equal(result.scores, expected_scores)
+        np.testing.assert_array_equal(result.routing, expected_routing)
+
+    def test_bad_start_method_raises_pool_unavailable(self, fitted):
+        model, _ = fitted
+        scorer = ShardedScorer(
+            build_scoring_spec(model, "ed"), 2, start_method="no-such-method"
+        )
+        with pytest.raises(ShardPoolUnavailable):
+            scorer.score(np.zeros((4, 12)))
+
+
+class TestShardedPipeline:
+    def test_process_identical_to_single_process(self, fitted):
+        model, split = fitted
+        single, sharded = make_pipelines(
+            model, split, shard_workers=2, min_shard_rows=8
+        )
+        X = split.X_test.copy()
+        X[3, 0] = np.nan  # quarantine path must survive sharding
+        expected = single.process(X)
+        got = sharded.process(X)
+        sharded.close()
+        assert sharded._last_n_shards == 2
+        np.testing.assert_array_equal(got.scores, expected.scores)
+        np.testing.assert_array_equal(got.routing, expected.routing)
+        np.testing.assert_array_equal(got.alerts, expected.alerts)
+        np.testing.assert_array_equal(got.deferred, expected.deferred)
+        np.testing.assert_array_equal(got.quarantined, expected.quarantined)
+        assert got.degraded == expected.degraded == False  # noqa: E712
+
+    def test_small_batches_stay_single_process(self, fitted):
+        model, split = fitted
+        _, sharded = make_pipelines(
+            model, split, shard_workers=2, min_shard_rows=10_000
+        )
+        batch = sharded.process(split.X_test)
+        assert sharded._last_n_shards == 0
+        assert sharded._sharder is None  # pool never created
+        assert not batch.degraded
+        sharded.close()
+
+    def test_pool_failure_degrades_to_single_process(self, fitted):
+        """Infra failure: sharding off, batch rescored, breaker untouched."""
+        model, split = fitted
+        telemetry = TelemetryRegistry()
+        pipe = ScoringPipeline(
+            model, policy="budget", review_budget=10, monitor_drift=False,
+            shard_workers=2, min_shard_rows=8,
+            shard_start_method="no-such-method", telemetry=telemetry,
+        )
+        pipe.calibrate(split.X_val)
+        single, _ = make_pipelines(model, split)
+        expected = single.process(split.X_test)
+        got = pipe.process(split.X_test)
+        assert pipe._sharding_disabled
+        assert not got.degraded
+        assert pipe.circuit_breaker.state == "closed"
+        np.testing.assert_array_equal(got.scores, expected.scores)
+        np.testing.assert_array_equal(got.routing, expected.routing)
+        assert telemetry.counters["serve.sharding_disabled"] == 1
+        assert "resilience.scoring_faults" not in telemetry.counters
+        # Later batches go straight to the single-process path.
+        again = pipe.process(split.X_test)
+        np.testing.assert_array_equal(again.scores, expected.scores)
+
+    def test_worker_model_fault_trips_guardrails(self, fitted):
+        """A fault raised inside a worker is a scorer fault: breaker +
+        degraded fallback, exactly like the single-process path."""
+        model, split = fitted
+        telemetry = TelemetryRegistry()
+        pipe = ScoringPipeline(
+            model, policy="budget", review_budget=10, monitor_drift=False,
+            shard_workers=2, min_shard_rows=8, telemetry=telemetry,
+        )
+        pipe.calibrate(split.X_val)
+        spec = build_scoring_spec(model, "ed")
+        faulty = FaultySpec(layers=spec.layers, m=spec.m, k=spec.k,
+                            strategy=spec.strategy)
+        pipe._sharder = ShardedScorer(faulty, 2)
+        batch = pipe.process(split.X_test)
+        pipe.close()
+        assert batch.degraded
+        assert not pipe._sharding_disabled
+        assert telemetry.counters["resilience.scoring_faults"] == 1
+
+    def test_shard_telemetry_recorded(self, fitted):
+        model, split = fitted
+        telemetry = TelemetryRegistry()
+        pipe = ScoringPipeline(
+            model, policy="budget", review_budget=10, monitor_drift=False,
+            shard_workers=2, min_shard_rows=8, telemetry=telemetry,
+        )
+        pipe.calibrate(split.X_val)
+        pipe.process(split.X_test)
+        assert telemetry.counters["serve.shards"] == 2
+        assert telemetry.timer_stats("serve.shard").count == 2
+        series = telemetry.events.series("serve.batch", "n_shards")
+        assert series[-1] == 2
+        # A below-threshold batch scores in-process: its plan-cache
+        # activity (a hit against the cached serving plan) is mirrored
+        # into the serve.plan_cache.* counters. Fully sharded batches
+        # leave these untouched — the workers own that cache activity.
+        pipe.process(split.X_test[:4])
+        pipe.close()
+        assert telemetry.counter("serve.plan_cache.hits") >= 1
+        assert telemetry.events.series("serve.batch", "n_shards")[-1] == 0
+
+    def test_close_is_idempotent(self, fitted):
+        model, split = fitted
+        _, sharded = make_pipelines(
+            model, split, shard_workers=2, min_shard_rows=8
+        )
+        sharded.process(split.X_test)
+        sharded.close()
+        sharded.close()
