@@ -5,6 +5,7 @@
 #   scripts/ci.sh fast     # fast lane only (-m "not slow")
 #   scripts/ci.sh tier1    # tier-1 gate only
 #   scripts/ci.sh chaos    # chaos lane only (-m chaos fault-injection scenarios)
+#   scripts/ci.sh taxonomy # anomaly-taxonomy lane (-m taxonomy injector/sweep tests)
 #   scripts/ci.sh shard    # multi-process sharding tests (2-worker pools)
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
@@ -32,6 +33,14 @@ run_fast() {
 run_chaos() {
     echo '== chaos lane: -m chaos =='
     python -m pytest -x -q -m chaos
+}
+
+run_taxonomy() {
+    # The anomaly-taxonomy lane: injector semantics + property tests plus
+    # a tiny cross-family sweep (2 families, smoke-scale splits), so the
+    # taxonomy subsystem can be gated without paying for the full grid.
+    echo '== taxonomy lane: -m taxonomy =='
+    python -m pytest -x -q -m taxonomy
 }
 
 run_shard() {
@@ -89,8 +98,9 @@ case "$lane" in
     tier1) run_tier1 ;;
     fast)  run_fast ;;
     chaos) run_chaos ;;
+    taxonomy) run_taxonomy ;;
     shard) run_shard ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|shard|bench|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|bench|all]" >&2; exit 2 ;;
 esac

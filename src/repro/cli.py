@@ -8,6 +8,7 @@ Subcommands::
     repro compare   --dataset NAME [...]        # mini Table II
     repro telemetry --dataset NAME [...]        # profile fit+serve, dashboard
     repro resilience --model PATH --dataset NAME [...]  # chaos replay
+    repro taxonomy  [--grid smoke|full] [...]   # cross-family robustness sweep
 
 Every command is deterministic under ``--seed``.
 """
@@ -223,6 +224,49 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def cmd_taxonomy(args) -> int:
+    """Sweep detectors across the anomaly-taxonomy scenario grid."""
+    from pathlib import Path
+
+    from repro.data.taxonomy import INJECTOR_NAMES
+    from repro.experiments.report import taxonomy_section, write_taxonomy_report
+    from repro.experiments.taxonomy_sweep import grid_families, taxonomy_sweep
+    from repro.obs import TelemetryRegistry, render_dashboard
+
+    detectors = args.detectors.split(",") if args.detectors else DETECTOR_NAMES
+    unknown = set(detectors) - set(DETECTOR_NAMES) - set(EXTRA_DETECTOR_NAMES)
+    if unknown:
+        print(f"unknown detectors: {sorted(unknown)}; choices: {DETECTOR_NAMES}",
+              file=sys.stderr)
+        return 2
+    families = args.families.split(",") if args.families else list(grid_families(args.grid))
+    unknown = set(families) - set(INJECTOR_NAMES)
+    if unknown:
+        print(f"unknown taxonomy families: {sorted(unknown)}; "
+              f"choices: {INJECTOR_NAMES}", file=sys.stderr)
+        return 2
+    seeds = [args.seed + i for i in range(args.n_seeds)]
+
+    registry = TelemetryRegistry()
+    print(f"Taxonomy sweep on {args.dataset}: families {', '.join(families)} · "
+          f"{len(detectors)} detector(s) · {len(seeds)} seed(s) · scale {args.scale}")
+    result = taxonomy_sweep(
+        args.dataset, detectors, families=families, seeds=seeds,
+        scale=args.scale, telemetry=registry,
+    )
+    print()
+    print(taxonomy_section(result))
+    if args.json:
+        Path(args.json).write_text(result.to_json() + "\n")
+        print(f"JSON results written to {args.json}")
+    if args.markdown:
+        path = write_taxonomy_report(result, args.markdown)
+        print(f"Markdown report written to {path}")
+    if args.telemetry:
+        print(render_dashboard(registry, title=f"repro taxonomy — {args.dataset}"))
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import generate_report
 
@@ -302,6 +346,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--review-budget", type=int, default=25)
     p_res.add_argument("--json", help="also dump the telemetry snapshot as JSON")
     p_res.set_defaults(func=cmd_resilience)
+
+    p_tax = sub.add_parser(
+        "taxonomy",
+        help="sweep detectors across the anomaly-taxonomy scenario grid",
+    )
+    p_tax.add_argument("--dataset", default="kddcup99", choices=DATASET_NAMES)
+    p_tax.add_argument("--grid", default="smoke", choices=["smoke", "full"],
+                       help="predefined injector-family grid (default: smoke)")
+    p_tax.add_argument("--families",
+                       help="comma-separated injector families overriding --grid")
+    p_tax.add_argument("--detectors",
+                       help="comma-separated registry names (default: all Table II)")
+    p_tax.add_argument("--seed", type=int, default=0)
+    p_tax.add_argument("--n-seeds", type=int, default=1)
+    p_tax.add_argument("--scale", type=float, default=0.02,
+                       help="split size multiplier (default 0.02: smoke-sized)")
+    p_tax.add_argument("--json", help="write the results table as canonical JSON")
+    p_tax.add_argument("--markdown", help="write a standalone markdown report")
+    p_tax.add_argument("--telemetry", action="store_true",
+                       help="print the sweep's telemetry dashboard")
+    p_tax.set_defaults(func=cmd_taxonomy)
 
     p_rep = sub.add_parser("report", help="write a markdown experiment report")
     p_rep.add_argument("--output", required=True, help="markdown file to write")

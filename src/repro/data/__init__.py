@@ -17,12 +17,24 @@ from repro.data.schema import (
     GeneratedData,
 )
 from repro.data.synthetic import AnomalyFamilySpec, NormalGroupSpec, SyntheticTabularGenerator
+from repro.data.taxonomy import (
+    INJECTOR_NAMES,
+    TAXONOMY_PREFIX,
+    TaxonomyAugmentedGenerator,
+    TaxonomyInjector,
+    attach_taxonomy,
+    get_injector,
+    is_taxonomy_family,
+    list_injectors,
+    taxonomy_family_name,
+)
 
 __all__ = [
     "AnomalyFamilySpec",
     "DATASET_NAMES",
     "DatasetSplit",
     "GeneratedData",
+    "INJECTOR_NAMES",
     "KIND_NONTARGET",
     "KIND_NORMAL",
     "KIND_TARGET",
@@ -30,7 +42,15 @@ __all__ = [
     "NormalGroupSpec",
     "OneHotEncoder",
     "SyntheticTabularGenerator",
+    "TAXONOMY_PREFIX",
     "TabularPreprocessor",
+    "TaxonomyAugmentedGenerator",
+    "TaxonomyInjector",
+    "attach_taxonomy",
     "get_generator",
+    "get_injector",
+    "is_taxonomy_family",
+    "list_injectors",
     "load_dataset",
+    "taxonomy_family_name",
 ]

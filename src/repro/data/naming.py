@@ -1,0 +1,30 @@
+"""Name-lookup error formatting shared by the data and taxonomy registries.
+
+Every name-keyed registry in the package (:mod:`repro.data.registry`,
+:mod:`repro.data.taxonomy`) raises the same shape of ``KeyError``: the
+offending name, a "did you mean" suggestion when one is close enough
+(via :mod:`difflib`), and the sorted list of valid choices.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Sequence
+
+
+def unknown_name_message(kind: str, name: str, choices: Sequence[str]) -> str:
+    """Build the error text for an unknown registry ``name``.
+
+    ``kind`` is the noun for the message ("dataset", "injector",
+    "taxonomy family", ...).
+    """
+    message = f"unknown {kind} {name!r}"
+    close = difflib.get_close_matches(str(name), list(choices), n=1, cutoff=0.6)
+    if close:
+        message += f"; did you mean {close[0]!r}?"
+    return f"{message} choices: {sorted(choices)}"
+
+
+def unknown_name_error(kind: str, name: str, choices: Sequence[str]) -> KeyError:
+    """``raise unknown_name_error("dataset", name, DATASET_NAMES)``."""
+    return KeyError(unknown_name_message(kind, name, choices))

@@ -1,11 +1,26 @@
-"""Dataset registry: name-based access to the four paper datasets."""
+"""Dataset registry: name-based access to the four paper datasets.
+
+Besides plain Table I splits, the registry is where the anomaly-taxonomy
+axis plugs in: any family-list knob of :func:`load_dataset`
+(``target_families``, ``train_nontarget_families``, plus the additive
+``taxonomy_families``) may name ``"tax:"``-prefixed taxonomy families
+(see :mod:`repro.data.taxonomy`). When any appears, the dataset's
+generator is wrapped in a
+:class:`~repro.data.taxonomy.TaxonomyAugmentedGenerator` before split
+assembly, so target and non-target anomalies can be drawn from
+*different* taxonomy families — including families held out of training
+entirely and seen only at test time.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import List, Optional
 
 from repro.data import kddcup99, nsl_kdd, sqb, unsw_nb15
+from repro.data.naming import unknown_name_error
 from repro.data.schema import DatasetSplit
+from repro.data.splits import build_split
+from repro.data.taxonomy import attach_taxonomy, is_taxonomy_family
 
 _MODULES = {
     "unsw_nb15": unsw_nb15,
@@ -16,12 +31,36 @@ _MODULES = {
 
 DATASET_NAMES = sorted(_MODULES)
 
+#: ``load_dataset`` knobs that may carry ``"tax:"`` family names.
+_FAMILY_KNOBS = ("target_families", "train_nontarget_families", "taxonomy_families")
+
+
+def _resolve(name: str):
+    if name not in _MODULES:
+        raise unknown_name_error("dataset", name, DATASET_NAMES)
+    return _MODULES[name]
+
+
+def _taxonomy_families(kwargs) -> List[str]:
+    """Collect (sorted, deduplicated) taxonomy family names from the knobs."""
+    names = set()
+    for knob in _FAMILY_KNOBS:
+        for family in kwargs.get(knob) or ():
+            if is_taxonomy_family(family):
+                names.add(family)
+    explicit = kwargs.get("taxonomy_families")
+    if explicit:
+        plain = [f for f in explicit if not is_taxonomy_family(f)]
+        if plain:
+            raise ValueError(
+                f"taxonomy_families must use the 'tax:' prefix; got {sorted(plain)}"
+            )
+    return sorted(names)
+
 
 def get_generator(name: str, random_state: Optional[int] = None):
     """Build the synthetic population generator for a dataset by name."""
-    if name not in _MODULES:
-        raise KeyError(f"unknown dataset {name!r}; choices: {DATASET_NAMES}")
-    return _MODULES[name].make_generator(random_state)
+    return _resolve(name).make_generator(random_state)
 
 
 def load_dataset(name: str, random_state: Optional[int] = None, **kwargs) -> DatasetSplit:
@@ -30,7 +69,32 @@ def load_dataset(name: str, random_state: Optional[int] = None, **kwargs) -> Dat
     ``kwargs`` forwards to :func:`repro.data.splits.build_split` — the knobs
     every robustness experiment varies (scale, contamination, n_labeled,
     target_families, train_nontarget_families).
+
+    Taxonomy extension: family knobs accept ``"tax:"``-prefixed taxonomy
+    families, and ``taxonomy_families`` attaches further families to the
+    population without putting them in the training pool — combined with
+    an explicit ``train_nontarget_families`` this creates the held-out
+    configuration where a family appears only at test time::
+
+        load_dataset(
+            "unsw_nb15",
+            train_nontarget_families=["Fuzzers"],       # seen non-target
+            taxonomy_families=["tax:local"],            # unseen at training
+        )
     """
-    if name not in _MODULES:
-        raise KeyError(f"unknown dataset {name!r}; choices: {DATASET_NAMES}")
-    return _MODULES[name].load(random_state=random_state, **kwargs)
+    module = _resolve(name)
+    taxonomy = _taxonomy_families(kwargs)
+    kwargs = dict(kwargs)
+    kwargs.pop("taxonomy_families", None)
+    if not taxonomy:
+        return module.load(random_state=random_state, **kwargs)
+    target_taxonomy = [
+        f for f in (kwargs.get("target_families") or ()) if is_taxonomy_family(f)
+    ]
+    generator = attach_taxonomy(
+        module.make_generator(random_state),
+        taxonomy,
+        target_families=target_taxonomy,
+        random_state=random_state,
+    )
+    return build_split(generator, module.SPEC, random_state=random_state, **kwargs)

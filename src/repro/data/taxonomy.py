@@ -1,0 +1,651 @@
+"""Anomaly-taxonomy injectors: parameterized transforms over populations.
+
+The synthetic dataset generators mirror Table I of the paper — each
+anomaly family is a subspace shift drawn at population-construction time.
+This module adds an orthogonal axis of scenario diversity: *injectors*
+that turn normal rows into anomalies of a named taxonomy family, so
+experiments can ask which anomaly *mechanisms* target-prioritization
+survives, not just which Table I family mix.
+
+Two strands of related work define the catalogue:
+
+- **ADBench's four realistic-synthetic modes** (Han et al.): ``local``
+  (inflated covariance around the population center), ``global``
+  (uniform draws over an expanded bounding box), ``dependency``
+  (marginals preserved, inter-feature dependence destroyed) and
+  ``cluster`` (the whole group displaced along a fixed direction).
+- **TABARD-style semantic violations** adapted from cell-level table
+  auditing to numeric tabular flows: ``calculation`` (a derived column
+  replaced by a wrong aggregate of its sources), ``temporal`` (an
+  end-timestamp column forced before its start column), ``logical``
+  (values pushed outside the observed physical range), ``normalization``
+  (unit drift — a column rescaled as if recorded in different units) and
+  ``consistency`` (the most-correlated column pair driven to contradict
+  the relation the reference data exhibits).
+
+Every injector is **seeded and composable**: structural choices (which
+columns are "derived", which pair is "start/end") are drawn once in
+:meth:`TaxonomyInjector.fit` from the rng it is given; per-row sampling in
+:meth:`TaxonomyInjector.transform` uses the caller's rng stream, never
+mutates its input, and is bitwise reproducible for a fixed seed.
+
+:class:`TaxonomyAugmentedGenerator` grafts injector-backed families onto
+any :class:`~repro.data.synthetic.SyntheticTabularGenerator`-shaped
+population so that :func:`repro.data.splits.build_split` — and therefore
+``load_dataset(..., target_families=..., train_nontarget_families=...)``
+— can draw target and non-target anomalies from *different* taxonomy
+families, including families held out of training entirely (the paper's
+unseen-non-target configuration). Taxonomy families are addressed with a
+``"tax:"`` prefix (e.g. ``"tax:local"``) so they can never collide with a
+dataset's own Table I family names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.data.naming import unknown_name_error
+from repro.data.schema import KIND_NONTARGET, KIND_TARGET, GeneratedData
+
+#: Prefix marking a family name as taxonomy-backed in split/registry APIs.
+TAXONOMY_PREFIX = "tax:"
+
+#: Seed offset separating injector structure from the population structure.
+_STRUCTURE_SEED_OFFSET = 7077
+
+
+def is_taxonomy_family(name: str) -> bool:
+    """True when ``name`` addresses a taxonomy injector (``"tax:..."``)."""
+    return isinstance(name, str) and name.startswith(TAXONOMY_PREFIX)
+
+
+def taxonomy_family_name(injector_name: str) -> str:
+    """``"local"`` -> ``"tax:local"`` (idempotent)."""
+    if is_taxonomy_family(injector_name):
+        return injector_name
+    return TAXONOMY_PREFIX + injector_name
+
+
+def injector_name(family: str) -> str:
+    """``"tax:local"`` -> ``"local"`` (idempotent)."""
+    if is_taxonomy_family(family):
+        return family[len(TAXONOMY_PREFIX):]
+    return family
+
+
+# ----------------------------------------------------------------------
+# Injector base + registry
+# ----------------------------------------------------------------------
+class TaxonomyInjector:
+    """Base class: a seeded transform from normal rows to anomalous rows.
+
+    Lifecycle::
+
+        injector = get_injector("local", alpha=4.0)
+        injector.fit(X_reference, rng)      # structural draw + column stats
+        X_anom = injector.transform(X, rng) # new array; X is untouched
+
+    ``fit`` computes the shared per-column statistics every subclass
+    needs (mean, std, observed min/max of the reference sample) and then
+    calls :meth:`_fit_structure` for subclass-specific structural draws.
+    ``transform`` must return a **new** array of the same shape and must
+    route all randomness through the passed ``rng``.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "base"
+
+    def __init__(self, **params):
+        self.params = dict(params)
+        self.mu_: Optional[np.ndarray] = None
+        self.sigma_: Optional[np.ndarray] = None
+        self.lo_: Optional[np.ndarray] = None
+        self.hi_: Optional[np.ndarray] = None
+
+    # -- fitting -------------------------------------------------------
+    def fit(self, X_reference: np.ndarray, rng: np.random.Generator) -> "TaxonomyInjector":
+        X = np.asarray(X_reference, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 2 or X.shape[1] < 2:
+            raise ValueError("X_reference must be 2-D with >= 2 rows and >= 2 columns")
+        self.mu_ = X.mean(axis=0)
+        self.sigma_ = np.maximum(X.std(axis=0), 1e-9)
+        self.lo_ = X.min(axis=0)
+        self.hi_ = X.max(axis=0)
+        self._fit_structure(X, rng)
+        return self
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        """Subclass hook: draw structural parameters (columns, directions)."""
+
+    def _check_fitted(self, X: np.ndarray) -> np.ndarray:
+        if self.mu_ is None:
+            raise RuntimeError(f"injector {self.name!r} is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.mu_):
+            raise ValueError(
+                f"expected (n, {len(self.mu_)}) rows, got array of shape {X.shape}"
+            )
+        return X
+
+    @property
+    def range_(self) -> np.ndarray:
+        return np.maximum(self.hi_ - self.lo_, 1e-9)
+
+    # -- transforming --------------------------------------------------
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{type(self).__name__}({params})"
+
+
+_INJECTORS: Dict[str, Type[TaxonomyInjector]] = {}
+
+
+def register_injector(cls: Type[TaxonomyInjector]) -> Type[TaxonomyInjector]:
+    """Class decorator adding an injector to the registry by its ``name``."""
+    if cls.name in _INJECTORS:
+        raise ValueError(f"injector {cls.name!r} already registered")
+    _INJECTORS[cls.name] = cls
+    return cls
+
+
+def list_injectors() -> List[str]:
+    """Sorted names of every registered injector."""
+    return sorted(_INJECTORS)
+
+
+def get_injector(name: str, **params) -> TaxonomyInjector:
+    """Instantiate a registered injector by name (``"tax:"`` prefix allowed)."""
+    key = injector_name(name)
+    if key not in _INJECTORS:
+        raise unknown_name_error("taxonomy injector", key, list_injectors())
+    return _INJECTORS[key](**params)
+
+
+# ----------------------------------------------------------------------
+# ADBench realistic-synthetic modes
+# ----------------------------------------------------------------------
+@register_injector
+class LocalInjector(TaxonomyInjector):
+    """Local outliers: deviations from the population center inflated.
+
+    The ADBench mode draws anomalies from the normal GMM with the
+    covariance scaled by ``alpha``; the transform equivalent amplifies
+    each row's displacement from the reference mean by a per-row factor
+    jittered around ``alpha`` — same location, inflated spread.
+    """
+
+    name = "local"
+
+    def __init__(self, alpha: float = 4.0):
+        super().__init__(alpha=alpha)
+        if alpha <= 1.0:
+            raise ValueError("alpha must be > 1 (1 keeps rows normal)")
+        self.alpha = alpha
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        gain = self.alpha * rng.uniform(0.8, 1.2, size=(len(X), 1))
+        return self.mu_ + gain * (X - self.mu_)
+
+
+@register_injector
+class GlobalInjector(TaxonomyInjector):
+    """Global outliers: uniform draws over an expanded bounding box.
+
+    ADBench samples global anomalies uniformly from a box scaled beyond
+    the observed support; ``margin`` is the fraction of each column's
+    range the box is extended by on both sides.
+    """
+
+    name = "global"
+
+    def __init__(self, margin: float = 0.15):
+        super().__init__(margin=margin)
+        if margin < 0.0:
+            raise ValueError("margin must be >= 0")
+        self.margin = margin
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        pad = self.margin * self.range_
+        return rng.uniform(self.lo_ - pad, self.hi_ + pad, size=X.shape)
+
+
+@register_injector
+class DependencyInjector(TaxonomyInjector):
+    """Dependency outliers: marginals kept, inter-feature dependence cut.
+
+    ADBench fits an independent KDE per feature; here each cell is drawn
+    independently from the reference column's Gaussian moment match, so
+    single rows are marginally plausible but jointly impossible (the
+    low-rank correlation and behaviour-group structure is destroyed).
+    """
+
+    name = "dependency"
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        draws = self.mu_ + self.sigma_ * rng.standard_normal(size=X.shape)
+        return np.clip(draws, self.lo_, self.hi_)
+
+
+@register_injector
+class ClusterInjector(TaxonomyInjector):
+    """Cluster outliers: the whole batch displaced along a fixed direction.
+
+    ADBench scales the GMM means by ``alpha``; the transform analog adds
+    ``alpha`` reference standard deviations along a sign direction drawn
+    once at fit time, producing a coherent shifted cluster.
+    """
+
+    name = "cluster"
+
+    def __init__(self, alpha: float = 4.0):
+        super().__init__(alpha=alpha)
+        if alpha <= 0.0:
+            raise ValueError("alpha must be > 0")
+        self.alpha = alpha
+        self.direction_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        self.direction_ = rng.choice([-1.0, 1.0], size=X.shape[1])
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        jitter = rng.uniform(0.9, 1.1, size=(len(X), 1))
+        return X + self.alpha * jitter * self.sigma_ * self.direction_
+
+
+# ----------------------------------------------------------------------
+# TABARD-style semantic violations, adapted to numeric tabular flows
+# ----------------------------------------------------------------------
+@register_injector
+class CalculationInjector(TaxonomyInjector):
+    """Calculation violations: derived columns replaced by wrong aggregates.
+
+    At fit time ``n_derived`` disjoint (source, source, derived) column
+    triples are drawn; the transform overwrites each derived column with
+    the *sum of its sources* — a miscomputed aggregate whose value is
+    inconsistent with both the column's marginal and its correlations.
+    """
+
+    name = "calculation"
+
+    def __init__(self, n_derived: int = 2):
+        super().__init__(n_derived=n_derived)
+        if n_derived < 1:
+            raise ValueError("n_derived must be >= 1")
+        self.n_derived = n_derived
+        self.triples_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        D = X.shape[1]
+        n = min(self.n_derived, D // 3)
+        if n < 1:
+            raise ValueError("calculation injector needs at least 3 columns")
+        cols = rng.choice(D, size=3 * n, replace=False)
+        self.triples_ = cols.reshape(n, 3)
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        out = X.copy()
+        noise = rng.uniform(0.95, 1.05, size=(len(X), len(self.triples_)))
+        for t, (a, b, derived) in enumerate(self.triples_):
+            out[:, derived] = (X[:, a] + X[:, b]) * noise[:, t]
+        return out
+
+
+@register_injector
+class TemporalInjector(TaxonomyInjector):
+    """Temporal ordering breaks: an "end" column forced before its "start".
+
+    ``n_pairs`` (start, end) column pairs are drawn at fit time; the
+    transform rewrites each end column to precede its start by a random
+    positive gap (in units of the start column's reference spread) —
+    the end-before-start violation of TABARD's temporal family.
+    """
+
+    name = "temporal"
+
+    def __init__(self, n_pairs: int = 2, max_gap: float = 2.0):
+        super().__init__(n_pairs=n_pairs, max_gap=max_gap)
+        if n_pairs < 1:
+            raise ValueError("n_pairs must be >= 1")
+        if max_gap <= 0.0:
+            raise ValueError("max_gap must be > 0")
+        self.n_pairs = n_pairs
+        self.max_gap = max_gap
+        self.pairs_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        D = X.shape[1]
+        n = min(self.n_pairs, D // 2)
+        cols = rng.choice(D, size=2 * n, replace=False)
+        self.pairs_ = cols.reshape(n, 2)
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        out = X.copy()
+        gaps = rng.uniform(0.5, self.max_gap, size=(len(X), len(self.pairs_)))
+        for p, (start, end) in enumerate(self.pairs_):
+            out[:, end] = X[:, start] - gaps[:, p] * self.sigma_[start]
+        return out
+
+
+@register_injector
+class LogicalInjector(TaxonomyInjector):
+    """Logical/range violations: values outside the observed support.
+
+    ``n_columns`` columns are chosen at fit time, each with a violation
+    side; the transform pushes them past the reference min (or max) by a
+    random multiple of the column range — impossible states such as
+    negative counters or over-range rates.
+    """
+
+    name = "logical"
+
+    def __init__(self, n_columns: int = 3, margin: float = 0.3):
+        super().__init__(n_columns=n_columns, margin=margin)
+        if n_columns < 1:
+            raise ValueError("n_columns must be >= 1")
+        if margin <= 0.0:
+            raise ValueError("margin must be > 0")
+        self.n_columns = n_columns
+        self.margin = margin
+        self.columns_: Optional[np.ndarray] = None
+        self.sides_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        D = X.shape[1]
+        n = min(self.n_columns, D)
+        self.columns_ = rng.choice(D, size=n, replace=False)
+        self.sides_ = rng.choice([-1.0, 1.0], size=n)
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        out = X.copy()
+        overshoot = self.margin * (1.0 + rng.uniform(0.0, 1.0, size=(len(X), len(self.columns_))))
+        for c, (col, side) in enumerate(zip(self.columns_, self.sides_)):
+            base = self.hi_[col] if side > 0 else self.lo_[col]
+            out[:, col] = base + side * overshoot[:, c] * self.range_[col]
+        return out
+
+
+@register_injector
+class NormalizationInjector(TaxonomyInjector):
+    """Normalization drift: columns rescaled as if recorded in other units.
+
+    Each chosen column gets a fixed unit factor (e.g. x100 or /100, drawn
+    at fit time) applied to its displacement from the reference minimum —
+    the mixed-units/format-drift family of TABARD, and the classic
+    upstream-pipeline bug of a feed switching units silently.
+    """
+
+    name = "normalization"
+
+    def __init__(self, n_columns: int = 2, factor: float = 100.0):
+        super().__init__(n_columns=n_columns, factor=factor)
+        if n_columns < 1:
+            raise ValueError("n_columns must be >= 1")
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        self.n_columns = n_columns
+        self.factor = factor
+        self.columns_: Optional[np.ndarray] = None
+        self.factors_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        D = X.shape[1]
+        n = min(self.n_columns, D)
+        self.columns_ = rng.choice(D, size=n, replace=False)
+        self.factors_ = rng.choice([self.factor, 1.0 / self.factor], size=n)
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        out = X.copy()
+        jitter = rng.uniform(0.98, 1.02, size=(len(X), len(self.columns_)))
+        for c, (col, factor) in enumerate(zip(self.columns_, self.factors_)):
+            out[:, col] = self.lo_[col] + (X[:, col] - self.lo_[col]) * factor * jitter[:, c]
+        return out
+
+
+@register_injector
+class ConsistencyInjector(TaxonomyInjector):
+    """Consistency breaks between correlated columns.
+
+    At fit time the ``n_pairs`` most-correlated distinct column pairs of
+    the reference sample are found; the transform rewrites the second
+    column of each pair to follow the *opposite* of the fitted linear
+    relation (the reflected regression prediction), so each cell stays
+    marginally plausible while the pair jointly contradicts the data's
+    own consistency rule.
+    """
+
+    name = "consistency"
+
+    def __init__(self, n_pairs: int = 2, gain: float = 1.5):
+        super().__init__(n_pairs=n_pairs, gain=gain)
+        if n_pairs < 1:
+            raise ValueError("n_pairs must be >= 1")
+        self.n_pairs = n_pairs
+        self.gain = gain
+        self.pairs_: Optional[np.ndarray] = None
+        self.slopes_: Optional[np.ndarray] = None
+
+    def _fit_structure(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        D = X.shape[1]
+        corr = np.corrcoef(X, rowvar=False)
+        corr = np.nan_to_num(corr, nan=0.0)
+        np.fill_diagonal(corr, 0.0)
+        strength = np.abs(corr)
+        pairs: List[List[int]] = []
+        slopes: List[float] = []
+        used: set = set()
+        order = np.argsort(-strength, axis=None)
+        for flat in order:
+            i, j = divmod(int(flat), D)
+            if i in used or j in used or i == j:
+                continue
+            pairs.append([i, j])
+            slopes.append(float(corr[i, j] * self.sigma_[j] / self.sigma_[i]))
+            used.update((i, j))
+            if len(pairs) >= self.n_pairs:
+                break
+        if not pairs:
+            raise ValueError("consistency injector found no usable column pair")
+        self.pairs_ = np.asarray(pairs, dtype=np.int64)
+        self.slopes_ = np.asarray(slopes)
+
+    def transform(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        X = self._check_fitted(X)
+        out = X.copy()
+        noise = rng.normal(0.0, 0.05, size=(len(X), len(self.pairs_)))
+        for p, (i, j) in enumerate(self.pairs_):
+            predicted = self.mu_[j] + self.slopes_[p] * (X[:, i] - self.mu_[i])
+            out[:, j] = (
+                self.mu_[j]
+                - self.gain * (predicted - self.mu_[j])
+                + noise[:, p] * self.sigma_[j]
+            )
+        return out
+
+
+#: Sorted names of every registered injector (import-time constant).
+INJECTOR_NAMES: List[str] = list_injectors()
+
+
+# ----------------------------------------------------------------------
+# Generator augmentation
+# ----------------------------------------------------------------------
+class TaxonomyAugmentedGenerator:
+    """A population generator with injector-backed families grafted on.
+
+    Duck-types the :class:`~repro.data.synthetic.SyntheticTabularGenerator`
+    sampling surface consumed by :func:`repro.data.splits.build_split`
+    (``family_names``, ``sample_family``, ``sample_mixture``, ...), so a
+    wrapped generator drops into every split-building and experiment code
+    path unchanged. Base families delegate to the wrapped generator;
+    taxonomy families sample base normals and push them through the
+    family's injector (numeric block only — categorical columns keep
+    their normal distribution, as semantic violations in flows are
+    numeric-field corruptions).
+
+    Parameters
+    ----------
+    base:
+        The population to augment.
+    families:
+        Taxonomy family names (with or without the ``"tax:"`` prefix) or
+        pre-built :class:`TaxonomyInjector` instances.
+    target_families:
+        Which of ``families`` default to target designation (the split
+        builder may still override via its own ``target_families``).
+    n_reference:
+        Normal rows sampled to fit the injectors' column statistics.
+    random_state:
+        Seed for the reference draw and structural fits; independent of
+        the base population's own structural seed.
+    """
+
+    def __init__(
+        self,
+        base,
+        families: Sequence,
+        target_families: Sequence[str] = (),
+        n_reference: int = 512,
+        random_state: Optional[int] = None,
+    ):
+        if not families:
+            raise ValueError("need at least one taxonomy family")
+        if n_reference < 8:
+            raise ValueError("n_reference must be >= 8")
+        self.base = base
+        targets = {taxonomy_family_name(injector_name(f)) for f in target_families}
+
+        self._injectors: Dict[str, TaxonomyInjector] = {}
+        self._is_target: Dict[str, bool] = {}
+        for item in families:
+            injector = item if isinstance(item, TaxonomyInjector) else get_injector(item)
+            family = taxonomy_family_name(injector.name)
+            if family in self._injectors:
+                raise ValueError(f"duplicate taxonomy family {family!r}")
+            if family in base.family_names:
+                raise ValueError(f"family {family!r} collides with a base family")
+            self._injectors[family] = injector
+            self._is_target[family] = family in targets
+        unknown_targets = targets - set(self._injectors)
+        if unknown_targets:
+            raise ValueError(
+                f"target_families not among the attached taxonomy families: "
+                f"{sorted(unknown_targets)}"
+            )
+
+        seed = None if random_state is None else random_state + _STRUCTURE_SEED_OFFSET
+        fit_rng = np.random.default_rng(seed)
+        reference = base.sample_normal(n_reference, fit_rng)
+        numeric_reference = reference.X[:, : base.n_numeric]
+        for family in sorted(self._injectors):
+            self._injectors[family].fit(numeric_reference, fit_rng)
+
+    # -- population surface -------------------------------------------
+    @property
+    def n_numeric(self) -> int:
+        return self.base.n_numeric
+
+    @property
+    def categorical_cardinalities(self) -> List[int]:
+        return self.base.categorical_cardinalities
+
+    @property
+    def n_raw_columns(self) -> int:
+        return self.base.n_raw_columns
+
+    @property
+    def taxonomy_family_names(self) -> List[str]:
+        return sorted(self._injectors)
+
+    @property
+    def family_names(self) -> List[str]:
+        return list(self.base.family_names) + self.taxonomy_family_names
+
+    @property
+    def target_family_names(self) -> List[str]:
+        extra = [f for f in self.taxonomy_family_names if self._is_target[f]]
+        return list(self.base.target_family_names) + extra
+
+    @property
+    def nontarget_family_names(self) -> List[str]:
+        extra = [f for f in self.taxonomy_family_names if not self._is_target[f]]
+        return list(self.base.nontarget_family_names) + extra
+
+    def injector(self, family: str) -> TaxonomyInjector:
+        """The fitted injector behind one attached taxonomy family."""
+        family = taxonomy_family_name(family)
+        if family not in self._injectors:
+            raise unknown_name_error(
+                "taxonomy family", family, self.taxonomy_family_names
+            )
+        return self._injectors[family]
+
+    # -- sampling ------------------------------------------------------
+    def sample_normal(self, n: int, rng: np.random.Generator) -> GeneratedData:
+        return self.base.sample_normal(n, rng)
+
+    def sample_family(self, name: str, n: int, rng: np.random.Generator) -> GeneratedData:
+        if name not in self._injectors:
+            return self.base.sample_family(name, n, rng)
+        if n <= 0:
+            return GeneratedData(
+                np.empty((0, self.n_raw_columns)),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=object),
+            )
+        base = self.base.sample_normal(n, rng)
+        numeric = self._injectors[name].transform(base.X[:, : self.n_numeric], rng)
+        X = np.concatenate([numeric, base.X[:, self.n_numeric:]], axis=1)
+        kind_value = KIND_TARGET if self._is_target[name] else KIND_NONTARGET
+        kind = np.full(n, kind_value, dtype=np.int64)
+        family = np.full(n, name, dtype=object)
+        return GeneratedData(X, kind, family)
+
+    def sample_mixture(
+        self,
+        n_normal: int,
+        family_counts: Dict[str, int],
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ) -> GeneratedData:
+        """Mixed pool of normals and (base or taxonomy) anomalies."""
+        parts = [self.sample_normal(n_normal, rng)]
+        for name, count in family_counts.items():
+            parts.append(self.sample_family(name, count, rng))
+        data = GeneratedData.concatenate(parts)
+        if shuffle:
+            data = data.subset(rng.permutation(len(data)))
+        return data
+
+
+def attach_taxonomy(
+    generator,
+    families: Sequence,
+    target_families: Sequence[str] = (),
+    n_reference: int = 512,
+    random_state: Optional[int] = None,
+) -> TaxonomyAugmentedGenerator:
+    """Graft taxonomy families onto a population generator.
+
+    Thin constructor wrapper kept as the public entry point (mirrors
+    ``get_generator`` / ``load_dataset`` being functions, not classes).
+    """
+    return TaxonomyAugmentedGenerator(
+        generator,
+        families,
+        target_families=target_families,
+        n_reference=n_reference,
+        random_state=random_state,
+    )

@@ -9,12 +9,22 @@ through the pytest benchmark harness:
 - :mod:`~repro.experiments.robustness` — the four Fig. 4 sweeps (unseen
   non-target types, target-class count, labeled budget, contamination);
 - :mod:`~repro.experiments.sensitivity` — hyperparameter sweeps and the
-  α × contamination matrix (Figs. 6-7).
+  α × contamination matrix (Figs. 6-7);
+- :mod:`~repro.experiments.taxonomy_sweep` — cross-family robustness
+  over the anomaly-taxonomy injector grid (seen / unseen / cross-target
+  scenarios per injector family).
 """
 
 from repro.experiments.convergence import ConvergenceResult, convergence_curves
-from repro.experiments.report import generate_report
+from repro.experiments.report import generate_report, taxonomy_section, write_taxonomy_report
 from repro.experiments.robustness import SweepResult, sweep
+from repro.experiments.taxonomy_sweep import (
+    TaxonomyScenario,
+    TaxonomySweepResult,
+    build_taxonomy_grid,
+    grid_families,
+    taxonomy_sweep,
+)
 from repro.experiments.sensitivity import (
     alpha_contamination_matrix,
     eta_sweep,
@@ -23,14 +33,21 @@ from repro.experiments.sensitivity import (
 from repro.experiments.tables import ablation, triclass_report
 
 __all__ = [
-    "ablation",
-    "triclass_report",
     "ConvergenceResult",
     "SweepResult",
+    "TaxonomyScenario",
+    "TaxonomySweepResult",
+    "ablation",
     "alpha_contamination_matrix",
+    "build_taxonomy_grid",
     "convergence_curves",
     "eta_sweep",
     "generate_report",
+    "grid_families",
     "lambda_grid",
     "sweep",
+    "taxonomy_section",
+    "taxonomy_sweep",
+    "triclass_report",
+    "write_taxonomy_report",
 ]

@@ -83,6 +83,52 @@ def robustness_section(dataset: str, seeds: Sequence[int], scale: Optional[float
     ])
 
 
+def taxonomy_section(result) -> str:
+    """Cross-family robustness table for a
+    :class:`~repro.experiments.taxonomy_sweep.TaxonomySweepResult`.
+
+    One AUPRC column per scenario (unseen-non-target scenarios are marked
+    ``*``), one row per detector with the per-scenario best bolded, and a
+    survival summary line answering which scenarios TargAD wins.
+    """
+    def _column(label: str) -> str:
+        return f"{label}*" if result.unseen.get(label) else label
+
+    best = {label: max(result.auprc[label].values()) for label in result.scenarios}
+    rows = []
+    for name in result.detectors:
+        cells = []
+        for label in result.scenarios:
+            value = result.auprc[label][name]
+            text = f"{value:.3f}"
+            cells.append(f"**{text}**" if value == best[label] else text)
+        rows.append([name, *cells])
+
+    parts = [
+        f"## Cross-family taxonomy robustness on {result.dataset}\n",
+        f"AUPRC over {len(result.seeds)} seed(s); `*` marks scenarios whose "
+        "taxonomy family is *unseen* at training time (held out of the "
+        "unlabeled pool, present only in validation/test).\n",
+        _md_table(["Model", *(_column(s) for s in result.scenarios)], rows),
+    ]
+    if "TargAD" in result.detectors:
+        survived = [s for s, ok in result.survival("TargAD").items() if ok]
+        lost = [s for s in result.scenarios if s not in survived]
+        parts.append(
+            f"\nTargAD keeps the best AUPRC in {len(survived)}/"
+            f"{len(result.scenarios)} scenario(s)"
+            + (f"; overtaken in: {', '.join(lost)}." if lost else ".")
+        )
+    return "\n".join(parts) + "\n"
+
+
+def write_taxonomy_report(result, path: Union[str, Path]) -> Path:
+    """Write the taxonomy sweep table as a standalone markdown report."""
+    path = Path(path)
+    path.write_text("# TargAD taxonomy robustness report\n\n" + taxonomy_section(result))
+    return path
+
+
 def generate_report(
     path: Union[str, Path],
     datasets: Sequence[str] = ("kddcup99",),

@@ -1,9 +1,10 @@
-"""Dataset registry knob forwarding."""
+"""Dataset registry knob forwarding and unknown-name diagnostics."""
 
 import numpy as np
 import pytest
 
-from repro.data import load_dataset
+from repro.data import get_generator, get_injector, load_dataset
+from repro.data.naming import unknown_name_message
 
 
 class TestKnobForwarding:
@@ -40,3 +41,35 @@ class TestKnobForwarding:
         b = load_dataset("nsl_kdd", random_state=2, scale=0.02)
         assert a.n_features == b.n_features
         assert a.target_families == b.target_families
+
+
+class TestUnknownNameSuggestions:
+    """Typos in registry names get a difflib "did you mean" suggestion."""
+
+    def test_load_dataset_suggests_closest_dataset(self):
+        with pytest.raises(KeyError) as err:
+            load_dataset("unsw_nb51", random_state=0, scale=0.02)
+        message = str(err.value)
+        assert "did you mean 'unsw_nb15'" in message
+        assert "kddcup99" in message  # full choice list is shown
+
+    def test_get_generator_suggests_closest_dataset(self):
+        with pytest.raises(KeyError, match="did you mean 'nsl_kdd'"):
+            get_generator("nslkdd", random_state=0)
+
+    def test_get_injector_suggests_closest_family(self):
+        with pytest.raises(KeyError, match="did you mean 'temporal'"):
+            get_injector("temporl")
+
+    def test_far_off_names_get_no_suggestion(self):
+        with pytest.raises(KeyError) as err:
+            load_dataset("zzz", random_state=0)
+        message = str(err.value)
+        assert "did you mean" not in message
+        assert "choices:" in message
+
+    def test_message_formatting_helper(self):
+        message = unknown_name_message("dataset", "sqbb", ["sqb", "kddcup99"])
+        assert message.startswith("unknown dataset 'sqbb'")
+        assert "did you mean 'sqb'" in message
+        assert "choices: ['kddcup99', 'sqb']" in message

@@ -1,0 +1,300 @@
+"""Anomaly-taxonomy injectors: semantics, registry, and split wiring."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    INJECTOR_NAMES,
+    attach_taxonomy,
+    get_injector,
+    is_taxonomy_family,
+    list_injectors,
+    load_dataset,
+    taxonomy_family_name,
+)
+from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
+from repro.data.splits import build_split
+from repro.data.taxonomy import TaxonomyInjector, injector_name
+from tests.conftest import TINY_SPEC, make_tiny_generator
+
+pytestmark = pytest.mark.taxonomy
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = np.random.default_rng(7)
+    # Correlated reference: latent factor + noise, 200 x 10.
+    latent = rng.normal(size=(200, 2))
+    mixing = rng.normal(size=(2, 10))
+    return latent @ mixing + 0.3 * rng.normal(size=(200, 10)) + 5.0
+
+
+def fitted(name, reference, seed=0, **params):
+    return get_injector(name, **params).fit(reference, np.random.default_rng(seed))
+
+
+class TestRegistry:
+    def test_catalogue_complete(self):
+        assert list_injectors() == INJECTOR_NAMES
+        # ADBench's four realistic-synthetic modes + five TABARD families.
+        assert set(INJECTOR_NAMES) == {
+            "local", "global", "dependency", "cluster",
+            "calculation", "temporal", "logical", "normalization", "consistency",
+        }
+
+    def test_prefix_helpers(self):
+        assert taxonomy_family_name("local") == "tax:local"
+        assert taxonomy_family_name("tax:local") == "tax:local"
+        assert injector_name("tax:local") == "local"
+        assert is_taxonomy_family("tax:local")
+        assert not is_taxonomy_family("Fuzzers")
+
+    def test_get_injector_accepts_prefix_and_params(self):
+        injector = get_injector("tax:local", alpha=6.0)
+        assert injector.name == "local"
+        assert injector.params == {"alpha": 6.0}
+
+    def test_unknown_injector_suggests_closest(self):
+        with pytest.raises(KeyError, match="did you mean 'local'"):
+            get_injector("locl")
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            get_injector("local").transform(np.zeros((3, 4)), np.random.default_rng(0))
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ValueError):
+            get_injector("local", alpha=0.5)
+        with pytest.raises(ValueError):
+            get_injector("global", margin=-0.1)
+        with pytest.raises(ValueError):
+            get_injector("temporal", n_pairs=0)
+
+
+class TestInjectorSemantics:
+    """Each family produces its advertised violation."""
+
+    def test_local_inflates_deviation_from_center(self, reference):
+        injector = fitted("local", reference)
+        X = reference[:50]
+        out = injector.transform(X, np.random.default_rng(1))
+        dev_in = np.abs(X - injector.mu_).mean()
+        dev_out = np.abs(out - injector.mu_).mean()
+        assert dev_out > 2.0 * dev_in
+
+    def test_global_leaves_observed_support(self, reference):
+        injector = fitted("global", reference, margin=0.25)
+        out = injector.transform(reference[:200], np.random.default_rng(1))
+        outside = (out < injector.lo_) | (out > injector.hi_)
+        assert outside.any()
+        pad = 0.25 * injector.range_
+        assert (out >= injector.lo_ - pad - 1e-9).all()
+        assert (out <= injector.hi_ + pad + 1e-9).all()
+
+    def test_dependency_breaks_correlation_keeps_marginals(self, reference):
+        injector = fitted("dependency", reference)
+        out = injector.transform(reference, np.random.default_rng(1))
+        corr_in = np.corrcoef(reference, rowvar=False)
+        corr_out = np.corrcoef(out, rowvar=False)
+        np.fill_diagonal(corr_in, 0.0)
+        np.fill_diagonal(corr_out, 0.0)
+        assert np.abs(corr_out).max() < np.abs(corr_in).max()
+        assert (out >= injector.lo_).all() and (out <= injector.hi_).all()
+
+    def test_cluster_displaces_along_fixed_direction(self, reference):
+        injector = fitted("cluster", reference, alpha=5.0)
+        out = injector.transform(reference[:50], np.random.default_rng(1))
+        shift = (out - reference[:50]).mean(axis=0)
+        assert np.all(np.sign(shift) == injector.direction_)
+        assert np.abs(shift / injector.sigma_).min() > 3.0
+
+    def test_calculation_overwrites_derived_columns(self, reference):
+        injector = fitted("calculation", reference)
+        X = reference[:50]
+        out = injector.transform(X, np.random.default_rng(1))
+        for a, b, derived in injector.triples_:
+            expected = X[:, a] + X[:, b]
+            # out = expected * noise with noise in [0.95, 1.05]
+            assert (np.abs(out[:, derived] - expected)
+                    <= 0.05 * np.abs(expected) + 1e-9).all()
+        untouched = np.setdiff1d(np.arange(X.shape[1]), injector.triples_[:, 2])
+        np.testing.assert_array_equal(out[:, untouched], X[:, untouched])
+
+    def test_temporal_puts_end_before_start(self, reference):
+        injector = fitted("temporal", reference)
+        X = reference[:50]
+        out = injector.transform(X, np.random.default_rng(1))
+        for start, end in injector.pairs_:
+            assert (out[:, end] < X[:, start]).all()
+
+    def test_logical_exits_the_observed_range(self, reference):
+        injector = fitted("logical", reference)
+        out = injector.transform(reference[:50], np.random.default_rng(1))
+        for col, side in zip(injector.columns_, injector.sides_):
+            if side > 0:
+                assert (out[:, col] > injector.hi_[col]).all()
+            else:
+                assert (out[:, col] < injector.lo_[col]).all()
+
+    def test_normalization_rescales_units(self, reference):
+        injector = fitted("normalization", reference, factor=100.0)
+        X = reference[:50]
+        out = injector.transform(X, np.random.default_rng(1))
+        for col, factor in zip(injector.columns_, injector.factors_):
+            # out - lo = (X - lo) * factor * jitter with jitter in [0.98, 1.02]
+            displaced = out[:, col] - injector.lo_[col]
+            original = X[:, col] - injector.lo_[col]
+            assert (displaced >= 0.98 * factor * original - 1e-9).all()
+            assert (displaced <= 1.02 * factor * original + 1e-9).all()
+
+    def test_consistency_reverses_the_pair_relation(self, reference):
+        injector = fitted("consistency", reference, n_pairs=1)
+        out = injector.transform(reference, np.random.default_rng(1))
+        i, j = injector.pairs_[0]
+        rho_in = np.corrcoef(reference[:, i], reference[:, j])[0, 1]
+        rho_out = np.corrcoef(out[:, i], out[:, j])[0, 1]
+        # The fitted pair is the strongest in the reference; the transform
+        # flips the sign of the relation.
+        assert abs(rho_in) > 0.5
+        assert np.sign(rho_out) == -np.sign(rho_in)
+
+    @pytest.mark.parametrize("name", INJECTOR_NAMES)
+    def test_fit_returns_self_and_shapes_match(self, name, reference):
+        injector = get_injector(name)
+        assert injector.fit(reference, np.random.default_rng(0)) is injector
+        out = injector.transform(reference[:9], np.random.default_rng(1))
+        assert out.shape == (9, reference.shape[1])
+        assert np.isfinite(out).all()
+
+
+class TestAugmentedGenerator:
+    def test_family_surface(self, tiny_generator):
+        wrapped = attach_taxonomy(
+            tiny_generator, ["local", "tax:calculation"],
+            target_families=["calculation"], random_state=0,
+        )
+        assert wrapped.taxonomy_family_names == ["tax:calculation", "tax:local"]
+        assert set(wrapped.family_names) == set(tiny_generator.family_names) | {
+            "tax:calculation", "tax:local",
+        }
+        assert "tax:calculation" in wrapped.target_family_names
+        assert "tax:local" in wrapped.nontarget_family_names
+        assert wrapped.n_raw_columns == tiny_generator.n_raw_columns
+
+    def test_sample_family_kinds_and_delegation(self, tiny_generator):
+        wrapped = attach_taxonomy(
+            tiny_generator, ["local"], target_families=(), random_state=0,
+        )
+        rng = np.random.default_rng(0)
+        tax = wrapped.sample_family("tax:local", 7, rng)
+        assert tax.X.shape == (7, tiny_generator.n_raw_columns)
+        assert (tax.kind == KIND_NONTARGET).all()
+        assert (tax.family == "tax:local").all()
+        base = wrapped.sample_family("tgt_easy", 4, rng)
+        assert (base.kind == KIND_TARGET).all()
+        normal = wrapped.sample_normal(5, rng)
+        assert (normal.kind == KIND_NORMAL).all()
+
+    def test_taxonomy_rows_differ_from_normals_numerically(self, tiny_generator):
+        wrapped = attach_taxonomy(tiny_generator, ["global"], random_state=0)
+        rng = np.random.default_rng(3)
+        anomalies = wrapped.sample_family("tax:global", 50, rng)
+        injector = wrapped.injector("global")
+        numeric = anomalies.X[:, : tiny_generator.n_numeric]
+        outside = (numeric < injector.lo_) | (numeric > injector.hi_)
+        assert outside.any(axis=1).mean() > 0.9
+
+    def test_mixture_counts(self, tiny_generator):
+        wrapped = attach_taxonomy(tiny_generator, ["local", "temporal"], random_state=0)
+        rng = np.random.default_rng(0)
+        data = wrapped.sample_mixture(
+            20, {"tax:local": 5, "nontgt": 3, "tax:temporal": 2}, rng
+        )
+        assert len(data) == 30
+        families, counts = np.unique(data.family.astype(str), return_counts=True)
+        table = dict(zip(families, counts))
+        assert table["tax:local"] == 5 and table["tax:temporal"] == 2
+        assert table["nontgt"] == 3
+
+    def test_collision_and_validation_errors(self, tiny_generator):
+        with pytest.raises(ValueError, match="duplicate"):
+            attach_taxonomy(tiny_generator, ["local", "tax:local"])
+        with pytest.raises(ValueError, match="at least one"):
+            attach_taxonomy(tiny_generator, [])
+        with pytest.raises(ValueError, match="not among"):
+            attach_taxonomy(tiny_generator, ["local"], target_families=["global"])
+        with pytest.raises(KeyError, match="did you mean"):
+            attach_taxonomy(tiny_generator, ["lcoal"])
+
+    def test_build_split_cross_family_targets(self, tiny_generator):
+        """Targets and training non-targets from different taxonomy families."""
+        wrapped = attach_taxonomy(
+            tiny_generator, ["calculation", "local"],
+            target_families=["calculation"], random_state=0,
+        )
+        split = build_split(
+            wrapped, TINY_SPEC, scale=1.0, random_state=0,
+            target_families=["tax:calculation"],
+            train_nontarget_families=["tax:local"],
+        )
+        assert split.target_families == ["tax:calculation"]
+        assert set(split.labeled_family) == {"tax:calculation"}
+        train_nontargets = set(
+            split.unlabeled_family[split.unlabeled_kind == KIND_NONTARGET].astype(str)
+        )
+        assert train_nontargets == {"tax:local"}
+
+
+class TestRegistryWiring:
+    def test_unseen_taxonomy_family_only_at_eval(self):
+        split = load_dataset(
+            "kddcup99", random_state=0, scale=0.02,
+            taxonomy_families=["tax:local"],
+            train_nontarget_families=["Probe"],
+        )
+        train = set(split.unlabeled_family[split.unlabeled_kind == KIND_NONTARGET].astype(str))
+        assert "tax:local" not in train
+        test = set(split.test_family[split.test_kind == KIND_NONTARGET].astype(str))
+        assert "tax:local" in test
+        assert "tax:local" in split.nontarget_families
+
+    def test_seen_taxonomy_family_in_training_pool(self):
+        split = load_dataset(
+            "kddcup99", random_state=0, scale=0.02,
+            train_nontarget_families=["Probe", "tax:cluster"],
+        )
+        train = set(split.unlabeled_family[split.unlabeled_kind == KIND_NONTARGET].astype(str))
+        assert "tax:cluster" in train
+
+    def test_taxonomy_target_family(self):
+        split = load_dataset(
+            "kddcup99", random_state=0, scale=0.02,
+            target_families=["tax:calculation"],
+            train_nontarget_families=["tax:local"],
+            taxonomy_families=["tax:calculation", "tax:local"],
+        )
+        assert split.target_families == ["tax:calculation"]
+        assert set(split.labeled_family) == {"tax:calculation"}
+        assert len(split.X_labeled) > 0
+
+    def test_unprefixed_taxonomy_families_rejected(self):
+        with pytest.raises(ValueError, match="tax:"):
+            load_dataset("kddcup99", random_state=0, scale=0.02,
+                         taxonomy_families=["local"])
+
+    def test_no_taxonomy_names_takes_plain_path(self):
+        a = load_dataset("kddcup99", random_state=0, scale=0.02)
+        b = load_dataset("kddcup99", random_state=0, scale=0.02,
+                         taxonomy_families=[])
+        np.testing.assert_array_equal(a.X_test, b.X_test)
+
+    def test_split_is_deterministic_under_seed(self):
+        kwargs = dict(
+            scale=0.02, taxonomy_families=["tax:temporal"],
+            train_nontarget_families=["Probe"],
+        )
+        a = load_dataset("kddcup99", random_state=5, **kwargs)
+        b = load_dataset("kddcup99", random_state=5, **kwargs)
+        assert a.X_test.tobytes() == b.X_test.tobytes()
+        assert a.X_unlabeled.tobytes() == b.X_unlabeled.tobytes()
+        np.testing.assert_array_equal(a.test_family, b.test_family)

@@ -1,0 +1,108 @@
+"""Property tests for the taxonomy injectors (Hypothesis).
+
+Three invariants, for *every* registered injector:
+
+1. seeded determinism — same seed, same reference, same input rows give
+   bitwise-identical output (``.tobytes()`` equality);
+2. no input mutation — ``transform`` never writes into its argument;
+3. label budget — splits built over taxonomy families honor the
+   contamination rate exactly (the anomaly count in the unlabeled pool is
+   ``round(contamination * n_unlabeled)``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import attach_taxonomy, get_injector, taxonomy_family_name
+from repro.data.schema import KIND_NORMAL
+from repro.data.splits import build_split
+from repro.data.taxonomy import INJECTOR_NAMES
+from tests.conftest import TINY_SPEC, make_tiny_generator
+
+pytestmark = pytest.mark.taxonomy
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def make_reference(seed: int, n: int = 64, d: int = 9) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2))
+    return latent @ rng.normal(size=(2, d)) + rng.normal(0.0, 0.3, size=(n, d))
+
+
+@pytest.mark.parametrize("name", INJECTOR_NAMES)
+class TestInjectorProperties:
+    @given(fit_seed=seeds, transform_seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_seeded_determinism_is_bitwise(self, name, fit_seed, transform_seed):
+        reference = make_reference(fit_seed)
+        X = make_reference(fit_seed + 1, n=17)
+
+        def run():
+            injector = get_injector(name)
+            injector.fit(reference, np.random.default_rng(fit_seed))
+            return injector.transform(X, np.random.default_rng(transform_seed))
+
+        first, second = run(), run()
+        assert first.tobytes() == second.tobytes()
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_transform_never_mutates_input(self, name, seed):
+        reference = make_reference(seed)
+        X = make_reference(seed + 1, n=13)
+        before = X.copy()
+        injector = get_injector(name).fit(reference, np.random.default_rng(seed))
+        out = injector.transform(X, np.random.default_rng(seed))
+        np.testing.assert_array_equal(X, before)
+        assert out is not X
+
+    @given(seed=seeds, n=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_output_shape_and_finiteness(self, name, seed, n):
+        reference = make_reference(seed)
+        X = make_reference(seed + 1, n=n)
+        injector = get_injector(name).fit(reference, np.random.default_rng(seed))
+        out = injector.transform(X, np.random.default_rng(seed))
+        assert out.shape == X.shape
+        assert np.isfinite(out).all()
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_fit_determinism_of_structure(self, name, seed):
+        reference = make_reference(seed)
+        a = get_injector(name).fit(reference, np.random.default_rng(seed))
+        b = get_injector(name).fit(reference, np.random.default_rng(seed))
+        for attr in ("mu_", "sigma_", "lo_", "hi_"):
+            assert getattr(a, attr).tobytes() == getattr(b, attr).tobytes()
+        structure = [k for k in vars(a) if k.endswith("_") and k not in
+                     ("mu_", "sigma_", "lo_", "hi_")]
+        for attr in structure:
+            assert np.asarray(getattr(a, attr)).tobytes() == \
+                np.asarray(getattr(b, attr)).tobytes()
+
+
+@given(
+    contamination=st.floats(min_value=0.01, max_value=0.15),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=8, deadline=None)
+def test_split_contamination_budget_is_exact(contamination, seed):
+    """Taxonomy-backed splits honor the contamination rate to the row."""
+    generator = attach_taxonomy(
+        make_tiny_generator(0), ["local", "calculation"],
+        target_families=["calculation"], random_state=0,
+    )
+    split = build_split(
+        generator, TINY_SPEC, scale=0.5, random_state=seed,
+        contamination=contamination,
+        target_families=[taxonomy_family_name("calculation")],
+        train_nontarget_families=[taxonomy_family_name("local")],
+    )
+    n_unlabeled = len(split.X_unlabeled)
+    n_anomalies = int((split.unlabeled_kind != KIND_NORMAL).sum())
+    assert n_anomalies == round(contamination * n_unlabeled)
+    assert set(split.unlabeled_family[split.unlabeled_kind != KIND_NORMAL].astype(str)) \
+        <= {"tax:calculation", "tax:local"}

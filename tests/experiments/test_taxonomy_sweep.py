@@ -1,0 +1,172 @@
+"""Cross-family taxonomy sweep: grid builder, results, reproducibility."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.taxonomy_sweep import (
+    FULL_FAMILIES,
+    SMOKE_FAMILIES,
+    TaxonomyScenario,
+    TaxonomySweepResult,
+    build_taxonomy_grid,
+    grid_families,
+    taxonomy_sweep,
+)
+from repro.experiments.report import taxonomy_section, write_taxonomy_report
+from repro.data.taxonomy import INJECTOR_NAMES
+from repro.obs import TelemetryRegistry
+
+pytestmark = pytest.mark.taxonomy
+
+
+class TestGridBuilder:
+    def test_named_grids(self):
+        assert grid_families("smoke") == SMOKE_FAMILIES
+        assert grid_families("full") == FULL_FAMILIES
+        assert set(FULL_FAMILIES) == set(INJECTOR_NAMES)
+        with pytest.raises(ValueError, match="unknown grid"):
+            grid_families("everything")
+
+    def test_seen_unseen_cells_per_family(self):
+        scenarios = build_taxonomy_grid("kddcup99", ["local", "temporal"],
+                                        include_cross_target=False)
+        labels = [s.label for s in scenarios]
+        assert labels == ["local/seen", "local/unseen",
+                          "temporal/seen", "temporal/unseen"]
+        by_label = {s.label: s for s in scenarios}
+        assert not by_label["local/seen"].unseen
+        assert by_label["local/unseen"].unseen
+        # Seen: the family joins the training non-targets; unseen: it
+        # is attached (taxonomy_families) but not trained on.
+        seen = by_label["local/seen"].overrides
+        unseen = by_label["local/unseen"].overrides
+        assert "tax:local" in seen["train_nontarget_families"]
+        assert "tax:local" not in unseen["train_nontarget_families"]
+        assert unseen["taxonomy_families"] == ["tax:local"]
+
+    def test_cross_target_cell(self):
+        scenarios = build_taxonomy_grid("kddcup99", ["local", "calculation"])
+        cross = scenarios[-1]
+        assert cross.label == "target=local/nontarget=calculation"
+        assert cross.overrides["target_families"] == ["tax:local"]
+        assert cross.overrides["train_nontarget_families"] == ["tax:calculation"]
+        assert not cross.unseen
+
+    def test_single_family_has_no_cross_cell(self):
+        scenarios = build_taxonomy_grid("kddcup99", ["local"])
+        assert len(scenarios) == 2
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_taxonomy_grid("kddcup99", [])
+
+
+class TestSweepResult:
+    @pytest.fixture()
+    def result(self):
+        r = TaxonomySweepResult(
+            dataset="d", scenarios=["s1", "s2"], detectors=["A", "B"],
+            unseen={"s1": False, "s2": True}, seeds=[0], scale=0.02,
+        )
+        r.auprc = {"s1": {"A": 0.9, "B": 0.4}, "s2": {"A": 0.3, "B": 0.6}}
+        r.auroc = {"s1": {"A": 0.95, "B": 0.5}, "s2": {"A": 0.5, "B": 0.7}}
+        r.auprc_runs = {"s1": {"A": [0.9], "B": [0.4]},
+                        "s2": {"A": [0.3], "B": [0.6]}}
+        return r
+
+    def test_series_winner_survival(self, result):
+        assert result.series("A") == [0.9, 0.3]
+        assert result.winner("s1") == "A"
+        assert result.winner("s2") == "B"
+        assert result.survival("A") == {"s1": True, "s2": False}
+
+    def test_to_json_is_deterministic_and_parseable(self, result):
+        text = result.to_json()
+        assert text == result.to_json()
+        payload = json.loads(text)
+        assert payload["scenarios"] == ["s1", "s2"]
+        assert payload["unseen"]["s2"] is True
+        assert payload["auprc"]["s1"]["A"] == 0.9
+
+    def test_markdown_section(self, result):
+        text = taxonomy_section(result)
+        assert "## Cross-family taxonomy robustness on d" in text
+        # Unseen scenario column is starred; best cell is bolded.
+        assert "s2*" in text and "s1 |" in text
+        assert "**0.900**" in text and "**0.600**" in text
+
+    def test_markdown_survival_line_mentions_targad(self):
+        r = TaxonomySweepResult(
+            dataset="d", scenarios=["s1"], detectors=["TargAD"],
+            unseen={"s1": False}, seeds=[0],
+        )
+        r.auprc = {"s1": {"TargAD": 0.8}}
+        r.auroc = {"s1": {"TargAD": 0.9}}
+        r.auprc_runs = {"s1": {"TargAD": [0.8]}}
+        assert "TargAD keeps the best AUPRC in 1/1" in taxonomy_section(r)
+
+    def test_write_taxonomy_report(self, result, tmp_path):
+        path = write_taxonomy_report(result, tmp_path / "tax.md")
+        text = path.read_text()
+        assert text.startswith("# TargAD taxonomy robustness report")
+        assert "Cross-family taxonomy robustness" in text
+
+
+class TestSweepExecution:
+    @pytest.fixture(scope="class")
+    def sweep_result(self):
+        telemetry = TelemetryRegistry()
+        result = taxonomy_sweep(
+            "kddcup99", detectors=["iForest", "TargAD"], families=["local"],
+            seeds=(0,), scale=0.01, include_cross_target=False,
+            telemetry=telemetry,
+        )
+        return result, telemetry
+
+    def test_structure_covers_the_grid(self, sweep_result):
+        result, _ = sweep_result
+        assert result.scenarios == ["local/seen", "local/unseen"]
+        assert result.detectors == ["iForest", "TargAD"]
+        assert result.unseen == {"local/seen": False, "local/unseen": True}
+        for label in result.scenarios:
+            for name in result.detectors:
+                value = result.auprc[label][name]
+                assert 0.0 <= value <= 1.0
+                assert result.auprc_runs[label][name] == [value]  # one seed
+                assert 0.0 <= result.auroc[label][name] <= 1.0
+
+    def test_telemetry_recorded(self, sweep_result):
+        _, telemetry = sweep_result
+        assert telemetry.counters["taxonomy.cells"] == 4
+        assert telemetry.counters["taxonomy.fits"] == 4
+        assert telemetry.timer_stats("taxonomy.cell").count == 4
+        values = telemetry.events.series("taxonomy.cell", "auprc")
+        assert len(values) == 4
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_explicit_scenarios_override_grid(self):
+        scenario = TaxonomyScenario(
+            label="custom",
+            overrides={"taxonomy_families": ["tax:global"],
+                       "train_nontarget_families": ["Probe"]},
+            unseen=True,
+        )
+        result = taxonomy_sweep(
+            "kddcup99", detectors=["iForest"], scenarios=[scenario],
+            seeds=(0,), scale=0.01,
+        )
+        assert result.scenarios == ["custom"]
+        assert result.unseen["custom"] is True
+
+    @pytest.mark.slow
+    def test_bit_for_bit_reproducible(self):
+        """Same inputs, two runs: byte-identical JSON payloads."""
+        def run():
+            return taxonomy_sweep(
+                "kddcup99", detectors=["iForest"], families=["local"],
+                seeds=(0,), scale=0.01, include_cross_target=False,
+            ).to_json()
+
+        assert run() == run()

@@ -208,3 +208,56 @@ class TestShardedPipeline:
         sharded.process(split.X_test)
         sharded.close()
         sharded.close()
+
+
+@pytest.fixture(scope="module")
+def taxonomy_fitted():
+    """A model trained on a taxonomy-injected split (cross-family config)."""
+    from repro.data import attach_taxonomy
+    from repro.data.splits import build_split
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+
+    generator = attach_taxonomy(
+        make_tiny_generator(0), ["calculation", "local"],
+        target_families=["calculation"], random_state=0,
+    )
+    split = build_split(
+        generator, TINY_SPEC, scale=1.0, random_state=0,
+        target_families=["tax:calculation"],
+        train_nontarget_families=["tax:local"],
+    )
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model, split
+
+
+@pytest.mark.taxonomy
+class TestTaxonomySharding:
+    def test_taxonomy_rows_route_identically_under_sharding(self, taxonomy_fitted):
+        """Regression: taxonomy-injected rows must not expose ordering or
+        shard-boundary sensitivity — sharded ``process`` routes every row
+        exactly like the single-process pipeline. Raw scores may differ by
+        BLAS rounding (GEMM blocking depends on the batch height), so they
+        are compared to within float64 round-off, routing bit-for-bit."""
+        model, split = taxonomy_fitted
+        single, sharded = make_pipelines(
+            model, split, shard_workers=2, min_shard_rows=8
+        )
+        X = split.X_test.copy()
+        X[5, 1] = np.nan  # quarantine path rides along
+        expected = single.process(X)
+        got = sharded.process(X)
+        sharded.close()
+        assert sharded._last_n_shards == 2
+        np.testing.assert_array_equal(np.isnan(got.scores), np.isnan(expected.scores))
+        np.testing.assert_allclose(
+            got.scores[~np.isnan(got.scores)],
+            expected.scores[~np.isnan(expected.scores)],
+            rtol=1e-12, atol=0.0,
+        )
+        np.testing.assert_array_equal(got.routing, expected.routing)
+        np.testing.assert_array_equal(got.alerts, expected.alerts)
+        np.testing.assert_array_equal(got.deferred, expected.deferred)
+        np.testing.assert_array_equal(got.quarantined, expected.quarantined)
+        assert not (got.degraded or expected.degraded)

@@ -65,6 +65,40 @@ class TestCLI:
             main([])
 
 
+@pytest.mark.taxonomy
+class TestTaxonomyCLI:
+    def test_taxonomy_smoke_cell(self, capsys, tmp_path):
+        json_path = tmp_path / "tax.json"
+        md_path = tmp_path / "tax.md"
+        code = main([
+            "taxonomy", "--dataset", "kddcup99", "--scale", "0.01",
+            "--families", "local", "--detectors", "iForest",
+            "--json", str(json_path), "--markdown", str(md_path),
+            "--telemetry",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Cross-family taxonomy robustness" in out
+        assert "local/unseen*" in out  # unseen cell marked in the table
+        payload = json.loads(json_path.read_text())
+        assert payload["detectors"] == ["iForest"]
+        assert payload["unseen"]["local/unseen"] is True
+        assert "# TargAD taxonomy robustness report" in md_path.read_text()
+        assert "taxonomy.cells" in out  # telemetry dashboard rendered
+
+    def test_taxonomy_unknown_detector_errors(self, capsys):
+        code = main([
+            "taxonomy", "--dataset", "kddcup99", "--detectors", "NotAModel",
+        ])
+        assert code == 2
+
+    def test_taxonomy_unknown_family_errors(self, capsys):
+        code = main([
+            "taxonomy", "--dataset", "kddcup99", "--families", "nosuchfamily",
+        ])
+        assert code == 2
+
+
 class TestResilienceCLI:
     @pytest.fixture(scope="class")
     def model_path(self, tmp_path_factory):

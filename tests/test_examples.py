@@ -21,6 +21,7 @@ CASES = [
     ("deployment_pipeline.py", "operating threshold"),
     ("bring_your_own_csv.py", "inferred schema"),
     ("chaos_demo.py", "half-open"),
+    ("taxonomy_demo.py", "Cross-family taxonomy robustness"),
 ]
 
 

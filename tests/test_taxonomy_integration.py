@@ -1,0 +1,109 @@
+"""Held-out-family integration: the triclass router on a foreign family.
+
+Trains TargAD on taxonomy family A as targets and family B as the known
+non-targets, then confronts the serving pipeline with family C — a
+taxonomy family that never appeared anywhere in training. The model
+cannot recognize C; the claim under test is *graceful degradation*: no
+crash, routing stays within the triclass vocabulary, and every pipeline
+invariant (alert ordering, deferred set, quarantine) holds on the
+foreign rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.data import attach_taxonomy
+from repro.data.schema import KIND_NONTARGET, KIND_TARGET
+from repro.data.splits import build_split
+from repro.serving import ScoringPipeline
+from repro.serving.pipeline import ROUTE_QUARANTINED
+from tests.conftest import TINY_SPEC, make_tiny_generator
+
+pytestmark = pytest.mark.taxonomy
+
+
+@pytest.fixture(scope="module")
+def heldout():
+    """Split + model: targets=calculation, trained non-targets=local,
+    family ``global`` attached but excluded from training entirely."""
+    generator = attach_taxonomy(
+        make_tiny_generator(0), ["calculation", "local", "global"],
+        target_families=["calculation"], random_state=0,
+    )
+    split = build_split(
+        generator, TINY_SPEC, scale=1.0, random_state=0,
+        target_families=["tax:calculation"],
+        train_nontarget_families=["tax:local"],
+    )
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    pipeline = ScoringPipeline(model, policy="budget", review_budget=10,
+                               monitor_drift=False)
+    pipeline.calibrate(split.X_val)
+    return generator, split, model, pipeline
+
+
+class TestHeldOutFamilySplit:
+    def test_family_c_absent_from_training_present_at_eval(self, heldout):
+        _, split, _, _ = heldout
+        train = set(split.unlabeled_family[split.unlabeled_kind == KIND_NONTARGET]
+                    .astype(str))
+        assert train == {"tax:local"}
+        assert "tax:global" not in set(split.labeled_family.astype(str))
+        test = set(split.test_family[split.test_kind == KIND_NONTARGET].astype(str))
+        assert "tax:global" in test
+
+
+class TestGracefulDegradation:
+    def test_triclass_router_stays_in_vocabulary_on_foreign_rows(self, heldout):
+        _, split, model, _ = heldout
+        routing = model.predict_triclass(split.X_test)
+        assert len(routing) == len(split.X_test)
+        assert set(np.unique(routing)) <= {0, 1, 2}
+
+    def test_pipeline_processes_foreign_rows_without_crash(self, heldout):
+        _, split, _, pipeline = heldout
+        batch = pipeline.process(split.X_test)
+        assert len(batch.scores) == len(split.X_test)
+        assert set(np.unique(batch.routing)) <= {ROUTE_QUARANTINED, 0, 1, 2}
+        assert not batch.degraded
+
+    def test_alert_invariants_hold(self, heldout):
+        _, split, _, pipeline = heldout
+        batch = pipeline.process(split.X_test)
+        # Alerts: target-routed, above threshold, analyst-queue ordered.
+        assert set(batch.alerts) <= set(np.flatnonzero(batch.routing == KIND_TARGET))
+        assert (batch.scores[batch.alerts] >= batch.threshold).all()
+        ordered = batch.scores[batch.alerts]
+        assert (np.diff(ordered) <= 0).all()
+
+    def test_deferred_set_is_exactly_the_nontarget_routed_rows(self, heldout):
+        _, split, _, pipeline = heldout
+        batch = pipeline.process(split.X_test)
+        np.testing.assert_array_equal(
+            np.sort(batch.deferred),
+            np.flatnonzero(batch.routing == KIND_NONTARGET),
+        )
+
+    def test_unseen_family_rows_are_mostly_not_alerted(self, heldout):
+        """The prioritization claim: foreign non-targets should not flood
+        the alert queue (most of the queue stays target-family rows)."""
+        _, split, _, pipeline = heldout
+        batch = pipeline.process(split.X_test)
+        families = split.test_family.astype(str)
+        if len(batch.alerts):
+            unseen_share = (families[batch.alerts] == "tax:global").mean()
+            assert unseen_share <= 0.5
+
+    def test_quarantine_still_catches_bad_rows(self, heldout):
+        _, split, _, pipeline = heldout
+        X = split.X_test.copy()
+        X[7, 2] = np.nan
+        X[19, 0] = np.inf
+        batch = pipeline.process(X)
+        assert set(batch.quarantined) == {7, 19}
+        assert np.isnan(batch.scores[7]) and np.isnan(batch.scores[19])
+        assert batch.routing[7] == batch.routing[19] == ROUTE_QUARANTINED
+        assert 7 not in batch.alerts and 19 not in batch.alerts
