@@ -7,6 +7,7 @@
 #   scripts/ci.sh chaos    # chaos lane only (-m chaos fault-injection scenarios)
 #   scripts/ci.sh taxonomy # anomaly-taxonomy lane (-m taxonomy injector/sweep tests)
 #   scripts/ci.sh shard    # multi-process sharding tests (2-worker pools)
+#   scripts/ci.sh daemon   # serving daemon + shm ring suites + replay smoke
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
@@ -52,6 +53,20 @@ run_shard() {
         tests/nn/test_plan_cache.py tests/nn/test_fused_kernels.py
 }
 
+run_daemon() {
+    # The always-on serving lane: daemon parity/failure tests and the
+    # ring-buffer property suite spin up real worker pools over shared
+    # memory, and the soak test cycles 25 daemon lifecycles across fork
+    # and spawn. Includes the `slow`-marked pieces (2-worker replay
+    # smoke, soak) that the fast lane skips, plus a shrunken open-loop
+    # traffic replay through the bench harness as an end-to-end smoke.
+    echo '== daemon lane: serving daemon + shm rings + replay smoke =='
+    python -m pytest -x -q tests/serving/test_daemon.py \
+        tests/serving/test_ring_properties.py \
+        tests/serving/test_daemon_soak.py
+    python scripts/bench_replay.py --smoke --out /tmp/bench_replay_smoke.json
+}
+
 run_bench() {
     # Non-gating: records graph vs compiled inference throughput in
     # BENCH_inference.json for trend tracking; never fails the build.
@@ -61,6 +76,7 @@ run_bench() {
     # does not gate.
     echo '== bench lane: inference throughput (non-gating) =='
     python scripts/bench_inference.py || echo "bench lane failed (non-gating)"
+    python scripts/bench_replay.py || echo "replay bench failed (non-gating)"
     python - <<'EOF' || true
 import json, sys
 from pathlib import Path
@@ -91,6 +107,33 @@ for workload in ("autoencoder_fallback", "classifier_head"):
         print(f"WARNING: {message}", file=sys.stderr)
     else:
         print(f"bench check: {workload} {got}x >= floor {floor}x")
+
+# Latency-under-load rows from bench_replay.py: the daemon's best
+# throughput speedup over the single-process baseline must stay above
+# its recorded floor, and every replay row must carry latency data.
+replay = payload.get("traffic_replay")
+floor = baseline.get("replay_daemon_speedup_min")
+if replay and floor is not None:
+    best = replay.get("daemon_speedup_best")
+    if best is None or best < floor:
+        message = (
+            f"traffic-replay regression: daemon best speedup {best}x "
+            f"under load, baseline floor {floor}x (non-gating)"
+        )
+        print(f"::warning title=bench regression::{message}")
+        print(f"WARNING: {message}", file=sys.stderr)
+    else:
+        print(f"bench check: replay daemon {best}x >= floor {floor}x")
+    for row in replay.get("results", ()):
+        for mode in ("single", "daemon"):
+            d = row.get(mode, {})
+            if not d.get("latency_p99_ms"):
+                message = (
+                    f"traffic-replay row {row.get('workload')}/{mode} "
+                    "missing p99 latency (non-gating)"
+                )
+                print(f"::warning title=bench regression::{message}")
+                print(f"WARNING: {message}", file=sys.stderr)
 EOF
 }
 
@@ -100,7 +143,8 @@ case "$lane" in
     chaos) run_chaos ;;
     taxonomy) run_taxonomy ;;
     shard) run_shard ;;
+    daemon) run_daemon ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|bench|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|bench|all]" >&2; exit 2 ;;
 esac

@@ -9,6 +9,7 @@ Subcommands::
     repro telemetry --dataset NAME [...]        # profile fit+serve, dashboard
     repro resilience --model PATH --dataset NAME [...]  # chaos replay
     repro taxonomy  [--grid smoke|full] [...]   # cross-family robustness sweep
+    repro serve-bench --dataset NAME [...]      # daemon latency-under-load replay
 
 Every command is deterministic under ``--seed``.
 """
@@ -267,6 +268,75 @@ def cmd_taxonomy(args) -> int:
     return 0
 
 
+def _parse_batch_mix(text: str):
+    """Parse ``"16:0.5,64:0.35,256:0.15"`` into ``((16, 0.5), ...)``."""
+    entries = []
+    for part in text.split(","):
+        rows, _, weight = part.partition(":")
+        entries.append((int(rows), float(weight) if weight else 1.0))
+    return tuple(entries)
+
+
+def cmd_serve_bench(args) -> int:
+    """Replay open-loop traffic against the serving daemon vs single-process."""
+    import numpy as np
+
+    from repro.serving.daemon import ServingDaemon
+    from repro.serving.replay import ReplaySpec, build_schedule, replay_daemon, replay_sync
+    from repro.serving.sharding import build_scoring_spec
+
+    spec = ReplaySpec(
+        name=args.dataset, rate_rps=args.rate, n_requests=args.requests,
+        batch_mix=_parse_batch_mix(args.batch_mix), seed=args.seed,
+    )
+    split = _load_split(args)
+    print(f"Fitting TargAD on {args.dataset} "
+          f"(n_unlabeled={len(split.X_unlabeled)}, seed={args.seed})...")
+    model = TargAD(TargADConfig(k=args.k, alpha=args.alpha, random_state=args.seed))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    X_pool = np.asarray(split.X_test, dtype=np.float64)
+    schedule = build_schedule(spec, len(X_pool))
+    n_rows = sum(len(r.rows) for r in schedule)
+    print(f"Replaying {spec.n_requests} requests ({n_rows} rows) at "
+          f"{spec.rate_rps:g} req/s offered, batch mix {args.batch_mix} ...")
+
+    model.score_batch(X_pool[: min(64, len(X_pool))], strategy=args.strategy)
+    single = replay_sync(spec, schedule, X_pool,
+                         lambda X: model.score_batch(X, strategy=args.strategy))
+    print("  " + single.summary())
+
+    from repro.obs import TelemetryRegistry
+
+    scoring_spec = build_scoring_spec(model, args.strategy)
+    registry = TelemetryRegistry()
+    with ServingDaemon(scoring_spec, n_workers=args.workers,
+                       telemetry=registry) as daemon:
+        daemon.score(X_pool[: min(64, len(X_pool))])
+        result = replay_daemon(spec, schedule, X_pool, daemon)
+        slo = daemon.slo_snapshot()
+    print("  " + result.summary())
+    speedup = (result.rows_per_sec / single.rows_per_sec
+               if single.rows_per_sec else 0.0)
+    print(f"  daemon vs single: {speedup:.2f}x throughput, "
+          f"{single.percentile_ms(99) / max(result.percentile_ms(99), 1e-9):.2f}x p99")
+    print(f"  daemon SLO gauges: p50={slo['p50_ms']:.2f}ms "
+          f"p95={slo['p95_ms']:.2f}ms p99={slo['p99_ms']:.2f}ms "
+          f"({slo['requests']:g} requests in {slo['dispatches']:g} dispatches, "
+          f"{slo['coalesced']:g} coalesced)")
+    if args.json:
+        payload = {
+            "workload": spec.name,
+            "single": single.to_dict(),
+            "daemon": result.to_dict(),
+            "daemon_speedup_vs_single": round(speedup, 2),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"Replay results written to {args.json}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import generate_report
 
@@ -367,6 +437,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_tax.add_argument("--telemetry", action="store_true",
                        help="print the sweep's telemetry dashboard")
     p_tax.set_defaults(func=cmd_taxonomy)
+
+    p_srv = sub.add_parser(
+        "serve-bench",
+        help="replay open-loop traffic against the serving daemon",
+    )
+    _add_split_args(p_srv)
+    p_srv.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
+    p_srv.add_argument("--alpha", type=float, default=0.05)
+    p_srv.add_argument("--strategy", default="ed", choices=["msp", "es", "ed"])
+    p_srv.add_argument("--rate", type=float, default=500.0,
+                       help="offered request rate (Poisson arrivals, req/s)")
+    p_srv.add_argument("--requests", type=int, default=400,
+                       help="number of requests to replay")
+    p_srv.add_argument("--batch-mix", default="16:0.5,64:0.35,256:0.15",
+                       help="rows:weight pairs, comma-separated")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="daemon worker processes")
+    p_srv.add_argument("--json", help="write the replay results as JSON")
+    p_srv.set_defaults(func=cmd_serve_bench)
 
     p_rep = sub.add_parser("report", help="write a markdown experiment report")
     p_rep.add_argument("--output", required=True, help="markdown file to write")

@@ -2,8 +2,8 @@
 
 Timers accumulate wall-clock samples (seconds). :class:`TimerStats` is the
 read-side summary: count/total are exact running aggregates, while the
-order statistics (p50/p95) come from a bounded window of the most recent
-samples so memory stays constant under production traffic.
+order statistics (p50/p95/p99) come from a bounded window of the most
+recent samples so memory stays constant under production traffic.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ class TimerStats:
     mean: float
     p50: float
     p95: float
+    p99: float
     max: float
 
     @classmethod
@@ -43,7 +44,8 @@ class TimerStats:
         values = np.asarray(list(samples), dtype=np.float64)
         if len(values) == 0:
             return cls(name=name, count=count or 0, total=total or 0.0,
-                       mean=0.0, p50=0.0, p95=0.0, max=max_value or 0.0)
+                       mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                       max=max_value or 0.0)
         n = count if count is not None else len(values)
         tot = total if total is not None else float(values.sum())
         return cls(
@@ -53,6 +55,7 @@ class TimerStats:
             mean=tot / max(n, 1),
             p50=float(np.percentile(values, 50)),
             p95=float(np.percentile(values, 95)),
+            p99=float(np.percentile(values, 99)),
             max=max_value if max_value is not None else float(values.max()),
         )
 
@@ -64,6 +67,7 @@ class TimerStats:
             "mean_s": self.mean,
             "p50_s": self.p50,
             "p95_s": self.p95,
+            "p99_s": self.p99,
             "max_s": self.max,
         }
 
@@ -71,4 +75,4 @@ class TimerStats:
         """One-line human summary, e.g. for the dashboard."""
         return (f"n={self.count:<5d} total={self.total * 1e3:9.1f}ms "
                 f"p50={self.p50 * 1e3:8.2f}ms p95={self.p95 * 1e3:8.2f}ms "
-                f"max={self.max * 1e3:8.2f}ms")
+                f"p99={self.p99 * 1e3:8.2f}ms max={self.max * 1e3:8.2f}ms")

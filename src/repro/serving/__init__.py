@@ -21,8 +21,16 @@ pool (:mod:`repro.serving.sharding`): a picklable
 :class:`~repro.serving.sharding.ScoringSpec` snapshot of the fitted
 model is shipped to each worker, shards are merged deterministically in
 input order, and pool failures degrade to single-process scoring.
+
+For always-on deployments, :class:`~repro.serving.daemon.ServingDaemon`
+keeps that spec *resident* in a pool of long-lived workers and moves
+rows and results through :class:`~repro.serving.shm_ring.ShmRing`
+shared-memory ring buffers (zero pickling on the hot path), coalescing
+concurrent small requests into fused scoring calls. The replay harness
+(:mod:`repro.serving.replay`) measures its latency under open-loop load.
 """
 
+from repro.serving.daemon import DaemonUnavailable, ServingDaemon
 from repro.serving.drift import DriftMonitor, DriftReport
 from repro.serving.pipeline import ROUTE_QUARANTINED, AlertBatch, ScoringPipeline
 from repro.serving.sharding import (
@@ -32,16 +40,20 @@ from repro.serving.sharding import (
     ShardResult,
     build_scoring_spec,
 )
+from repro.serving.shm_ring import ShmRing
 
 __all__ = [
     "AlertBatch",
+    "DaemonUnavailable",
     "DriftMonitor",
     "DriftReport",
     "ROUTE_QUARANTINED",
     "ScoringPipeline",
     "ScoringSpec",
+    "ServingDaemon",
     "ShardedScorer",
     "ShardPoolUnavailable",
     "ShardResult",
+    "ShmRing",
     "build_scoring_spec",
 ]

@@ -33,6 +33,7 @@ from repro.obs import ensure_telemetry
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.fallback import ReconstructionFallback
 from repro.resilience.sanitize import expected_width, sanitize_batch
+from repro.serving.daemon import DaemonUnavailable, ServingDaemon
 from repro.serving.drift import DriftMonitor, DriftReport
 from repro.serving.sharding import (
     ShardedScorer,
@@ -139,6 +140,23 @@ class ScoringPipeline:
     shard_start_method:
         Multiprocessing start method for the pool (``None`` prefers
         ``"fork"`` when available).
+    daemon:
+        Opt-in always-on serving daemon
+        (:class:`~repro.serving.daemon.ServingDaemon`). ``True`` builds
+        one lazily from this pipeline's model (``daemon_workers``
+        workers, shared-memory ring transport, micro-batching); a
+        pre-started instance is used as-is (and then *not* closed by
+        :meth:`close` — the caller owns its lifecycle, e.g. when several
+        pipelines share one daemon). When the daemon cannot start
+        (shared memory unavailable) the pipeline falls back to the
+        single-process/sharded path for its lifetime; a transiently
+        unavailable daemon (worker crash mid-respawn) falls back for
+        that batch only. Neither counts as a scorer fault to the circuit
+        breaker — worker *model* faults do, exactly like sharded faults.
+    daemon_workers:
+        Worker processes for a ``daemon=True`` auto-built daemon.
+    daemon_batch_rows:
+        Micro-batching ceiling for the auto-built daemon.
     """
 
     def __init__(
@@ -156,6 +174,9 @@ class ScoringPipeline:
         shard_workers: int = 0,
         min_shard_rows: int = 8192,
         shard_start_method: Optional[str] = None,
+        daemon=None,
+        daemon_workers: int = 1,
+        daemon_batch_rows: int = 8192,
     ):
         if policy not in ("f1", "recall", "budget"):
             raise ValueError('policy must be "f1", "recall", or "budget"')
@@ -193,6 +214,16 @@ class ScoringPipeline:
         self._sharder: Optional[ShardedScorer] = None
         self._sharding_disabled = False
         self._last_n_shards = 0
+        if daemon_workers < 1:
+            raise ValueError("daemon_workers must be >= 1")
+        self.daemon_workers = int(daemon_workers)
+        self.daemon_batch_rows = int(daemon_batch_rows)
+        self._daemon: Optional[ServingDaemon] = None
+        self._daemon_owned = False
+        self._daemon_enabled = bool(daemon)
+        self._daemon_disabled = False
+        if isinstance(daemon, ServingDaemon):
+            self._daemon = daemon
 
     def calibrate(
         self,
@@ -351,6 +382,25 @@ class ScoringPipeline:
         like single-process faults.
         """
         self._last_n_shards = 0
+        if self._daemon_enabled and not self._daemon_disabled:
+            try:
+                daemon = self._ensure_daemon()
+            except DaemonUnavailable as exc:
+                self._disable_daemon(exc)
+            else:
+                try:
+                    return daemon.score(X)
+                except DaemonUnavailable as exc:
+                    # Transient (worker died mid-respawn): rescore this
+                    # batch in-process; a dead daemon stays disabled.
+                    self.telemetry.increment("serve.daemon.fallbacks")
+                    self.telemetry.record_event(
+                        "serve.daemon.fallback",
+                        error=type(exc).__name__,
+                        detail=str(exc)[:200],
+                    )
+                    if not daemon.alive:
+                        self._disable_daemon(exc)
         if (
             self.shard_workers > 0
             and not self._sharding_disabled
@@ -394,18 +444,64 @@ class ScoringPipeline:
         if self._sharder is not None:
             self._sharder.close()
             self._sharder = None
+        # A pool that broke *mid-batch* had already scored some shards;
+        # those rows are about to be scored again on the single-process
+        # rescore path. Record the aborted shards so the serve.shards
+        # ledger explains the double-scoring instead of hiding it.
+        aborted = getattr(exc, "n_completed_shards", 0)
+        if aborted:
+            self.telemetry.increment("serve.shards.aborted", aborted)
         self.telemetry.increment("serve.sharding_disabled")
         self.telemetry.record_event(
             "serve.sharding_disabled",
             error=type(exc).__name__,
             detail=str(exc)[:200],
+            n_aborted_shards=int(aborted),
+        )
+
+    # -- daemon management ------------------------------------------------
+    def _ensure_daemon(self) -> ServingDaemon:
+        """Build/start the opt-in serving daemon on first use."""
+        if self._daemon is None:
+            try:
+                spec = build_scoring_spec(self.model, self.strategy)
+            except Exception as exc:
+                # Same reasoning as _ensure_sharder: a spec that cannot be
+                # extracted is "daemon unavailable", not a model fault.
+                raise DaemonUnavailable(
+                    f"cannot build scoring spec: {exc}"
+                ) from exc
+            self._daemon = ServingDaemon(
+                spec,
+                n_workers=self.daemon_workers,
+                max_batch_rows=self.daemon_batch_rows,
+                telemetry=self.telemetry,
+            )
+            self._daemon_owned = True
+        if not self._daemon.alive:
+            self._daemon.start()
+        return self._daemon
+
+    def _disable_daemon(self, exc: Exception) -> None:
+        self._daemon_disabled = True
+        if self._daemon is not None and self._daemon_owned:
+            self._daemon.close()
+            self._daemon = None
+        self.telemetry.increment("serve.daemon.disabled")
+        self.telemetry.record_event(
+            "serve.daemon.disabled",
+            error=type(exc).__name__,
+            detail=str(exc)[:200],
         )
 
     def close(self) -> None:
-        """Release the shard worker pool (if any). Idempotent."""
+        """Release the shard pool and any owned daemon. Idempotent."""
         if self._sharder is not None:
             self._sharder.close()
             self._sharder = None
+        if self._daemon is not None and self._daemon_owned:
+            self._daemon.close()
+            self._daemon = None
 
     def _degraded_scores(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
         """Score via the reconstruction fallback while the primary is out.

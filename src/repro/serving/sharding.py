@@ -51,7 +51,17 @@ class ShardPoolUnavailable(RuntimeError):
     worker processes) as opposed to a model fault; callers should fall
     back to single-process scoring rather than tripping the circuit
     breaker.
+
+    ``n_completed_shards`` counts shards whose results had already
+    arrived when the pool broke mid-batch. Those rows get scored *again*
+    on the single-process rescore path — callers use the count to record
+    the aborted work (``serve.shards.aborted``) so the telemetry ledger
+    explains the double-scoring instead of silently dropping it.
     """
+
+    def __init__(self, message: str, n_completed_shards: int = 0):
+        super().__init__(message)
+        self.n_completed_shards = int(n_completed_shards)
 
 
 @dataclass
@@ -247,13 +257,20 @@ class ShardedScorer:
             )
         pool = self._ensure_pool()
         slices = self.shard_slices(len(X), self.n_workers)
+        results = []
         try:
             futures = [pool.submit(_score_shard, X[s]) for s in slices]
-            results = [future.result() for future in futures]
+            for future in futures:
+                results.append(future.result())
         except BrokenProcessPool as exc:
             self.close()
+            # results collected so far are discarded — the caller rescores
+            # the whole batch single-process; n_completed_shards lets it
+            # account for the aborted (now double-scored) work.
             raise ShardPoolUnavailable(
-                f"shard worker pool broke down: {exc}"
+                f"shard worker pool broke down after {len(results)} of "
+                f"{len(slices)} shard(s): {exc}",
+                n_completed_shards=len(results),
             ) from exc
         scores = np.concatenate([r[0] for r in results])
         routing = np.concatenate([r[1] for r in results])

@@ -1,0 +1,317 @@
+"""Shared-memory SPSC ring buffer for the serving daemon's transport.
+
+One :class:`ShmRing` is a single-producer / single-consumer byte ring
+over a ``multiprocessing.shared_memory`` segment. The daemon uses two
+per worker — requests flow parent → worker, results worker → parent —
+so each ring always has exactly one writer process and one reader
+process, which is what makes the lock-free counter protocol sound.
+
+Layout of the segment::
+
+    offset 0   u64  write counter   (monotonic bytes published; writer-owned)
+    offset 8   u64  read counter    (monotonic bytes consumed; reader-owned)
+    offset 16  u8   closed flag     (either side may set it)
+    offset 24  ...  data region of ``capacity`` bytes (frames wrap freely)
+
+Frames are slot-framed with sequence numbers::
+
+    u32 magic  (0x52494E47, "RING")   u32 seq   u32 length   u32 kind
+    <length payload bytes>
+
+The counters never wrap: a position in the data region is ``counter %
+capacity``, free space is ``capacity - (write - read)``. The writer
+copies the frame (possibly split across the physical end of the region)
+*before* publishing the new write counter, so the reader never observes
+a half-written frame; the reader consumes the payload before publishing
+the new read counter, so the writer never overwrites unread bytes.
+Sequence numbers increase by one per frame on the writer side and are
+verified on the reader side — a gap or a bad magic word raises
+:class:`RingCorruption` instead of silently mis-framing.
+
+Backpressure is explicit: :meth:`ShmRing.write` on a full ring and
+:meth:`ShmRing.read` on an empty one spin-wait (escalating short
+sleeps), honouring ``timeout`` and the closed flag, and the ``try_``
+variants never block at all — the property tests drive those through
+arbitrary interleavings.
+
+Lifecycle: the *creating* process owns the segment and is the only one
+that may :meth:`unlink` it (a pid-guarded ``weakref.finalize`` backstops
+leaks even on unclean teardown — a forked child inheriting the object
+will not unlink the parent's segment). Attaching workers are children of
+the creator and share its ``resource_tracker``, so their attach-side
+registration dedupes into the creator's entry and the creator's single
+``unlink`` settles the books — no per-attach deregistration needed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import weakref
+from typing import Optional, Tuple
+
+_U64 = struct.Struct("<Q")
+_HEADER = struct.Struct("<IIII")  # magic, seq, length, kind
+HEADER_BYTES = _HEADER.size
+MAGIC = 0x52494E47  # "RING"
+
+#: Start of the data region (counters + closed flag, padded to 8 bytes).
+_DATA_OFFSET = 24
+_WRITE_OFFSET = 0
+_READ_OFFSET = 8
+_CLOSED_OFFSET = 16
+
+#: Frame kinds used by the daemon protocol (callers may define more).
+KIND_DATA = 0
+KIND_RESULT = 1
+KIND_ERROR = 2
+KIND_SHUTDOWN = 3
+
+#: Spin-wait schedule: yield first (latency), then escalate (CPU).
+_BACKOFF_FAST = 64
+_BACKOFF_SLEEP = 200e-6
+
+
+class RingClosed(RuntimeError):
+    """The ring was closed by the peer (and, for reads, fully drained)."""
+
+
+class RingFull(RuntimeError):
+    """A bounded-wait write timed out against full-ring backpressure."""
+
+
+class RingEmpty(RuntimeError):
+    """A bounded-wait read timed out on an empty ring."""
+
+
+class RingCorruption(RuntimeError):
+    """Frame framing broke: bad magic, impossible length, or a seq gap."""
+
+
+class ShmRing:
+    """One direction of shared-memory transport. See the module docstring.
+
+    Use :meth:`create` in the owning process and :meth:`attach` (with the
+    creator's ``name`` and ``capacity``) in the peer; the constructor is
+    internal.
+    """
+
+    def __init__(self, shm, capacity: int, owner: bool):
+        self._shm = shm
+        self.capacity = int(capacity)
+        self.name = shm.name
+        self._owner = owner
+        self._buf = shm.buf
+        self._data = shm.buf[_DATA_OFFSET:_DATA_OFFSET + self.capacity]
+        self._next_seq = 0        # writer-side state
+        self._expected_seq = 0    # reader-side state
+        self._released = False
+        # Backstop cleanup guarded by pid: a forked child inheriting this
+        # object must never unlink the parent's live segment. The data
+        # view rides along so a ring dropped without release() has its
+        # exported memoryview released before SharedMemory.close() runs
+        # (otherwise __del__ raises BufferError on the exported pointer).
+        self._finalizer = weakref.finalize(
+            self, _finalize_segment, shm, self._data,
+            os.getpid() if owner else None,
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Allocate a fresh ring; the calling process owns the segment."""
+        from multiprocessing import shared_memory
+
+        if capacity < HEADER_BYTES + 1:
+            raise ValueError(f"capacity must exceed one frame header; got {capacity}")
+        shm = shared_memory.SharedMemory(create=True, size=_DATA_OFFSET + capacity)
+        shm.buf[:_DATA_OFFSET] = bytes(_DATA_OFFSET)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmRing":
+        """Attach to a ring created elsewhere (workers call this).
+
+        Daemon workers are children of the creator, so they share its
+        ``resource_tracker`` process: the attach-side ``register`` call
+        inside ``SharedMemory`` dedupes into the same tracker entry the
+        creator made, and the creator's ``unlink`` clears it exactly
+        once. (Explicitly unregistering here would *remove* the
+        creator's entry and leave the tracker confused at unlink time.)
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, owner=False)
+
+    # -- counters -------------------------------------------------------
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    @property
+    def closed(self) -> bool:
+        return self._buf[_CLOSED_OFFSET] != 0
+
+    def close(self) -> None:
+        """Mark the ring closed (both sides observe it). Idempotent."""
+        if not self._released:
+            self._buf[_CLOSED_OFFSET] = 1
+
+    def pending(self) -> int:
+        """Bytes currently published but not yet consumed."""
+        return self._load(_WRITE_OFFSET) - self._load(_READ_OFFSET)
+
+    def free_bytes(self) -> int:
+        return self.capacity - self.pending()
+
+    # -- byte movement (wrap-aware) -------------------------------------
+    def _put(self, pos: int, payload) -> None:
+        pos %= self.capacity
+        first = min(len(payload), self.capacity - pos)
+        self._data[pos:pos + first] = payload[:first]
+        if first < len(payload):
+            self._data[:len(payload) - first] = payload[first:]
+
+    def _get(self, pos: int, length: int) -> bytes:
+        pos %= self.capacity
+        first = min(length, self.capacity - pos)
+        chunk = bytes(self._data[pos:pos + first])
+        if first < length:
+            chunk += bytes(self._data[:length - first])
+        return chunk
+
+    # -- write side -----------------------------------------------------
+    def try_write(self, payload, kind: int = KIND_DATA) -> bool:
+        """Publish one frame if it fits; never blocks.
+
+        Returns ``True`` on success, ``False`` under backpressure.
+        Raises :class:`RingClosed` if the peer closed the ring and
+        :class:`ValueError` for frames that can never fit.
+        """
+        need = HEADER_BYTES + len(payload)
+        if need > self.capacity:
+            raise ValueError(
+                f"frame of {need} bytes exceeds ring capacity {self.capacity}"
+            )
+        if self.closed:
+            raise RingClosed(f"ring {self.name} is closed")
+        write = self._load(_WRITE_OFFSET)
+        if self.capacity - (write - self._load(_READ_OFFSET)) < need:
+            return False
+        header = _HEADER.pack(MAGIC, self._next_seq & 0xFFFFFFFF, len(payload), kind)
+        self._put(write, header)
+        if len(payload):
+            self._put(write + HEADER_BYTES, payload)
+        # Publish only after the full frame is in place.
+        self._store(_WRITE_OFFSET, write + need)
+        self._next_seq += 1
+        return True
+
+    def write(self, payload, kind: int = KIND_DATA,
+              timeout: Optional[float] = None) -> None:
+        """Blocking :meth:`try_write` with backpressure spin-wait."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while not self.try_write(payload, kind):
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise RingFull(
+                    f"ring {self.name} full for {timeout:.3f}s "
+                    f"({self.pending()} bytes pending)"
+                )
+            spins += 1
+            time.sleep(0 if spins < _BACKOFF_FAST else _BACKOFF_SLEEP)
+
+    # -- read side ------------------------------------------------------
+    def try_read(self) -> Optional[Tuple[int, bytes]]:
+        """Consume one frame if available; never blocks.
+
+        Returns ``(kind, payload)``, or ``None`` when the ring is empty.
+        Raises :class:`RingClosed` once the ring is closed *and* drained,
+        and :class:`RingCorruption` on framing damage.
+        """
+        read = self._load(_READ_OFFSET)
+        if self._load(_WRITE_OFFSET) == read:
+            if self.closed:
+                raise RingClosed(f"ring {self.name} is closed and drained")
+            return None
+        header = self._get(read, HEADER_BYTES)
+        magic, seq, length, kind = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise RingCorruption(
+                f"ring {self.name}: bad frame magic 0x{magic:08x} at {read}"
+            )
+        if length > self.capacity - HEADER_BYTES:
+            raise RingCorruption(
+                f"ring {self.name}: frame length {length} exceeds capacity"
+            )
+        if seq != self._expected_seq & 0xFFFFFFFF:
+            raise RingCorruption(
+                f"ring {self.name}: sequence gap (expected "
+                f"{self._expected_seq & 0xFFFFFFFF}, got {seq})"
+            )
+        payload = self._get(read + HEADER_BYTES, length)
+        # Publish consumption only after the payload has been copied out.
+        self._store(_READ_OFFSET, read + HEADER_BYTES + length)
+        self._expected_seq += 1
+        return kind, payload
+
+    def read(self, timeout: Optional[float] = None) -> Tuple[int, bytes]:
+        """Blocking :meth:`try_read`; raises :class:`RingEmpty` on timeout."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while True:
+            frame = self.try_read()
+            if frame is not None:
+                return frame
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise RingEmpty(f"ring {self.name} empty for {timeout:.3f}s")
+            spins += 1
+            time.sleep(0 if spins < _BACKOFF_FAST else _BACKOFF_SLEEP)
+
+    # -- lifecycle ------------------------------------------------------
+    def release(self) -> None:
+        """Drop this process's mapping (and unlink if it is the owner)."""
+        if self._released:
+            return
+        self._released = True
+        self._finalizer()  # release view + unlink (owner) + close, once
+
+    # Owner-side alias used by the daemon teardown for clarity.
+    unlink = release
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.release()
+
+
+def _finalize_segment(shm, data_view, owner_pid: Optional[int]) -> None:
+    """Release the data view, unlink (owner process only), then close.
+
+    The view is released first so ``close`` does not trip over an
+    exported pointer. Unlink precedes close: it removes the ``/dev/shm``
+    name (what the soak test checks for) and cannot fail on exported
+    buffers, while ``close`` may still raise :class:`BufferError` if
+    *other* slices are alive during interpreter shutdown — in which case
+    the mapping dies with the process anyway. ``owner_pid`` is ``None``
+    for attach-side rings, which must never unlink.
+    """
+    try:
+        data_view.release()
+    except BufferError:  # pragma: no cover - another exported sub-view
+        pass
+    if owner_pid is not None and os.getpid() == owner_pid:
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass

@@ -170,8 +170,14 @@ class TestTimerStats:
     def test_to_dict_keys(self):
         stats = TimerStats.from_samples("x", [0.5])
         assert set(stats.to_dict()) == {
-            "count", "total_s", "mean_s", "p50_s", "p95_s", "max_s",
+            "count", "total_s", "mean_s", "p50_s", "p95_s", "p99_s", "max_s",
         }
+
+    def test_p99_tracks_tail(self):
+        samples = [0.001] * 99 + [1.0]
+        stats = TimerStats.from_samples("x", samples)
+        assert stats.p99 > stats.p95
+        assert stats.p99 <= stats.max
 
     def test_overridden_aggregates(self):
         stats = TimerStats.from_samples("x", [1.0, 2.0], count=10, total=30.0, max_value=9.0)

@@ -1,0 +1,118 @@
+"""Soak test: repeated daemon lifecycles leak nothing.
+
+25 up/score/down cycles split across the fork and spawn start methods
+must leave zero shared-memory segments in ``/dev/shm`` and zero orphaned
+worker processes — the leak classes a long-lived serving host actually
+dies of. A final cycle drops a daemon without calling ``close()`` to
+prove the pid-guarded finalizer backstop unlinks the segments anyway.
+"""
+
+import gc
+import os
+
+import multiprocessing as mp
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.serving.daemon import ServingDaemon
+from repro.serving.sharding import build_scoring_spec
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_segments():
+    """Names of multiprocessing shared-memory segments currently linked."""
+    try:
+        return {n for n in os.listdir(SHM_DIR) if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return set()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    from repro.data.splits import build_split
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+
+    split = build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0,
+                        random_state=0)
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                                clf_epochs=20))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return build_scoring_spec(model, "ed"), np.asarray(split.X_test[:16],
+                                                       dtype=np.float64)
+
+
+@pytest.mark.slow
+class TestDaemonSoak:
+    def test_25_lifecycles_leak_nothing(self, spec):
+        scoring_spec, X = spec
+        methods = [m for m in ("fork", "spawn")
+                   if m in mp.get_all_start_methods()]
+        assert methods, "no multiprocessing start method available"
+        # fork cycles are cheap; spawn pays a full interpreter start per
+        # worker, so it gets the smaller share of the 25.
+        cycles = (["fork"] * 20 + ["spawn"] * 5) if len(methods) == 2 else (
+            [methods[0]] * 25
+        )
+        before_segments = _shm_segments()
+        before_children = {p.pid for p in mp.active_children()}
+        for i, method in enumerate(cycles):
+            with ServingDaemon(scoring_spec, start_method=method) as daemon:
+                scores, routing = daemon.score(X)
+                assert scores.shape == (len(X),)
+                assert routing.shape == (len(X),)
+            assert not daemon.alive
+        gc.collect()
+        leaked = _shm_segments() - before_segments
+        assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+        orphans = {p.pid for p in mp.active_children()} - before_children
+        assert not orphans, f"orphaned worker processes: {sorted(orphans)}"
+
+    def test_daemon_rings_exist_only_while_running(self, spec):
+        scoring_spec, X = spec
+        before = _shm_segments()
+        daemon = ServingDaemon(scoring_spec).start()
+        daemon.score(X)
+        created = _shm_segments() - before
+        assert len(created) == 2  # one request + one response ring
+        daemon.close()
+        assert not (_shm_segments() - before)
+
+    def test_dropped_ring_finalizer_unlinks_segment(self):
+        """A ring abandoned without release() must still unlink: the
+        pid-guarded ``weakref.finalize`` backstop."""
+        from repro.serving.shm_ring import ShmRing
+
+        ring = ShmRing.create(1024)
+        name = ring.name
+        assert name in _shm_segments()
+        del ring
+        gc.collect()
+        assert name not in _shm_segments()
+
+    def test_forked_child_exit_never_unlinks_parent_segment(self):
+        """A child that inherited the ring object and exits cleanly (its
+        finalizers run) must not unlink the parent's live segment."""
+        from repro.serving.shm_ring import ShmRing
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ring = ShmRing.create(1024)
+        try:
+            ring.write(b"still here")
+            child = mp.get_context("fork").Process(target=_inherit_and_exit)
+            child.start()
+            child.join(timeout=30.0)
+            assert child.exitcode == 0
+            assert ring.name in _shm_segments()
+            assert ring.read(timeout=1.0) == (0, b"still here")
+        finally:
+            ring.close()
+            ring.release()
+        assert ring.name not in _shm_segments()
+
+
+def _inherit_and_exit() -> None:
+    """Child body: return normally so interpreter-exit finalizers run."""
+    gc.collect()

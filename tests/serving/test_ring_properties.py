@@ -1,0 +1,159 @@
+"""Property tests for the shared-memory SPSC ring buffer.
+
+The invariants the daemon transport depends on, driven by hypothesis:
+
+- arbitrary interleavings of variable-sized writes and reads deliver
+  every frame byte-identical, in order, with gapless sequence numbers
+  (``try_read`` itself raises :class:`RingCorruption` on any gap);
+- a writer pushing against full-ring backpressure and a reader draining
+  concurrently never deadlock and never corrupt a frame, even when
+  every frame wraps the physical end of the data region;
+- closed-ring and never-fits frames fail loudly instead of hanging.
+
+These run single-process (one writer, one reader — the SPSC contract),
+which is exactly how the daemon uses a ring; cross-process behaviour is
+covered by the daemon and soak suites.
+"""
+
+import threading
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving.shm_ring import (
+    HEADER_BYTES,
+    KIND_DATA,
+    KIND_RESULT,
+    RingClosed,
+    ShmRing,
+)
+
+# Each op is either a write of `size` payload bytes or a read attempt.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("w"), st.integers(min_value=0, max_value=96),
+                  st.sampled_from([KIND_DATA, KIND_RESULT])),
+        st.tuples(st.just("r"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _payload(i: int, size: int) -> bytes:
+    # Distinct, position-dependent bytes so any frame mixup is visible.
+    return bytes((i * 31 + j) % 251 for j in range(size))
+
+
+class TestInterleavings:
+    @given(ops=_ops, capacity=st.integers(min_value=HEADER_BYTES + 8,
+                                          max_value=256))
+    @settings(max_examples=75, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_frames_survive_any_interleaving(self, ops, capacity):
+        """try_write/try_read in any order: exact frames, exact order."""
+        with ShmRing.create(capacity) as ring:
+            expected = deque()
+            n_written = 0
+            for op, size, kind in ops:
+                if op == "w":
+                    payload = _payload(n_written, size)
+                    if HEADER_BYTES + size > capacity:
+                        with pytest.raises(ValueError):
+                            ring.try_write(payload, kind=kind)
+                        continue
+                    if ring.try_write(payload, kind=kind):
+                        expected.append((kind, payload))
+                        n_written += 1
+                    else:
+                        # Backpressure must mean "genuinely no room".
+                        assert ring.free_bytes() < HEADER_BYTES + size
+                else:
+                    frame = ring.try_read()
+                    if expected:
+                        assert frame == expected.popleft()
+                    else:
+                        assert frame is None
+            # Drain: everything written must come out, byte-identical.
+            while expected:
+                assert ring.try_read() == expected.popleft()
+            assert ring.try_read() is None
+            assert ring.pending() == 0
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=64),
+                          min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_backpressure_never_deadlocks(self, sizes):
+        """Blocking writer vs concurrent reader on a tiny ring: every
+        frame arrives in order; nobody hangs even though nearly every
+        frame wraps and the ring is full most of the time."""
+        capacity = HEADER_BYTES + 64 + 8  # fits exactly one largest frame
+        with ShmRing.create(capacity) as ring:
+            frames = [_payload(i, size) for i, size in enumerate(sizes)]
+            received = []
+            errors = []
+
+            def write_all():
+                try:
+                    for frame in frames:
+                        ring.write(frame, timeout=20.0)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def read_all():
+                try:
+                    for _ in frames:
+                        received.append(ring.read(timeout=20.0))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=write_all),
+                       threading.Thread(target=read_all)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert not any(t.is_alive() for t in threads), "ring deadlocked"
+            assert not errors
+            assert [p for _, p in received] == frames
+            assert ring.pending() == 0
+
+
+class TestEdges:
+    def test_oversized_frame_rejected_up_front(self):
+        with ShmRing.create(64) as ring:
+            with pytest.raises(ValueError):
+                ring.try_write(b"x" * 64)
+
+    def test_closed_ring_fails_writes_and_drains_reads(self):
+        with ShmRing.create(256) as ring:
+            assert ring.try_write(b"last words")
+            ring.close()
+            with pytest.raises(RingClosed):
+                ring.try_write(b"after close")
+            # The reader still sees frames published before the close...
+            assert ring.try_read() == (KIND_DATA, b"last words")
+            # ...and only then the closed signal.
+            with pytest.raises(RingClosed):
+                ring.try_read()
+
+    def test_attach_sees_creators_frames(self):
+        ring = ShmRing.create(512)
+        try:
+            ring.write(b"hello across mappings")
+            peer = ShmRing.attach(ring.name, 512)
+            try:
+                assert peer.read(timeout=1.0) == (KIND_DATA,
+                                                  b"hello across mappings")
+            finally:
+                peer.release()
+        finally:
+            ring.close()
+            ring.release()
+
+    def test_capacity_floor_enforced(self):
+        with pytest.raises(ValueError):
+            ShmRing.create(HEADER_BYTES)

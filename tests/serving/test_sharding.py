@@ -33,6 +33,26 @@ class FaultySpec(ScoringSpec):
         raise RuntimeError("injected worker fault")
 
 
+#: Marker value planted in column 0 to make ``CrashSpec`` hard-kill its
+#: worker process — a mid-batch pool breakdown, not a Python exception.
+CRASH_MARKER = 1.2345e7
+
+
+class CrashSpec(ScoringSpec):
+    """Spec that kills the worker when it sees the marker row; shards
+    without the marker score normally. The killer waits a beat so the
+    clean shard's result is collected first — a *mid-batch* breakdown."""
+
+    def score(self, network, X):
+        import os
+        import time
+
+        if np.any(X[:, 0] == CRASH_MARKER):
+            time.sleep(0.25)
+            os._exit(17)  # hard kill: BrokenProcessPool, not a fault
+        return super().score(network, X)
+
+
 @pytest.fixture(scope="module")
 def fitted():
     from repro.data.splits import build_split
@@ -199,6 +219,68 @@ class TestShardedPipeline:
         pipe.close()
         assert telemetry.counter("serve.plan_cache.hits") >= 1
         assert telemetry.events.series("serve.batch", "n_shards")[-1] == 0
+
+    def test_mid_batch_pool_break_accounts_for_aborted_shards(self, fitted):
+        """Regression: a pool broken *mid-batch* (one shard done, one
+        worker dead) rescored the whole batch single-process but never
+        recorded the discarded shard work — the serve.shards ledger
+        silently hid the double-scoring. Pin the telemetry contract:
+        no serve.shards increment for the aborted batch, the completed
+        shard count lands in serve.shards.aborted, sharding disables
+        exactly once, the breaker stays closed, and output matches the
+        single-process pipeline bitwise."""
+        model, split = fitted
+        telemetry = TelemetryRegistry()
+        pipe = ScoringPipeline(
+            model, policy="budget", review_budget=10, monitor_drift=False,
+            shard_workers=2, min_shard_rows=8, telemetry=telemetry,
+        )
+        pipe.calibrate(split.X_val)
+        spec = build_scoring_spec(model, "ed")
+        crashy = CrashSpec(layers=spec.layers, m=spec.m, k=spec.k,
+                           strategy=spec.strategy)
+        pipe._sharder = ShardedScorer(crashy, 2)
+
+        X = split.X_test.copy()
+        X[-1, 0] = CRASH_MARKER  # second shard kills its worker
+        single, _ = make_pipelines(model, split)
+        expected = single.process(X)
+        got = pipe.process(X)
+        pipe.close()
+
+        assert pipe._sharding_disabled
+        assert not got.degraded
+        assert pipe.circuit_breaker.state == "closed"
+        # The ledger: no shards credited for the aborted batch, the
+        # completed-then-discarded shard recorded as aborted work.
+        assert "serve.shards" not in telemetry.counters
+        assert telemetry.counters["serve.shards.aborted"] == 1
+        assert telemetry.counters["serve.sharding_disabled"] == 1
+        assert "resilience.scoring_faults" not in telemetry.counters
+        events = [e for e in telemetry.events
+                  if e.name == "serve.sharding_disabled"]
+        assert len(events) == 1
+        assert events[0].fields["n_aborted_shards"] == 1
+        # The rescore produced the single-process batch bitwise — the
+        # double-scored rows are invisible in the output, which is
+        # exactly why the ledger has to make them visible.
+        np.testing.assert_array_equal(got.scores, expected.scores)
+        np.testing.assert_array_equal(got.routing, expected.routing)
+        np.testing.assert_array_equal(got.alerts, expected.alerts)
+
+    def test_pool_break_surfaces_completed_shard_count(self, fitted):
+        """ShardedScorer itself reports how many shards finished before
+        the breakdown via ShardPoolUnavailable.n_completed_shards."""
+        model, split = fitted
+        spec = build_scoring_spec(model, "ed")
+        crashy = CrashSpec(layers=spec.layers, m=spec.m, k=spec.k,
+                           strategy=spec.strategy)
+        X = np.asarray(split.X_test, dtype=np.float64).copy()
+        X[-1, 0] = CRASH_MARKER
+        with ShardedScorer(crashy, 2) as scorer:
+            with pytest.raises(ShardPoolUnavailable) as excinfo:
+                scorer.score(X)
+        assert excinfo.value.n_completed_shards == 1
 
     def test_close_is_idempotent(self, fitted):
         model, split = fitted
