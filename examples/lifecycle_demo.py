@@ -1,0 +1,89 @@
+"""Drift-triggered continual learning with a zero-downtime hot-swap.
+
+A deployed detector degrades when the traffic distribution moves. This
+example closes the loop end to end:
+
+1. fit TargAD and calibrate a ``ScoringPipeline`` with the drift monitor
+   armed,
+2. wrap it in a ``LifecycleManager``: every served batch feeds the drift
+   debouncer; a confirmed event triggers assemble → budgeted label query
+   → warm-started incremental refit → AUPRC validation gate → atomic
+   model hot-swap (the old generation serves until the instant the new
+   one is ready — no dropped batches, breaker closed throughout),
+3. replay warm traffic, then covariate-shifted traffic, and watch the
+   live model's AUPRC on the shifted regime degrade and recover,
+4. print the recovery report: batches to detection, detection→swap
+   latency, label spend, and the generation history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TargAD, TargADConfig, load_dataset
+from repro.data.schema import KIND_TARGET
+from repro.lifecycle import (
+    DriftPolicy,
+    LifecycleManager,
+    drift_replay,
+    make_split_oracle,
+    shift_regime,
+)
+from repro.obs import TelemetryRegistry
+from repro.serving import ScoringPipeline
+
+
+def main() -> None:
+    print("Training TargAD on the KDDCUP99 analog...")
+    split = load_dataset("kddcup99", random_state=0, scale=0.05)
+    model = TargAD(TargADConfig(k=3, random_state=0))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+    registry = TelemetryRegistry()
+    pipeline = ScoringPipeline(model, policy="f1", telemetry=registry,
+                               drift_threshold=0.3)
+    pipeline.calibrate(split.X_val, split.y_val_binary,
+                       X_reference=split.X_unlabeled)
+
+    # The "new regime": a seeded covariate shift of the test split. Half
+    # becomes live traffic, half a held-out eval slice; the labeling
+    # oracle answers from the shifted traffic's ground truth.
+    X_shifted = shift_regime(split.X_test, shift=4.0, seed=0)
+    half = len(X_shifted) // 2
+    y_binary = np.where(split.test_kind == KIND_TARGET, 1, 0)
+    oracle = make_split_oracle(X_shifted[:half], y_binary[:half])
+
+    manager = LifecycleManager(
+        pipeline, split.X_unlabeled, split.X_labeled, split.y_labeled,
+        split.X_val, split.y_val_binary, oracle=oracle,
+        policy=DriftPolicy(confirm_checks=2, cooldown_batches=10,
+                           label_budget=20, refit_epochs=3,
+                           min_auprc_ratio=0.8),
+        telemetry=registry, seed=0,
+    )
+
+    print("\nReplaying warm traffic, then the shifted regime:")
+    result = drift_replay(
+        manager, split.X_val, X_shifted[:half],
+        X_shifted[half:], y_binary[half:],
+        batch_rows=64, progress=print,
+    )
+
+    d = result.to_dict()
+    print("\nRecovery report:")
+    print(f"  batches to detection: {d['batches_to_detection']}, "
+          f"detection->swap {d['detection_to_swap_seconds']:.2f}s")
+    print(f"  AUPRC on the shifted regime: {d['auprc_before_drift']:.3f} "
+          f"(old model) -> {d['auprc_final']:.3f} (after swap)")
+    print(f"  swaps: {d['swaps']}, rollbacks: {d['rollbacks']}, "
+          f"recovered: {d['recovered']}")
+    report = manager.report()
+    print(f"  labels queried/found: {report['labels_queried']}"
+          f"/{report['labels_found']}")
+    print(f"  lifecycle generation: {report['generation']}")
+    print("\nEvery batch was answered by a live model: drift degraded "
+          "accuracy, never availability.")
+
+
+if __name__ == "__main__":
+    main()

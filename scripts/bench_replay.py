@@ -1,6 +1,7 @@
 """Latency under load: open-loop traffic replay, single-process vs daemon.
 
-Extends ``BENCH_inference.json`` with a ``traffic_replay`` section. Where
+Extends ``BENCH_inference.json`` with a ``traffic_replay`` section (and a
+``drift_recovery`` section — see below). Where
 ``bench_inference.py`` measures peak rows/sec through a perfectly fed
 scorer, this bench replays a seeded open-loop workload (Poisson
 arrivals, mixed batch sizes — see :mod:`repro.serving.replay`) against
@@ -16,6 +17,13 @@ Reported per (workload, mode): p50/p95/p99/max latency **against the
 scheduled arrival time** (queueing delay counts — the open-loop rule),
 achieved rows/sec, and the daemon-vs-single speedup. Both modes replay
 byte-identical traffic from the same seed.
+
+The ``drift_recovery`` section replays the lifecycle drift scenario
+(:mod:`repro.lifecycle.replay`): warm traffic, then a covariate-shifted
+regime, through a :class:`~repro.lifecycle.manager.LifecycleManager`.
+Reported: batches to drift detection, detection→hot-swap wall-clock
+latency, and the live model's AUPRC on the shifted regime before drift,
+at detection, and after the swap (the accuracy-recovery curve).
 
 Each workload runs in its own subprocess with BLAS/OMP pools pinned to
 one thread, matching ``bench_inference.py`` methodology. Non-gating: the
@@ -136,23 +144,90 @@ def _measure(name: str, smoke: bool) -> dict:
     }
 
 
+def _measure_drift(smoke: bool) -> dict:
+    """Lifecycle drift scenario: detection + swap latency + recovery."""
+    from repro.core.config import TargADConfig
+    from repro.core.model import TargAD
+    from repro.lifecycle import (
+        DriftPolicy, LifecycleManager, drift_replay, make_split_oracle,
+        shift_regime,
+    )
+    from repro.serving import ScoringPipeline
+
+    rng = np.random.default_rng(3)
+    n_features, m = 16, 2
+    scale = SMOKE_SCALE if smoke else 1.0
+
+    def population(n_normal, n_target, shuffle_seed):
+        X = np.vstack([
+            rng.normal(size=(n_normal, n_features)),
+            rng.normal(4.0, 1.0, size=(n_target, n_features)),
+        ])
+        y = np.concatenate([
+            np.zeros(n_normal, dtype=np.int64),
+            np.ones(n_target, dtype=np.int64),
+        ])
+        order = np.random.default_rng(shuffle_seed).permutation(len(X))
+        return X[order], y[order]
+
+    n_unlabeled = max(int(800 * scale), 200)
+    X_unlabeled, _ = population(n_unlabeled, n_unlabeled // 12, 0)
+    X_labeled = rng.normal(4.0, 1.0, size=(32, n_features))
+    y_labeled = rng.integers(0, m, size=32)
+    X_val, y_val = population(max(int(240 * scale), 80), 24, 1)
+    X_warm, _ = population(max(int(320 * scale), 120), 12, 2)
+
+    model = TargAD(TargADConfig(
+        k=2, clf_hidden=(32, 16), clf_epochs=5, ae_epochs=5, random_state=0,
+    ))
+    t0 = time.perf_counter()
+    model.fit(X_unlabeled, X_labeled, y_labeled)
+    fit_seconds = time.perf_counter() - t0
+
+    pipe = ScoringPipeline(model, policy="f1", drift_threshold=0.3)
+    pipe.calibrate(X_val, y_val, X_reference=X_unlabeled)
+
+    X_new, y_new = population(max(int(480 * scale), 200), 48, 3)
+    X_shifted = shift_regime(X_new, shift=3.0, seed=4)
+    half = len(X_shifted) // 2
+    oracle = make_split_oracle(X_shifted[:half], y_new[:half])
+    manager = LifecycleManager(
+        pipe, X_unlabeled, X_labeled, y_labeled, X_val, y_val,
+        oracle=oracle,
+        policy=DriftPolicy(confirm_checks=2, cooldown_batches=8,
+                           label_budget=16, refit_epochs=3,
+                           min_auprc_ratio=0.5),
+        seed=0,
+    )
+    result = drift_replay(
+        manager, X_warm, X_shifted[:half], X_shifted[half:], y_new[half:],
+        batch_rows=48,
+    )
+    payload = result.to_dict()
+    payload["fit_seconds"] = round(fit_seconds, 3)
+    payload["generation"] = manager.pipeline.generation
+    return payload
+
+
+def _run_worker(name: str, smoke: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(THREAD_ENV)
+    cmd = [sys.executable, __file__, "--worker", name]
+    if smoke:
+        cmd.append("--smoke")
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(
+            f"replay worker {name!r} exited with {proc.returncode}"
+        )
+    return json.loads(proc.stdout)
+
+
 def run(smoke: bool) -> dict:
-    results = []
-    for name in WORKLOADS:
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src")
-        env.update(THREAD_ENV)
-        cmd = [sys.executable, __file__, "--worker", name]
-        if smoke:
-            cmd.append("--smoke")
-        proc = subprocess.run(cmd, capture_output=True, text=True,
-                              cwd=REPO_ROOT, env=env)
-        if proc.returncode != 0:
-            sys.stderr.write(proc.stderr)
-            raise RuntimeError(
-                f"replay worker {name!r} exited with {proc.returncode}"
-            )
-        results.append(json.loads(proc.stdout))
+    results = [_run_worker(name, smoke) for name in WORKLOADS]
     return {
         "pool_rows": POOL_ROWS,
         "smoke": smoke,
@@ -172,20 +247,26 @@ def main() -> None:
                         help="BENCH json to extend with the traffic_replay section")
     parser.add_argument("--smoke", action="store_true",
                         help="shrunken few-second replay (CI smoke)")
-    parser.add_argument("--worker", choices=sorted(WORKLOADS),
+    parser.add_argument("--worker",
+                        choices=sorted(WORKLOADS) + ["drift_recovery"],
                         help="internal: measure one workload, print JSON")
     args = parser.parse_args()
+    if args.worker == "drift_recovery":
+        print(json.dumps(_measure_drift(args.smoke)))
+        return
     if args.worker:
         print(json.dumps(_measure(args.worker, args.smoke)))
         return
     start = time.perf_counter()
     section = run(args.smoke)
+    drift = _run_worker("drift_recovery", args.smoke)
     payload = {}
     if args.out.exists():
         payload = json.loads(args.out.read_text())
     payload["traffic_replay"] = section
+    payload["drift_recovery"] = drift
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote traffic_replay section to {args.out} "
+    print(f"wrote traffic_replay + drift_recovery sections to {args.out} "
           f"({time.perf_counter() - start:.1f}s)")
     for row in section["results"]:
         for mode in ("single", "daemon"):
@@ -199,6 +280,13 @@ def main() -> None:
               f"{row['daemon_p99_vs_single']}x p99")
     print(f"  headline: daemon {section['daemon_speedup_best']}x vs "
           "single-process under load")
+    dts = drift.get("detection_to_swap_seconds")
+    print(f"  drift recovery: detected after {drift['batches_to_detection']} "
+          f"drifted batch(es), detection->swap "
+          + (f"{dts:.2f}s" if dts is not None else "n/a")
+          + f", AUPRC {drift['auprc_before_drift']:.3f} -> "
+          f"{drift['auprc_final']:.3f} "
+          f"({'recovered' if drift['recovered'] else 'NOT recovered'})")
 
 
 if __name__ == "__main__":

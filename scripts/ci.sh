@@ -8,6 +8,7 @@
 #   scripts/ci.sh taxonomy # anomaly-taxonomy lane (-m taxonomy injector/sweep tests)
 #   scripts/ci.sh shard    # multi-process sharding tests (2-worker pools)
 #   scripts/ci.sh daemon   # serving daemon + shm ring suites + replay smoke
+#   scripts/ci.sh lifecycle # drift-triggered refit + hot-swap suites + CLI smoke
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
@@ -65,6 +66,22 @@ run_daemon() {
         tests/serving/test_ring_properties.py \
         tests/serving/test_daemon_soak.py
     python scripts/bench_replay.py --smoke --out /tmp/bench_replay_smoke.json
+}
+
+run_lifecycle() {
+    # The continual-learning lane: drift-triggered refit + zero-downtime
+    # hot-swap. Covers the LifecycleManager loop, the hot-swap integration
+    # suite (plain / daemon / sharded pipelines, bitwise post-swap parity,
+    # concurrent-traffic atomicity), drift-monitor robustness regressions,
+    # checkpoint housekeeping, and the swap-phase chaos scenarios. Ends
+    # with a CLI drift-replay smoke on a tiny split.
+    echo '== lifecycle lane: drift-triggered refit + hot-swap =='
+    python -m pytest -x -q tests/lifecycle \
+        tests/serving/test_hotswap.py tests/serving/test_drift.py \
+        tests/resilience/test_checkpoint.py tests/resilience/test_faultinject.py
+    python -m pytest -x -q -m chaos tests/serving/test_chaos.py -k Swap
+    python -m repro.cli lifecycle --dataset kddcup99 --scale 0.02 \
+        --refit-epochs 2 --json /tmp/lifecycle_smoke.json
 }
 
 run_bench() {
@@ -144,6 +161,7 @@ case "$lane" in
     taxonomy) run_taxonomy ;;
     shard) run_shard ;;
     daemon) run_daemon ;;
+    lifecycle) run_lifecycle ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
     *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|bench|all]" >&2; exit 2 ;;

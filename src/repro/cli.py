@@ -10,6 +10,7 @@ Subcommands::
     repro resilience --model PATH --dataset NAME [...]  # chaos replay
     repro taxonomy  [--grid smoke|full] [...]   # cross-family robustness sweep
     repro serve-bench --dataset NAME [...]      # daemon latency-under-load replay
+    repro lifecycle --dataset NAME [...]        # drift-triggered refit + hot-swap replay
 
 Every command is deterministic under ``--seed``.
 """
@@ -337,6 +338,87 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_lifecycle(args) -> int:
+    """Replay a drift scenario through the continual-learning loop."""
+    import numpy as np
+
+    from repro.data.schema import KIND_TARGET
+    from repro.lifecycle import (
+        DriftPolicy, LifecycleManager, drift_replay, make_split_oracle,
+        shift_regime,
+    )
+    from repro.obs import TelemetryRegistry, render_dashboard
+    from repro.serving import ScoringPipeline
+
+    split = _load_split(args)
+    print(f"Fitting TargAD on {args.dataset} "
+          f"(n_unlabeled={len(split.X_unlabeled)}, seed={args.seed})...")
+    model = TargAD(TargADConfig(k=args.k, alpha=args.alpha,
+                                random_state=args.seed))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+
+    registry = TelemetryRegistry()
+    pipe = ScoringPipeline(model, policy="f1", telemetry=registry,
+                           drift_threshold=args.drift_threshold)
+    pipe.calibrate(split.X_val, split.y_val_binary,
+                   X_reference=split.X_unlabeled)
+
+    # Shifted regime: traffic, an eval slice, and the oracle's answer key
+    # all come from the same seeded covariate shift of the test split.
+    X_shifted = shift_regime(split.X_test, shift=args.shift, seed=args.seed)
+    half = len(X_shifted) // 2
+    X_drift, X_eval = X_shifted[:half], X_shifted[half:]
+    y_all = np.where(split.test_kind == KIND_TARGET, 1, 0)
+    oracle = make_split_oracle(X_drift, y_all[:half])
+
+    manager = LifecycleManager(
+        pipe, split.X_unlabeled, split.X_labeled, split.y_labeled,
+        split.X_val, split.y_val_binary, oracle=oracle,
+        policy=DriftPolicy(
+            confirm_checks=args.confirm_checks,
+            cooldown_batches=args.cooldown,
+            label_budget=args.label_budget,
+            refit_epochs=args.refit_epochs,
+            min_auprc_ratio=args.min_auprc_ratio,
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+        telemetry=registry, seed=args.seed,
+    )
+    print(f"Replaying warm + shifted traffic (shift={args.shift:g}, "
+          f"batches of {args.batch_rows} rows)...")
+    result = drift_replay(
+        manager, split.X_val, X_drift, X_eval, y_all[half:],
+        batch_rows=args.batch_rows, progress=print,
+    )
+
+    print("\nRecovery report:")
+    d = result.to_dict()
+    print(f"  batches to detection:   {d['batches_to_detection']}")
+    print(f"  detection -> swap:      "
+          + (f"{d['detection_to_swap_seconds']:.2f}s"
+             if d["detection_to_swap_seconds"] is not None else "n/a"))
+    print(f"  AUPRC before drift:     {d['auprc_before_drift']:.3f}")
+    print(f"  AUPRC at detection:     {d['auprc_at_detection']:.3f}")
+    print(f"  AUPRC after recovery:   {d['auprc_final']:.3f}")
+    print(f"  swaps / rollbacks:      {d['swaps']} / {d['rollbacks']}")
+    print(f"  recovered:              {d['recovered']}")
+    report = manager.report()
+    print(f"  labels queried / found: {report['labels_queried']} / "
+          f"{report['labels_found']}")
+    for event in report["events"]:
+        print(f"  event: {event}")
+    if args.telemetry:
+        print(render_dashboard(registry, title=f"repro lifecycle — {args.dataset}"))
+    if args.json:
+        payload = {"dataset": args.dataset, "seed": args.seed,
+                   "replay": d, "report": report}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"Lifecycle results written to {args.json}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments import generate_report
 
@@ -456,6 +538,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="daemon worker processes")
     p_srv.add_argument("--json", help="write the replay results as JSON")
     p_srv.set_defaults(func=cmd_serve_bench)
+
+    p_lc = sub.add_parser(
+        "lifecycle",
+        help="replay a drift scenario through the continual-learning loop",
+    )
+    _add_split_args(p_lc)
+    p_lc.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
+    p_lc.add_argument("--alpha", type=float, default=0.05)
+    p_lc.add_argument("--shift", type=float, default=4.0,
+                      help="covariate shift applied to half the features")
+    p_lc.add_argument("--batch-rows", type=int, default=64,
+                      help="rows per served batch")
+    p_lc.add_argument("--drift-threshold", type=float, default=0.3,
+                      help="per-feature KS threshold for the drift monitor")
+    p_lc.add_argument("--confirm-checks", type=int, default=2,
+                      help="consecutive drifted batches that confirm drift")
+    p_lc.add_argument("--cooldown", type=int, default=10,
+                      help="batches ignored after a swap or rollback")
+    p_lc.add_argument("--label-budget", type=int, default=20,
+                      help="oracle queries per refit cycle")
+    p_lc.add_argument("--refit-epochs", type=int, default=5,
+                      help="classifier epochs for the warm-started refit")
+    p_lc.add_argument("--min-auprc-ratio", type=float, default=0.8,
+                      help="validation gate: candidate AUPRC / live AUPRC floor")
+    p_lc.add_argument("--checkpoint-dir",
+                      help="checkpoint each refit cycle under this directory")
+    p_lc.add_argument("--telemetry", action="store_true",
+                      help="print the lifecycle telemetry dashboard")
+    p_lc.add_argument("--json", help="write the replay results as JSON")
+    p_lc.set_defaults(func=cmd_lifecycle)
 
     p_rep = sub.add_parser("report", help="write a markdown experiment report")
     p_rep.add_argument("--output", required=True, help="markdown file to write")

@@ -36,6 +36,44 @@ Oracle = Callable[[np.ndarray], np.ndarray]
 """Maps queried rows to labels: 0 = not target, 1..m = target class (1-based)."""
 
 
+def rank_for_labeling(
+    model: TargAD, X_pool: np.ndarray, strategy: str = "uncertainty"
+) -> np.ndarray:
+    """Rank pool indices by expected labeling value under ``strategy``.
+
+    The strategy semantics of :class:`ActiveTargAD` (module docstring),
+    factored out so one-shot consumers — the lifecycle refit loop spends
+    its label budget through this — share the exact ranking the active
+    loop uses. Ties break deterministically (stable mergesort).
+
+    ``"candidate"`` needs the model's own selection over this pool, so it
+    falls back to ``"score"`` when ``X_pool`` is not the pool the model
+    was fitted on (detected by length mismatch).
+    """
+    X_pool = np.asarray(X_pool, dtype=np.float64)
+    if strategy not in ("uncertainty", "score", "candidate"):
+        raise ValueError('strategy must be "uncertainty", "score", or "candidate"')
+
+    if strategy == "candidate":
+        selection = model.selection_
+        weights = model._candidate_weights
+        if (
+            selection is not None
+            and weights is not None
+            and len(selection.candidate_mask) == len(X_pool)
+        ):
+            full = np.zeros(len(X_pool))
+            full[selection.candidate_indices] = weights
+            return np.argsort(-full, kind="mergesort")
+        strategy = "score"
+
+    scores = model.decision_function(X_pool)
+    if strategy == "score":
+        return np.argsort(-scores, kind="mergesort")
+    boundary = 0.5 * (1.0 / model.m_ + 1.0) if model.m_ > 1 else 0.5
+    return np.argsort(np.abs(scores - boundary), kind="mergesort")
+
+
 @dataclass
 class ActiveRound:
     """Record of one acquisition round."""
@@ -83,20 +121,18 @@ class ActiveTargAD:
         available = np.flatnonzero(~self._queried_mask)
         if len(available) == 0:
             return available
-        model = self.model_
 
         if self.strategy == "candidate":
-            weights = np.zeros(len(X_unlabeled))
-            candidate_idx = model.selection_.candidate_indices
-            weights[candidate_idx] = model._candidate_weights
-            ranking = available[np.argsort(-weights[available], kind="mergesort")]
+            # Candidate weights are defined over the full fitted pool, so
+            # rank globally and drop already-queried rows (stable, so tie
+            # order matches ranking the available subset directly).
+            full = rank_for_labeling(self.model_, X_unlabeled, "candidate")
+            ranking = full[np.isin(full, available)]
         else:
-            scores = model.decision_function(X_unlabeled[available])
-            if self.strategy == "score":
-                ranking = available[np.argsort(-scores, kind="mergesort")]
-            else:  # uncertainty around the non-target plateau 1/m vs higher
-                boundary = 0.5 * (1.0 / model.m_ + 1.0) if model.m_ > 1 else 0.5
-                ranking = available[np.argsort(np.abs(scores - boundary), kind="mergesort")]
+            order = rank_for_labeling(
+                self.model_, X_unlabeled[available], self.strategy
+            )
+            ranking = available[order]
         return ranking[: self.batch_size]
 
     # ------------------------------------------------------------------

@@ -174,23 +174,8 @@ class CandidateSelector:
                     seconds=elapsed,
                 )
 
-        selection_scores = errors
-        if self.normalize_errors:
-            selection_scores = errors.copy()
-            for cluster in range(k):
-                mask = cluster_labels == cluster
-                if mask.any():
-                    mu = selection_scores[mask].mean()
-                    sd = selection_scores[mask].std()
-                    selection_scores[mask] = (selection_scores[mask] - mu) / (sd + 1e-12)
-
-        # Top-α% by selection score: rank-based cut (ties broken by stable
-        # ordering), matching the paper's "sort descending, take the top α%".
-        n_candidates = max(int(round(self.alpha * len(X_unlabeled))), 1)
-        order = np.argsort(-selection_scores, kind="mergesort")
-        candidate_mask = np.zeros(len(X_unlabeled), dtype=bool)
-        candidate_mask[order[:n_candidates]] = True
-        threshold = float(selection_scores[order[n_candidates - 1]])
+        selection_scores = self._standardize(errors, cluster_labels, k)
+        candidate_mask, threshold = self._alpha_cut(selection_scores)
 
         self.selection_ = CandidateSelection(
             errors=errors,
@@ -200,6 +185,7 @@ class CandidateSelector:
             threshold=threshold,
             k=k,
         )
+        n_candidates = int(candidate_mask.sum())
         if self.telemetry.enabled:
             self.telemetry.set_gauge("select.k", k)
             self.telemetry.set_gauge("select.alpha", self.alpha)
@@ -214,6 +200,58 @@ class CandidateSelector:
                 threshold=threshold,
             )
         return self.selection_
+
+    def _standardize(self, errors: np.ndarray, cluster_labels: np.ndarray,
+                     k: int) -> np.ndarray:
+        """Per-cluster standardized selection scores (or raw errors)."""
+        if not self.normalize_errors:
+            return errors
+        selection_scores = errors.copy()
+        for cluster in range(k):
+            mask = cluster_labels == cluster
+            if mask.any():
+                mu = selection_scores[mask].mean()
+                sd = selection_scores[mask].std()
+                selection_scores[mask] = (selection_scores[mask] - mu) / (sd + 1e-12)
+        return selection_scores
+
+    def _alpha_cut(self, selection_scores: np.ndarray):
+        """Top-α% cut over selection scores → (candidate_mask, threshold)."""
+        n_candidates = max(int(round(self.alpha * len(selection_scores))), 1)
+        order = np.argsort(-selection_scores, kind="mergesort")
+        candidate_mask = np.zeros(len(selection_scores), dtype=bool)
+        candidate_mask[order[:n_candidates]] = True
+        threshold = float(selection_scores[order[n_candidates - 1]])
+        return candidate_mask, threshold
+
+    def select(self, X_unlabeled: np.ndarray) -> CandidateSelection:
+        """Apply the *fitted* selector to a new unlabeled pool.
+
+        Reuses the learned k-means partition and per-cluster autoencoders
+        (no retraining): assigns each new instance to its cluster, scores
+        it with that cluster's autoencoder, and re-applies the per-cluster
+        standardization + top-α% cut on the new pool. This is the
+        warm-start path for incremental refits — selection structure is
+        carried over, only the pool membership changes.
+        """
+        if self.selection_ is None:
+            raise RuntimeError("selector is not fitted; call fit() first")
+        X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
+        if X_unlabeled.ndim != 2 or len(X_unlabeled) < 2:
+            raise ValueError("X_unlabeled must be a 2-D array with >= 2 rows")
+        k = self.selection_.k
+        cluster_labels = self.assign_clusters(X_unlabeled)
+        errors = self.reconstruction_error(X_unlabeled)
+        selection_scores = self._standardize(errors, cluster_labels, k)
+        candidate_mask, threshold = self._alpha_cut(selection_scores)
+        return CandidateSelection(
+            errors=errors,
+            selection_scores=selection_scores,
+            cluster_labels=cluster_labels,
+            candidate_mask=candidate_mask,
+            threshold=threshold,
+            k=k,
+        )
 
     def assign_clusters(self, X: np.ndarray) -> np.ndarray:
         """Map new instances to the learned clusters."""

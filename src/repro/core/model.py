@@ -11,7 +11,9 @@ Usage::
 from __future__ import annotations
 
 import copy
+import dataclasses
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
@@ -47,6 +49,22 @@ def _pool_slices(sizes: List[int], n_batches: int, rng: np.random.Generator) -> 
         indices = rng.permutation(size)
         streams.append(np.array_split(indices, n_batches))
     return streams
+
+
+@dataclass
+class WarmStart:
+    """Donor artifacts for an incremental refit.
+
+    ``selector`` is a *fitted* :class:`CandidateSelector` whose clustering
+    and per-cluster autoencoders are reused as-is (only the α% cut is
+    re-applied on the new pool via :meth:`CandidateSelector.select`);
+    ``network_state`` initializes the classifier instead of random init.
+    Built by :meth:`TargAD.incremental_fit` — construct directly only for
+    custom refit schemes.
+    """
+
+    selector: CandidateSelector
+    network_state: List[np.ndarray]
 
 
 class TargAD:
@@ -100,6 +118,7 @@ class TargAD:
         resume: bool = False,
         max_rollbacks: int = 3,
         lr_backoff: float = 0.5,
+        warm_start: Optional[WarmStart] = None,
     ) -> "TargAD":
         """Train per Algorithm 1, with optional checkpointing and resume.
 
@@ -134,6 +153,13 @@ class TargAD:
             :class:`~repro.resilience.errors.TrainingDivergenceError`.
         lr_backoff:
             Learning-rate multiplier applied on each rollback.
+        warm_start:
+            Donor artifacts from a previously fitted model (see
+            :class:`WarmStart` / :meth:`incremental_fit`). The donor's
+            selector is applied to the new pool instead of re-clustering
+            and re-training autoencoders, and the classifier starts from
+            the donor's weights. A checkpoint restored via ``resume``
+            takes precedence over ``warm_start``.
         """
         from repro.resilience.checkpoint import (
             latest_checkpoint,
@@ -176,7 +202,17 @@ class TargAD:
                 )
 
         # --- Lines 1-7: candidate selection ----------------------------
-        if restored is None:
+        if restored is None and warm_start is not None:
+            # Incremental refit: carry the donor's selection structure
+            # over and only re-apply the α% cut on the new pool.
+            self.selector_ = warm_start.selector
+            selection = self.selector_.select(X_unlabeled)
+            self.selection_ = selection
+            self.telemetry.increment("fit.warm_starts")
+            self.telemetry.observe(
+                "fit.candidate_selection", time.perf_counter() - fit_start
+            )
+        elif restored is None:
             self.selector_ = CandidateSelector(
                 k=cfg.k,
                 alpha=cfg.alpha,
@@ -235,6 +271,8 @@ class TargAD:
                 if isinstance(module, Activation):
                     with_dropout.append(Dropout(cfg.clf_dropout, rng=rng))
             self.network_.modules = with_dropout
+        if restored is None and warm_start is not None:
+            self.network_.load_state_dict(warm_start.network_state)
         optimizer = Adam(self.network_.parameters(), lr=cfg.clf_lr)
 
         total = len(X_labeled) + len(X_normal) + len(X_candidates)
@@ -405,6 +443,65 @@ class TargAD:
         self.telemetry.observe("fit.calibration", time.perf_counter() - calibration_start)
         self.telemetry.observe("fit.total", time.perf_counter() - fit_start)
         return self
+
+    def incremental_fit(
+        self,
+        X_unlabeled: np.ndarray,
+        X_labeled: np.ndarray,
+        y_labeled: np.ndarray,
+        *,
+        donor: "TargAD",
+        epochs: Optional[int] = None,
+        **fit_kwargs,
+    ) -> "TargAD":
+        """Warm-started refit from a fitted ``donor`` model.
+
+        The continual-learning entry point: reuses the donor's candidate
+        selector (k-means partition + per-cluster autoencoders are *not*
+        retrained; the α% cut is re-applied to the new pool) and starts
+        the classifier from the donor's weights, training for ``epochs``
+        classifier epochs (default: this model's configured
+        ``clf_epochs``). All other ``fit`` keywords (``checkpoint_dir``,
+        ``resume``, rollback knobs, ...) pass through unchanged.
+
+        The donor must have been trained on the same feature width and
+        the refit labels must cover the same ``m`` target classes — a
+        changed label space invalidates the donor's output head, so that
+        case raises ``ValueError`` and callers should retrain from
+        scratch.
+        """
+        from repro.resilience.sanitize import expected_width
+
+        if donor.network_ is None or donor.selector_ is None:
+            raise RuntimeError("donor model is not fitted; call fit() first")
+        y_labeled = np.asarray(y_labeled, dtype=np.int64)
+        if len(y_labeled) == 0:
+            raise ValueError("incremental_fit requires at least one labeled target anomaly")
+        m = int(y_labeled.max()) + 1
+        if m != donor.m_:
+            raise ValueError(
+                f"refit labels cover {m} target classes but the donor was "
+                f"trained with {donor.m_}; a changed label space needs a "
+                "from-scratch fit()"
+            )
+        X_unlabeled = np.asarray(X_unlabeled, dtype=np.float64)
+        width = expected_width(donor)
+        if X_unlabeled.ndim != 2 or X_unlabeled.shape[1] != width:
+            raise ValueError(
+                f"refit pool has width {X_unlabeled.shape[1] if X_unlabeled.ndim == 2 else '?'} "
+                f"but the donor expects {width} features"
+            )
+        if epochs is not None:
+            if epochs < 1:
+                raise ValueError("epochs must be >= 1")
+            self.config = dataclasses.replace(self.config, clf_epochs=int(epochs))
+        warm = WarmStart(
+            selector=donor.selector_,
+            network_state=donor.network_.state_dict(),
+        )
+        return self.fit(
+            X_unlabeled, X_labeled, y_labeled, warm_start=warm, **fit_kwargs
+        )
 
     # ------------------------------------------------------------------
     # Resilience plumbing (checkpoint/resume + non-finite-loss rollback)

@@ -1,0 +1,25 @@
+"""Drift-triggered continual learning with zero-downtime model hot-swap."""
+
+from repro.lifecycle.manager import (
+    DriftPolicy,
+    LifecycleEvent,
+    LifecycleManager,
+    RefitRejected,
+)
+from repro.lifecycle.replay import (
+    DriftReplayResult,
+    drift_replay,
+    make_split_oracle,
+    shift_regime,
+)
+
+__all__ = [
+    "DriftPolicy",
+    "DriftReplayResult",
+    "LifecycleEvent",
+    "LifecycleManager",
+    "RefitRejected",
+    "drift_replay",
+    "make_split_oracle",
+    "shift_regime",
+]

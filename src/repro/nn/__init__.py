@@ -14,6 +14,7 @@ from repro.nn.inference import (
     NotCompilableError,
     cached_inference,
     clear_plan_cache,
+    evict_plan,
     compile_inference,
     disable_fused_kernels,
     force_graph_forward,
@@ -61,6 +62,7 @@ __all__ = [
     "binary_cross_entropy",
     "cached_inference",
     "clear_plan_cache",
+    "evict_plan",
     "compile_inference",
     "disable_fused_kernels",
     "force_graph_forward",

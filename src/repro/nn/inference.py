@@ -467,6 +467,27 @@ def clear_plan_cache() -> None:
     _PLAN_CACHE.modules = weakref.WeakKeyDictionary()
 
 
+def evict_plan(module: Module) -> bool:
+    """Drop the calling thread's cached plans for one module.
+
+    The model hot-swap path retires a network that will never be scored
+    again; evicting it eagerly releases the plan's scratch buffers and
+    the strong array references the cache holds (a WeakKeyDictionary
+    only drops them once the *module* is collected, which the retired
+    generation may delay by staying reachable for rollback). Counts as
+    an invalidation in :func:`plan_cache_stats` when something was
+    evicted; returns whether it was.
+    """
+    try:
+        bucket = _PLAN_CACHE.modules.pop(module, None)
+    except TypeError:  # unhashable/non-weakrefable module: never cached
+        return False
+    if bucket:
+        _count("invalidations")
+        return True
+    return False
+
+
 def cached_inference(
     module: Module, dtype: DtypeLike = None, fused: Optional[bool] = None
 ) -> CompiledInference:

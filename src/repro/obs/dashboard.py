@@ -25,6 +25,8 @@ _KNOWN_SERIES = (
     ("serve.batch", "latency_ms", "process latency (ms) / batch"),
     ("serve.batch", "n_quarantined", "quarantined rows / batch"),
     ("serve.batch", "n_shards", "shards / batch"),
+    ("serve.drift", "max_ks", "drift max KS / event"),
+    ("lifecycle.cycle", "auprc_ratio", "refit AUPRC ratio / cycle"),
 )
 
 

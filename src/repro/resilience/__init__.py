@@ -35,15 +35,24 @@ from repro.resilience.checkpoint import (
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from repro.resilience.errors import (
     CheckpointError,
     InjectedFault,
+    SwapError,
     TrainingDivergenceError,
 )
 from repro.resilience.fallback import ReconstructionFallback
-from repro.resilience.faultinject import FaultPlan, FaultyModel, corrupt_rows
+from repro.resilience.faultinject import (
+    SWAP_PHASES,
+    FaultPlan,
+    FaultyModel,
+    SwapFaultInjector,
+    SwapFaultPlan,
+    corrupt_rows,
+)
 from repro.resilience.sanitize import SanitizedBatch, expected_width, sanitize_batch
 
 __all__ = [
@@ -58,7 +67,11 @@ __all__ = [
     "ModelLoadError",
     "OPEN",
     "ReconstructionFallback",
+    "SWAP_PHASES",
     "SanitizedBatch",
+    "SwapError",
+    "SwapFaultInjector",
+    "SwapFaultPlan",
     "TrainingDivergenceError",
     "TrainingState",
     "corrupt_rows",
@@ -66,6 +79,7 @@ __all__ = [
     "latest_checkpoint",
     "list_checkpoints",
     "load_checkpoint",
+    "prune_checkpoints",
     "sanitize_batch",
     "save_checkpoint",
 ]

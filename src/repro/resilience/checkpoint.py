@@ -79,10 +79,59 @@ def list_checkpoints(directory: Union[str, Path]) -> List[Path]:
     return [path for _, path in sorted(found)]
 
 
-def latest_checkpoint(directory: Union[str, Path]) -> Optional[Path]:
-    """Most recent checkpoint in ``directory``, or ``None``."""
+def _checkpoint_readable(path: Path) -> bool:
+    """Can this archive actually be resumed from?
+
+    A crash can leave a truncated/corrupt ``ckpt-*.npz`` behind (the
+    atomic writer prevents it for the file being written, but not for a
+    filesystem that lost blocks or an operator copy that was cut short).
+    Continual refits resume unattended, so the newest *readable*
+    checkpoint must win over a newer broken one.
+    """
+    try:
+        header, _ = persistence.load_archive(path, kind="checkpoint")
+    except (persistence.ModelLoadError, OSError):
+        return False
+    return header.get("kind") == "checkpoint"
+
+
+def latest_checkpoint(
+    directory: Union[str, Path], skip_corrupt: bool = True
+) -> Optional[Path]:
+    """Most recent *usable* checkpoint in ``directory``, or ``None``.
+
+    With ``skip_corrupt`` (the default) unreadable or truncated archives
+    are skipped, newest-first, so an interrupted write never wedges
+    ``fit(resume=True)``; pass ``skip_corrupt=False`` to get the newest
+    file regardless (and let :func:`load_checkpoint` raise its
+    diagnostic :class:`~repro.resilience.errors.CheckpointError`).
+    """
     checkpoints = list_checkpoints(directory)
-    return checkpoints[-1] if checkpoints else None
+    if not skip_corrupt:
+        return checkpoints[-1] if checkpoints else None
+    for path in reversed(checkpoints):
+        if _checkpoint_readable(path):
+            return path
+    return None
+
+
+def prune_checkpoints(directory: Union[str, Path], keep: int) -> List[Path]:
+    """Delete all but the newest ``keep`` checkpoints; returns the removed.
+
+    The continual-learning loop refits indefinitely, so without pruning
+    the checkpoint directory grows one archive per refit forever.
+    ``keep < 1`` disables pruning (keep everything).
+    """
+    removed: List[Path] = []
+    if keep < 1:
+        return removed
+    for old in list_checkpoints(directory)[:-keep]:
+        try:
+            old.unlink()
+            removed.append(old)
+        except OSError:
+            pass
+    return removed
 
 
 def save_checkpoint(
@@ -146,12 +195,7 @@ def save_checkpoint(
     path = checkpoint_path(directory, epoch)
     persistence.atomic_savez(path, arrays)
 
-    if keep >= 1:
-        for old in list_checkpoints(directory)[:-keep]:
-            try:
-                old.unlink()
-            except OSError:
-                pass
+    prune_checkpoints(directory, keep)
     return path
 
 

@@ -28,6 +28,16 @@ class CheckpointError(RuntimeError):
     """
 
 
+class SwapError(RuntimeError):
+    """A model hot-swap failed and the previous generation was restored.
+
+    Raised by ``ScoringPipeline.swap_model`` (and surfaced through the
+    lifecycle manager as a rollback event) when staging or flipping the
+    candidate model faults. The pipeline guarantees the old generation
+    is serving when this propagates.
+    """
+
+
 class InjectedFault(RuntimeError):
     """The deterministic fault raised by a fault-injection plan.
 

@@ -107,6 +107,115 @@ class FaultPlan:
         return "; ".join(parts) if parts else "no faults"
 
 
+#: Ordered phases of one lifecycle refit/swap cycle, as fired by
+#: :class:`~repro.lifecycle.LifecycleManager` and
+#: ``ScoringPipeline.swap_model``. ``assemble``/``label``/``refit``/
+#: ``validate`` happen before any serving state is touched; ``stage``
+#: (build spec/threshold/fallback), ``push`` (re-push spec to daemon or
+#: shard workers) and ``flip`` (pointer swap) happen inside the swap.
+SWAP_PHASES = ("assemble", "label", "refit", "validate", "stage", "push", "flip")
+
+
+@dataclass(frozen=True)
+class SwapFaultPlan:
+    """Declarative description of injected hot-swap faults.
+
+    Attributes
+    ----------
+    fail_phases:
+        Swap phases (see :data:`SWAP_PHASES`) that raise
+        :class:`InjectedFault` when reached.
+    on_cycle:
+        1-based refit-cycle indices the faults fire on; ``None`` = every
+        cycle (so a retry after a rollback fails again).
+    """
+
+    fail_phases: Tuple[str, ...] = ()
+    on_cycle: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "fail_phases", tuple(str(p) for p in self.fail_phases)
+        )
+        unknown = set(self.fail_phases) - set(SWAP_PHASES)
+        if unknown:
+            raise ValueError(
+                f"unknown swap phase(s) {sorted(unknown)}; "
+                f"expected a subset of {list(SWAP_PHASES)}"
+            )
+        if self.on_cycle is not None:
+            object.__setattr__(self, "on_cycle", tuple(int(c) for c in self.on_cycle))
+            if any(c < 1 for c in self.on_cycle):
+                raise ValueError("on_cycle indices are 1-based and must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "fail_phases": list(self.fail_phases),
+            "on_cycle": None if self.on_cycle is None else list(self.on_cycle),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SwapFaultPlan":
+        known = {"fail_phases", "on_cycle"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown swap-fault-plan keys {sorted(unknown)}; expected {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        if kwargs.get("fail_phases") is not None:
+            kwargs["fail_phases"] = tuple(kwargs["fail_phases"])
+        if kwargs.get("on_cycle") is not None:
+            kwargs["on_cycle"] = tuple(kwargs["on_cycle"])
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        if not self.fail_phases:
+            return "no swap faults"
+        when = "every cycle" if self.on_cycle is None else f"cycle(s) {list(self.on_cycle)}"
+        return f"fail phase(s) {list(self.fail_phases)} on {when}"
+
+
+class SwapFaultInjector:
+    """Replays a :class:`SwapFaultPlan` against the lifecycle swap phases.
+
+    The lifecycle manager calls :meth:`begin_cycle` at the start of each
+    refit cycle and threads :meth:`fire` through the cycle (including
+    into ``ScoringPipeline.swap_model`` as its ``fault_points`` hook);
+    each reached phase that the plan marks raises
+    :class:`InjectedFault`. ``fired`` records ``(cycle, phase)`` tuples
+    for assertions.
+    """
+
+    def __init__(self, plan: SwapFaultPlan, telemetry=None):
+        self.plan = plan
+        self.telemetry = ensure_telemetry(telemetry)
+        self.cycle = 0
+        self.fired: list = []
+
+    def begin_cycle(self) -> int:
+        self.cycle += 1
+        return self.cycle
+
+    def fire(self, phase: str) -> None:
+        """Raise :class:`InjectedFault` if the plan marks ``phase`` now."""
+        if phase not in SWAP_PHASES:
+            raise ValueError(f"unknown swap phase {phase!r}")
+        plan = self.plan
+        if phase not in plan.fail_phases:
+            return
+        if plan.on_cycle is not None and self.cycle not in plan.on_cycle:
+            return
+        self.fired.append((self.cycle, phase))
+        self.telemetry.increment("resilience.fault.swap")
+        self.telemetry.record_event(
+            "resilience.fault.injected", kind="swap", phase=phase, cycle=self.cycle
+        )
+        raise InjectedFault(
+            f"injected swap fault in phase {phase!r} (cycle {self.cycle})"
+        )
+
+
 def corrupt_rows(
     X: np.ndarray, fraction: float, rng: np.random.Generator
 ) -> np.ndarray:

@@ -139,7 +139,7 @@ class _WorkerSlot:
     """One worker process plus its two rings and in-flight dispatches."""
 
     __slots__ = ("index", "process", "req_ring", "resp_ring", "inflight",
-                 "busy")
+                 "busy", "updating", "generation")
 
     def __init__(self, index: int):
         self.index = index
@@ -148,6 +148,12 @@ class _WorkerSlot:
         self.resp_ring: Optional[ShmRing] = None
         self.inflight: Deque[_Dispatch] = deque()
         self.busy = False
+        #: True while ``update_spec`` is swapping this slot's worker; the
+        #: collector parks instead of exiting and crash handling defers.
+        self.updating = False
+        #: Bumped by each completed spec update; lets the collector tell a
+        #: deliberate ring replacement from a shutdown race.
+        self.generation = 0
 
 
 def _daemon_worker(spec, req_name: str, resp_name: str, capacity: int) -> None:
@@ -321,6 +327,94 @@ class ServingDaemon:
         slot.process.start()
         slot.busy = False
 
+    def update_spec(self, new_spec, timeout: float = 60.0) -> None:
+        """Hot-swap the resident :class:`ScoringSpec` with zero drops.
+
+        Rolling per-worker replacement: each slot is reserved (the
+        dispatcher stops assigning it new work), drained of in-flight
+        dispatches, its worker shut down gracefully, and a fresh worker
+        spawned holding ``new_spec`` — while queued requests simply wait
+        in the admission queue (and, with more than one worker, the
+        other slots keep serving). Requests dispatched before a slot's
+        swap are scored by the old spec, requests dispatched after by
+        the new one; nothing is dropped or reordered within a handle.
+
+        ``self.spec`` is republished first, so a worker that crashes and
+        respawns mid-update also comes back on the new spec.
+
+        Raises :class:`DaemonUnavailable` if the daemon is not running
+        or a replacement worker cannot be spawned (the daemon is then
+        closing and the caller should fall back to single-process
+        scoring).
+        """
+        if not self._started or self._closing:
+            raise DaemonUnavailable("daemon is not running")
+        n_cols = int(new_spec.layers[0][1].shape[0])
+        if n_cols != self._n_cols:
+            raise ValueError(
+                f"new spec expects {n_cols} features but the daemon was "
+                f"started with {self._n_cols}"
+            )
+        with self._lock:
+            self.spec = new_spec
+        for slot in self._slots:
+            self._replace_worker(slot, timeout)
+        self.telemetry.increment("serve.daemon.spec_updates")
+        self.telemetry.record_event(
+            "serve.daemon.spec_update", n_workers=len(self._slots)
+        )
+
+    def _replace_worker(self, slot: _WorkerSlot, timeout: float) -> None:
+        """Drain one slot and respawn its worker on the current spec."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while not self._closing and (slot.busy or slot.inflight):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._work_cv.wait(timeout=remaining):
+                    raise DaemonUnavailable(
+                        f"worker {slot.index} did not drain within {timeout}s"
+                    )
+            if self._closing:
+                raise DaemonUnavailable("daemon closed during spec update")
+            slot.busy = True       # reserve: dispatcher skips this slot
+            slot.updating = True   # collector parks, crash handling defers
+        old_process = slot.process
+        old_req, old_resp = slot.req_ring, slot.resp_ring
+        try:
+            if old_req is not None:
+                try:
+                    old_req.try_write(b"", kind=KIND_SHUTDOWN)
+                except (RingClosed, ValueError):
+                    pass
+            if old_process is not None:
+                old_process.join(timeout=5.0)
+                if old_process.is_alive():
+                    old_process.terminate()
+                    old_process.join(timeout=2.0)
+                if old_process.is_alive():
+                    old_process.kill()
+                    old_process.join(timeout=1.0)
+            for ring in (old_req, old_resp):
+                if ring is not None:
+                    ring.close()
+                    ring.release()
+            with self._lock:
+                slot.req_ring = slot.resp_ring = None
+                self._spawn_worker(slot)   # uses the republished self.spec
+                slot.generation += 1
+        except Exception as exc:
+            with self._lock:
+                self._closing = True
+                slot.updating = False
+                self._work_cv.notify_all()
+            raise DaemonUnavailable(
+                f"cannot respawn worker {slot.index} on the new spec: {exc}"
+            ) from exc
+        finally:
+            with self._lock:
+                slot.updating = False
+                self._work_cv.notify_all()
+
     def close(self) -> None:
         """Stop workers, unlink shared memory, fail pending requests."""
         with self._lock:
@@ -464,29 +558,55 @@ class ServingDaemon:
 
     # -- collectors -----------------------------------------------------
     def _collect_loop(self, slot: _WorkerSlot) -> None:
+        generation = slot.generation
         while True:
             ring = slot.resp_ring
-            if ring is None or self._closing:
+            if self._closing:
                 return
+            if ring is None or slot.generation != generation:
+                generation = self._await_update(slot, generation)
+                if generation is None:
+                    return
+                continue
             try:
                 kind, payload = ring.read(timeout=_POLL_SECONDS)
             except RingEmpty:
                 if self._closing:
                     return
                 process = slot.process
-                if process is not None and not process.is_alive():
+                if (not slot.updating and process is not None
+                        and not process.is_alive()):
                     self._handle_crash(slot)
                     if self._closing:
                         return
                 continue
-            except RingClosed:
-                return
-            except ValueError:
-                # close()/_handle_crash released the ring between our
-                # ring-handle read and the buffer access: shutdown race,
-                # not corruption.
-                return
+            except (RingClosed, ValueError):
+                # The ring died under us: either close()/_handle_crash
+                # released it (shutdown race, not corruption) or
+                # update_spec is replacing this slot's worker. Park for
+                # the update; exit on shutdown.
+                generation = self._await_update(slot, generation)
+                if generation is None:
+                    return
+                continue
             self._complete(slot, kind, payload)
+
+    def _await_update(self, slot: _WorkerSlot, generation: int) -> Optional[int]:
+        """Wait out an in-progress spec update on ``slot``.
+
+        Returns the slot's new generation when the update produced a
+        fresh ring to collect from, or ``None`` when the collector
+        should exit (daemon closing, ring gone, or the ring died without
+        a spec update — i.e. an ordinary shutdown race).
+        """
+        with self._lock:
+            while slot.updating and not self._closing:
+                self._work_cv.wait()
+            if self._closing or slot.resp_ring is None:
+                return None
+            if slot.generation == generation:
+                return None
+            return slot.generation
 
     def _complete(self, slot: _WorkerSlot, kind: int, payload: bytes) -> None:
         dispatch_id, n_rows = _RES_HEADER.unpack_from(payload)
@@ -538,8 +658,8 @@ class ServingDaemon:
     def _handle_crash(self, slot: _WorkerSlot) -> None:
         """A worker died: fail its in-flight work, respawn it once."""
         with self._lock:
-            if self._closing:
-                return
+            if self._closing or slot.updating:
+                return  # update_spec owns this slot right now
             failed = list(slot.inflight)
             slot.inflight.clear()
             slot.busy = False

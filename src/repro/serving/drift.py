@@ -5,26 +5,67 @@ feature distribution moves. :class:`DriftMonitor` keeps a reference sample
 of the training features and compares every incoming batch against it with
 the two-sample Kolmogorov-Smirnov statistic per feature; a drift report
 lists features whose statistic exceeds the threshold.
+
+Served traffic is messier than a validation split, so the monitor is
+hardened for the pipeline's call order (the drift check may see rows that
+sanitization would quarantine, and real feature matrices contain one-hot
+or padding columns that never vary):
+
+- **Non-finite values** (NaN/inf from broken upstream joins) are excluded
+  per feature before the KS statistic; a feature whose batch column has
+  no finite values contributes statistic 0.0 (no evidence) instead of
+  raising or polluting the sup-norm.
+- **Constant reference features** get an exact-mass comparison instead of
+  the degenerate two-sample KS: the statistic is the fraction of batch
+  values that differ from the reference constant (within float
+  tolerance), so float noise on a frozen column cannot manufacture a
+  spurious KS = 1.0 drift event, while a genuinely moved constant still
+  reports full drift.
+
+The reference columns are sorted once at :meth:`~DriftMonitor.fit`, so a
+check is one ``searchsorted`` per feature rather than a re-sort of the
+reference on every served batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
+#: Tolerances for "the batch value equals the constant reference value";
+#: tight enough that any real shift registers, loose enough that float32
+#: round-tripping or serialization noise does not.
+_CONST_RTOL = 1e-9
+_CONST_ATOL = 1e-12
+
+
+def _finite(values: np.ndarray) -> np.ndarray:
+    """The finite entries of a 1-D array (may be empty)."""
+    return values[np.isfinite(values)]
+
+
+def _ks_from_sorted(sorted_a: np.ndarray, sorted_b: np.ndarray) -> float:
+    """Two-sample KS statistic given two *sorted, finite* samples."""
+    grid = np.concatenate([sorted_a, sorted_b])
+    cdf_a = np.searchsorted(sorted_a, grid, side="right") / len(sorted_a)
+    cdf_b = np.searchsorted(sorted_b, grid, side="right") / len(sorted_b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
 
 def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
-    """Two-sample Kolmogorov-Smirnov statistic (sup-norm of ECDF difference)."""
-    sample_a = np.sort(np.asarray(sample_a, dtype=np.float64))
-    sample_b = np.sort(np.asarray(sample_b, dtype=np.float64))
+    """Two-sample Kolmogorov-Smirnov statistic (sup-norm of ECDF difference).
+
+    Non-finite values carry no distributional evidence and are excluded
+    before the comparison; a sample with no finite values raises
+    ``ValueError`` (same contract as an empty sample).
+    """
+    sample_a = _finite(np.asarray(sample_a, dtype=np.float64).ravel())
+    sample_b = _finite(np.asarray(sample_b, dtype=np.float64).ravel())
     if len(sample_a) == 0 or len(sample_b) == 0:
-        raise ValueError("both samples must be non-empty")
-    grid = np.concatenate([sample_a, sample_b])
-    cdf_a = np.searchsorted(sample_a, grid, side="right") / len(sample_a)
-    cdf_b = np.searchsorted(sample_b, grid, side="right") / len(sample_b)
-    return float(np.abs(cdf_a - cdf_b).max())
+        raise ValueError("both samples must contain at least one finite value")
+    return _ks_from_sorted(np.sort(sample_a), np.sort(sample_b))
 
 
 @dataclass
@@ -34,6 +75,9 @@ class DriftReport:
     statistics: np.ndarray
     threshold: float
     drifted_features: List[int] = field(default_factory=list)
+    #: Features whose batch column had no finite values — unchecked, not
+    #: drifted (their ``statistics`` entry is 0.0).
+    skipped_features: List[int] = field(default_factory=list)
 
     @property
     def drifted(self) -> bool:
@@ -42,6 +86,17 @@ class DriftReport:
     @property
     def max_statistic(self) -> float:
         return float(self.statistics.max())
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view for structured events and reports."""
+        return {
+            "drifted": self.drifted,
+            "max_ks": self.max_statistic,
+            "threshold": float(self.threshold),
+            "n_drifted": len(self.drifted_features),
+            "drifted_features": [int(j) for j in self.drifted_features[:16]],
+            "n_skipped": len(self.skipped_features),
+        }
 
     def summary(self) -> str:
         if not self.drifted:
@@ -71,6 +126,8 @@ class DriftMonitor:
         self.max_reference = max_reference
         self.random_state = random_state
         self._reference: Optional[np.ndarray] = None
+        self._sorted_cols: Optional[List[np.ndarray]] = None
+        self._const_values: Optional[List[Optional[float]]] = None
 
     def fit(self, X_reference: np.ndarray) -> "DriftMonitor":
         """Store (a subsample of) the training features."""
@@ -82,10 +139,39 @@ class DriftMonitor:
             idx = rng.choice(len(X_reference), size=self.max_reference, replace=False)
             X_reference = X_reference[idx]
         self._reference = X_reference
+        self._sorted_cols = []
+        self._const_values = []
+        for j in range(X_reference.shape[1]):
+            col = np.sort(_finite(X_reference[:, j]))
+            self._sorted_cols.append(col)
+            if len(col) and col[0] == col[-1]:
+                self._const_values.append(float(col[0]))
+            else:
+                self._const_values.append(None)
         return self
 
+    def _feature_statistic(self, j: int, column: np.ndarray) -> Optional[float]:
+        """KS-style statistic for one feature; ``None`` = no evidence."""
+        reference = self._sorted_cols[j]
+        values = _finite(column)
+        if len(reference) == 0 or len(values) == 0:
+            return None
+        const = self._const_values[j]
+        if const is not None:
+            # Degenerate reference: the two-sample KS collapses to 0-or-1
+            # on float noise. Compare mass at the constant instead — the
+            # fraction of batch values that actually moved.
+            moved = ~np.isclose(values, const, rtol=_CONST_RTOL, atol=_CONST_ATOL)
+            return float(moved.mean())
+        return _ks_from_sorted(reference, np.sort(values))
+
     def check(self, X_batch: np.ndarray) -> DriftReport:
-        """Compare a live batch against the reference."""
+        """Compare a live batch against the reference.
+
+        Never raises on bad *values*: non-finite entries are excluded
+        feature-wise, and features with no checkable values are reported
+        as skipped with statistic 0.0.
+        """
         if self._reference is None:
             raise RuntimeError("monitor is not fitted; call fit() first")
         X_batch = np.asarray(X_batch, dtype=np.float64)
@@ -96,10 +182,15 @@ class DriftMonitor:
                 f"batch has {X_batch.shape[1]} features but the drift "
                 f"reference has {self._reference.shape[1]}"
             )
-        stats = np.array([
-            ks_statistic(self._reference[:, j], X_batch[:, j])
-            for j in range(X_batch.shape[1])
-        ])
+        n_features = X_batch.shape[1]
+        stats = np.zeros(n_features, dtype=np.float64)
+        skipped: List[int] = []
+        for j in range(n_features):
+            statistic = self._feature_statistic(j, X_batch[:, j])
+            if statistic is None:
+                skipped.append(j)
+            else:
+                stats[j] = statistic
         drifted = np.flatnonzero(stats > self.threshold).tolist()
         return DriftReport(statistics=stats, threshold=self.threshold,
-                           drifted_features=drifted)
+                           drifted_features=drifted, skipped_features=skipped)

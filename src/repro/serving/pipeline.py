@@ -19,23 +19,26 @@ queue never silently mixes primary and fallback scores.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from repro.core.model import TargAD
 from repro.data.schema import KIND_NONTARGET, KIND_NORMAL, KIND_TARGET
-from repro.nn.inference import plan_cache_stats
+from repro.nn.inference import evict_plan, plan_cache_stats
 from repro.eval.thresholds import best_f1_threshold, budget_threshold, recall_threshold
 from repro.obs import ensure_telemetry
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import SwapError
 from repro.resilience.fallback import ReconstructionFallback
 from repro.resilience.sanitize import expected_width, sanitize_batch
 from repro.serving.daemon import DaemonUnavailable, ServingDaemon
 from repro.serving.drift import DriftMonitor, DriftReport
 from repro.serving.sharding import (
+    ScoringSpec,
     ShardedScorer,
     ShardPoolUnavailable,
     build_scoring_spec,
@@ -43,6 +46,22 @@ from repro.serving.sharding import (
 
 #: Routing code for rows that were quarantined before scoring.
 ROUTE_QUARANTINED = -1
+
+
+@dataclass
+class _StagedGeneration:
+    """Everything a new model generation needs, computed off the hot path.
+
+    Built by ``swap_model`` *before* any live state is touched, so a
+    staging failure (bad candidate, injected fault) leaves the serving
+    generation byte-for-byte untouched.
+    """
+
+    model: TargAD
+    threshold: float
+    monitor: Optional[DriftMonitor]
+    fallback: ReconstructionFallback
+    spec: Optional[ScoringSpec]
 
 
 @dataclass
@@ -224,6 +243,13 @@ class ScoringPipeline:
         self._daemon_disabled = False
         if isinstance(daemon, ServingDaemon):
             self._daemon = daemon
+        #: Model-generation counter; bumped by each successful hot swap.
+        self.generation = 0
+        # Serializes process() against swap_model(): a batch always sees
+        # one coherent (model, threshold, monitor, fallback, workers)
+        # generation. Re-entrant so the swap can call helpers that also
+        # take it.
+        self._swap_lock = threading.RLock()
 
     def calibrate(
         self,
@@ -238,29 +264,7 @@ class ScoringPipeline:
         "budget" only needs scores.
         """
         scores = self.model.decision_function(X_val)
-        if self.policy == "budget":
-            budget = min(self.review_budget, len(scores))
-            self.threshold_ = budget_threshold(scores, budget)
-        else:
-            if y_val is None:
-                raise ValueError(f'policy "{self.policy}" needs y_val')
-            y_val = np.asarray(y_val).ravel()
-            if len(y_val) != len(scores):
-                raise ValueError(
-                    f"y_val has {len(y_val)} labels for {len(scores)} validation rows"
-                )
-            if not np.any(y_val == 1):
-                raise ValueError(
-                    f'policy "{self.policy}" cannot calibrate on a validation '
-                    "split with zero positive (target-anomaly) labels: every "
-                    "threshold has undefined recall. Provide a split containing "
-                    'target anomalies, or use the "budget" policy which needs '
-                    "no labels."
-                )
-            if self.policy == "f1":
-                self.threshold_, _ = best_f1_threshold(y_val, scores)
-            else:
-                self.threshold_ = recall_threshold(y_val, scores, self.target_recall)
+        self.threshold_ = self._threshold_from_scores(scores, y_val)
         if self._monitor_enabled:
             reference = X_reference if X_reference is not None else X_val
             self._monitor = DriftMonitor(threshold=self._drift_threshold).fit(reference)
@@ -280,6 +284,203 @@ class ScoringPipeline:
             )
         return self
 
+    def _threshold_from_scores(
+        self, scores: np.ndarray, y_val: Optional[np.ndarray]
+    ) -> float:
+        """Apply the configured threshold policy to validation scores."""
+        if self.policy == "budget":
+            budget = min(self.review_budget, len(scores))
+            return budget_threshold(scores, budget)
+        if y_val is None:
+            raise ValueError(f'policy "{self.policy}" needs y_val')
+        y_val = np.asarray(y_val).ravel()
+        if len(y_val) != len(scores):
+            raise ValueError(
+                f"y_val has {len(y_val)} labels for {len(scores)} validation rows"
+            )
+        if not np.any(y_val == 1):
+            raise ValueError(
+                f'policy "{self.policy}" cannot calibrate on a validation '
+                "split with zero positive (target-anomaly) labels: every "
+                "threshold has undefined recall. Provide a split containing "
+                'target anomalies, or use the "budget" policy which needs '
+                "no labels."
+            )
+        if self.policy == "f1":
+            threshold, _ = best_f1_threshold(y_val, scores)
+            return threshold
+        return recall_threshold(y_val, scores, self.target_recall)
+
+    # -- model hot-swap ---------------------------------------------------
+    def swap_model(
+        self,
+        model: TargAD,
+        X_val: np.ndarray,
+        y_val: Optional[np.ndarray] = None,
+        X_reference: Optional[np.ndarray] = None,
+        fault_points: Optional[Callable[[str], None]] = None,
+    ) -> "ScoringPipeline":
+        """Atomically replace the serving model with a new generation.
+
+        Two phases:
+
+        1. **Stage** (off the hot path, old generation keeps serving):
+           score the validation split with the candidate, re-apply the
+           threshold policy, fit a fresh drift monitor on
+           ``X_reference``/``X_val``, calibrate a fresh reconstruction
+           fallback at the candidate's alert fraction, and — when a
+           daemon or shard pool is live — build the candidate's
+           :class:`~repro.serving.sharding.ScoringSpec`.
+        2. **Flip** (under the swap lock, so no batch ever sees a
+           half-swapped pipeline): push the new spec into the daemon's
+           resident workers (rolling respawn, zero dropped requests) and
+           the shard pool (lazy rebuild), then swap the model /
+           threshold / monitor / fallback pointers and bump
+           ``generation``. The retired network's cached inference plan
+           is evicted.
+
+        Any failure — staging, the spec push, or the flip itself —
+        restores the previous generation completely (workers included)
+        and raises :class:`~repro.resilience.errors.SwapError`; the
+        circuit breaker is never involved, because a swap failure is a
+        control-plane problem, not a scoring fault.
+
+        ``fault_points`` is the chaos hook: a callable invoked with the
+        phase names ``"stage"``, ``"push"``, ``"flip"`` (see
+        :data:`repro.resilience.faultinject.SWAP_PHASES`); whatever it
+        raises is handled exactly like a genuine fault in that phase.
+        """
+        fire = fault_points if fault_points is not None else (lambda phase: None)
+        try:
+            model._check_fitted()
+            width = expected_width(model)
+            if width != self._n_features:
+                raise ValueError(
+                    f"candidate model expects {width} features but the "
+                    f"pipeline serves {self._n_features}"
+                )
+            fire("stage")
+            staged = self._stage_generation(model, X_val, y_val, X_reference)
+        except Exception as exc:
+            self._record_swap_failure("stage", exc)
+            raise SwapError(f"swap staging failed: {exc}") from exc
+
+        with self._swap_lock:
+            old_model = self.model
+            old_state = (self.model, self.threshold_, self._monitor, self.fallback)
+            phase = "push"
+            try:
+                fire("push")
+                daemon_live = (
+                    self._daemon is not None
+                    and not self._daemon_disabled
+                    and self._daemon.alive
+                )
+                spec = staged.spec
+                if (daemon_live or self._sharder is not None) and spec is None:
+                    # A worker surface appeared between staging and the
+                    # flip (lazy daemon/pool start on a concurrent batch).
+                    spec = build_scoring_spec(staged.model, self.strategy)
+                if daemon_live:
+                    self._daemon.update_spec(spec)
+                if self._sharder is not None:
+                    self._sharder.update_spec(spec)
+                phase = "flip"
+                fire("flip")
+                self.model = staged.model
+                self.threshold_ = staged.threshold
+                self._monitor = staged.monitor
+                self.fallback = staged.fallback
+                self.generation += 1
+            except Exception as exc:
+                (self.model, self.threshold_, self._monitor, self.fallback) = old_state
+                self._rollback_workers()
+                self._record_swap_failure(phase, exc)
+                raise SwapError(
+                    f"swap failed during {phase}; previous generation restored: {exc}"
+                ) from exc
+
+        # The retired network will never be scored again on this thread:
+        # drop its cached plan (and the strong array refs the cache holds).
+        if old_model.network_ is not None:
+            evict_plan(old_model.network_)
+        if self.telemetry.enabled:
+            self.telemetry.increment("serve.swap.success")
+            self.telemetry.set_gauge("serve.generation", float(self.generation))
+            self.telemetry.set_gauge("serve.threshold", float(self.threshold_))
+            self.telemetry.record_event(
+                "serve.swap",
+                generation=int(self.generation),
+                threshold=float(self.threshold_),
+            )
+        return self
+
+    def _stage_generation(
+        self,
+        model: TargAD,
+        X_val: np.ndarray,
+        y_val: Optional[np.ndarray],
+        X_reference: Optional[np.ndarray],
+    ) -> _StagedGeneration:
+        """Compute a candidate generation without touching live state.
+
+        Mirrors :meth:`calibrate` exactly, so a swapped-in generation is
+        indistinguishable from a freshly calibrated pipeline on the same
+        model and validation split.
+        """
+        scores = model.decision_function(X_val)
+        threshold = self._threshold_from_scores(scores, y_val)
+        monitor = None
+        if self._monitor_enabled:
+            reference = X_reference if X_reference is not None else X_val
+            monitor = DriftMonitor(threshold=self._drift_threshold).fit(reference)
+        alert_fraction = float(np.mean(scores >= threshold))
+        fallback = ReconstructionFallback(model).calibrate(X_val, alert_fraction)
+        spec = None
+        needs_spec = (
+            self._daemon is not None
+            and not self._daemon_disabled
+            and self._daemon.alive
+        ) or self._sharder is not None
+        if needs_spec:
+            spec = build_scoring_spec(model, self.strategy)
+        return _StagedGeneration(
+            model=model, threshold=float(threshold), monitor=monitor,
+            fallback=fallback, spec=spec,
+        )
+
+    def _rollback_workers(self) -> None:
+        """Put daemon/shard workers back on the current (old) model.
+
+        An owned daemon and the shard pool are simply closed — their
+        lazy-(re)build paths reconstruct them from ``self.model``, which
+        the caller has already restored. A caller-owned daemon cannot be
+        rebuilt here, so its spec is re-pushed; if even that fails the
+        daemon is disabled and the pipeline serves single-process.
+        """
+        if self._sharder is not None:
+            self._sharder.close()
+            self._sharder = None
+        if self._daemon is None:
+            return
+        if self._daemon_owned:
+            self._daemon.close()
+            self._daemon = None
+            return
+        try:
+            self._daemon.update_spec(build_scoring_spec(self.model, self.strategy))
+        except Exception as exc:
+            self._disable_daemon(exc)
+
+    def _record_swap_failure(self, phase: str, exc: Exception) -> None:
+        self.telemetry.increment("serve.swap.failed")
+        self.telemetry.record_event(
+            "serve.swap_failed",
+            phase=phase,
+            error=type(exc).__name__,
+            detail=str(exc)[:200],
+        )
+
     def process(self, X_batch: np.ndarray) -> AlertBatch:
         """Score one live batch and build the alert payload.
 
@@ -290,7 +491,15 @@ class ScoringPipeline:
         When the primary scorer faults, the circuit breaker routes the
         batch to the degraded fallback scorer instead of propagating the
         exception.
+
+        Thread-safe against :meth:`swap_model`: the batch is scored by
+        exactly one model generation (a concurrent swap waits for the
+        batch, then the batch after it sees the new generation).
         """
+        with self._swap_lock:
+            return self._process_one(X_batch)
+
+    def _process_one(self, X_batch: np.ndarray) -> AlertBatch:
         if self.threshold_ is None:
             raise RuntimeError("pipeline is not calibrated; call calibrate() first")
         start = time.perf_counter()
@@ -551,15 +760,18 @@ class ScoringPipeline:
                 n_total=n_rows,
             )
         drifted = batch.drift is not None and batch.drift.drifted
+        if batch.drift is not None:
+            self.telemetry.increment("drift.checks")
+            self.telemetry.set_gauge("drift.max_ks", batch.drift.max_statistic)
         if drifted:
+            self.telemetry.increment("drift.events")
             self.telemetry.increment("serve.drift_events")
             self.telemetry.record_event(
                 "serve.drift",
                 n_features=len(batch.drift.drifted_features),
                 max_ks=batch.drift.max_statistic,
             )
-        self.telemetry.record_event(
-            "serve.batch",
+        event_fields = dict(
             n=n_rows,
             n_alerts=batch.n_alerts,
             n_deferred=len(batch.deferred),
@@ -569,3 +781,6 @@ class ScoringPipeline:
             latency_ms=seconds * 1e3,
             drifted=drifted,
         )
+        if drifted:
+            event_fields["drift"] = batch.drift.to_dict()
+        self.telemetry.record_event("serve.batch", **event_fields)

@@ -276,6 +276,18 @@ class ShardedScorer:
         routing = np.concatenate([r[1] for r in results])
         return ShardResult(scores, routing, [float(r[2]) for r in results])
 
+    def update_spec(self, new_spec: ScoringSpec) -> None:
+        """Swap the spec; the pool is rebuilt lazily on the next score.
+
+        Workers are initialized with the spec at pool-start, so a hot
+        model swap closes the current pool (after in-flight batches —
+        ``score`` is synchronous, so by the time a swap runs under the
+        pipeline's swap lock nothing is mid-flight) and lets
+        ``_ensure_pool`` recreate it from ``new_spec`` on demand.
+        """
+        self.spec = new_spec
+        self.close()
+
     def close(self) -> None:
         """Shut the pool down; a later :meth:`score` recreates it."""
         pool, self._pool = self._pool, None

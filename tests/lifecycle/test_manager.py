@@ -1,0 +1,222 @@
+"""LifecycleManager: drift debounce, refit cycle, gate, rollback."""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.lifecycle import DriftPolicy, LifecycleManager
+from repro.obs import TelemetryRegistry
+from repro.resilience import SwapFaultInjector, SwapFaultPlan
+from repro.serving import ScoringPipeline
+
+
+@pytest.fixture(scope="module")
+def split():
+    from tests.conftest import TINY_SPEC, make_tiny_generator
+    from repro.data.splits import build_split
+
+    return build_split(make_tiny_generator(0), TINY_SPEC, scale=1.0, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def model(split):
+    model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3,
+                                ae_epochs=10, clf_epochs=12))
+    model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled)
+    return model
+
+
+def make_manager(split, model, *, policy=None, oracle=None, injector=None,
+                 background=False, telemetry=None, checkpoint_dir=None):
+    pipe = ScoringPipeline(model, policy="f1", drift_threshold=0.3,
+                           telemetry=telemetry)
+    pipe.calibrate(split.X_val, split.y_val_binary,
+                   X_reference=split.X_unlabeled)
+    return LifecycleManager(
+        pipe, split.X_unlabeled, split.X_labeled, split.y_labeled,
+        split.X_val, split.y_val_binary, oracle=oracle,
+        policy=policy if policy is not None else DriftPolicy(
+            confirm_checks=2, cooldown_batches=4, label_budget=8,
+            refit_epochs=2, min_auprc_ratio=0.3,
+        ),
+        background=background, fault_injector=injector,
+        checkpoint_dir=checkpoint_dir, telemetry=telemetry, seed=0,
+    )
+
+
+class TestDriftPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        dict(confirm_checks=0),
+        dict(cooldown_batches=-1),
+        dict(label_budget=-1),
+        dict(refit_epochs=0),
+        dict(recent_rows=0),
+        dict(min_auprc_ratio=-0.1),
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftPolicy(**kwargs)
+
+
+class TestDebounce:
+    def test_single_drifted_batch_does_not_trigger(self, split, model):
+        manager = make_manager(split, model)
+        manager.process(split.X_test[:60] + 6.0)
+        manager.process(split.X_test[:60])  # back to normal: streak resets
+        manager.process(split.X_test[60:120] + 6.0)
+        assert manager.pipeline.generation == 0
+        assert manager.history == []
+
+    def test_consecutive_drift_confirms_and_swaps(self, split, model):
+        manager = make_manager(split, model)
+        for i in range(2):
+            manager.process(split.X_test[i * 60:(i + 1) * 60] + 6.0)
+        assert manager.pipeline.generation == 1
+        assert [e.kind for e in manager.history] == ["drift_confirmed", "swap"]
+
+    def test_cooldown_blocks_immediate_retrigger(self, split, model):
+        manager = make_manager(split, model)
+        for i in range(6):  # confirm at 2; 4 more land inside the cooldown
+            manager.process(split.X_test[:60] + 6.0)
+        assert manager.pipeline.generation == 1
+        assert sum(1 for e in manager.history if e.kind == "swap") == 1
+
+    def test_serving_continues_after_swap(self, split, model):
+        manager = make_manager(split, model)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        batch = manager.process(split.X_test[60:120])
+        assert np.isfinite(batch.scores[batch.scored]).all()
+        assert manager.pipeline.circuit_breaker.state == "closed"
+
+
+class TestLabelQuery:
+    def test_oracle_labels_grow_the_labeled_pool(self, split, model):
+        calls = []
+
+        def oracle(rows):
+            calls.append(len(rows))
+            return np.ones(len(rows), dtype=np.int64)  # everything class 1
+
+        manager = make_manager(split, model, oracle=oracle)
+        n_before = len(manager._X_labeled)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        assert calls == [8]  # one query, budget-bounded
+        assert len(manager._X_labeled) == n_before + 8
+        assert set(manager._y_labeled[-8:]) == {0}  # stored 0-based
+
+    def test_unconfirmed_answers_not_added(self, split, model):
+        manager = make_manager(
+            split, model,
+            oracle=lambda rows: np.zeros(len(rows), dtype=np.int64),
+        )
+        n_before = len(manager._X_labeled)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        assert len(manager._X_labeled) == n_before
+        swap = [e for e in manager.history if e.kind == "swap"][0]
+        assert swap.details["labels_queried"] == 8
+        assert swap.details["labels_found"] == 0
+
+    def test_no_oracle_means_no_queries(self, split, model):
+        manager = make_manager(split, model, oracle=None)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        swap = [e for e in manager.history if e.kind == "swap"][0]
+        assert swap.details["labels_queried"] == 0
+
+
+class TestGateAndRollback:
+    def test_impossible_gate_rolls_back(self, split, model):
+        telemetry = TelemetryRegistry()
+        manager = make_manager(
+            split, model, telemetry=telemetry,
+            policy=DriftPolicy(confirm_checks=2, cooldown_batches=4,
+                               refit_epochs=2, min_auprc_ratio=100.0),
+        )
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        assert manager.pipeline.generation == 0
+        rollback = [e for e in manager.history if e.kind == "rollback"][0]
+        assert rollback.details["phase"] == "validate"
+        assert rollback.details["error"] == "RefitRejected"
+        assert telemetry.counters["lifecycle.rollbacks"] == 1
+        # the old generation still serves
+        batch = manager.process(split.X_test[60:120])
+        assert np.isfinite(batch.scores[batch.scored]).all()
+
+    def test_injected_refit_fault_rolls_back(self, split, model):
+        injector = SwapFaultInjector(SwapFaultPlan(fail_phases=("refit",)))
+        manager = make_manager(split, model, injector=injector)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        assert manager.pipeline.generation == 0
+        rollback = [e for e in manager.history if e.kind == "rollback"][0]
+        assert rollback.details["phase"] == "refit"
+        assert injector.fired == [(1, "refit")]
+
+    def test_fault_on_second_cycle_only(self, split, model):
+        injector = SwapFaultInjector(
+            SwapFaultPlan(fail_phases=("assemble",), on_cycle=(2,))
+        )
+        manager = make_manager(split, model, injector=injector)
+        for i in range(2):  # cycle 1: clean swap
+            manager.process(split.X_test[:60] + 6.0)
+        assert manager.pipeline.generation == 1
+        for i in range(10):  # drain cooldown, then confirm again
+            manager.process(split.X_test[:60] + 9.0)
+        assert manager.pipeline.generation == 1  # cycle 2 faulted
+        kinds = [e.kind for e in manager.history]
+        assert kinds.count("rollback") == 1
+
+
+class TestBackgroundRefit:
+    def test_background_swap_completes(self, split, model):
+        manager = make_manager(split, model, background=True)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        manager.wait(timeout=60.0)
+        assert manager.pipeline.generation == 1
+        # serving during/after the background refit never faulted
+        assert manager.pipeline.circuit_breaker.state == "closed"
+
+
+class TestCycle:
+    def test_refit_now_forces_a_cycle(self, split, model):
+        manager = make_manager(split, model)
+        manager.process(split.X_test[:120])  # remember some served rows
+        assert manager.refit_now() is True
+        assert manager.pipeline.generation == 1
+
+    def test_checkpoints_written_per_cycle(self, split, model, tmp_path):
+        manager = make_manager(split, model, checkpoint_dir=tmp_path)
+        manager.process(split.X_test[:120])
+        assert manager.refit_now() is True
+        assert (tmp_path / "cycle-1").is_dir()
+        assert list((tmp_path / "cycle-1").glob("ckpt-*.npz"))
+
+    def test_report_shape(self, split, model):
+        manager = make_manager(split, model)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        report = manager.report()
+        assert report["generation"] == 1
+        assert report["swaps"] == 1 and report["rollbacks"] == 0
+        assert report["cycles"] == 1
+        kinds = [e["kind"] for e in report["events"]]
+        assert kinds == ["drift_confirmed", "swap"]
+
+    def test_telemetry_series(self, split, model):
+        telemetry = TelemetryRegistry()
+        manager = make_manager(split, model, telemetry=telemetry)
+        for i in range(2):
+            manager.process(split.X_test[:60] + 6.0)
+        assert telemetry.counters["lifecycle.drift_confirmed"] == 1
+        assert telemetry.counters["lifecycle.refits"] == 1
+        assert telemetry.counters["lifecycle.swaps"] == 1
+        assert telemetry.gauges["lifecycle.generation"] == 1.0
+        cycles = [e for e in telemetry.events if e.name == "lifecycle.cycle"]
+        assert len(cycles) == 1
+        assert cycles[0].fields["outcome"] == "swap"
+        assert cycles[0].fields["auprc_ratio"] > 0

@@ -10,6 +10,7 @@ from repro.resilience import (
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
 )
 
 
@@ -64,6 +65,72 @@ class TestCheckpointFiles:
                   checkpoint_dir=tmp_path, checkpoint_every=3)
         epochs = [int(p.name[5:10]) for p in list_checkpoints(tmp_path)]
         assert epochs == [0, 3, 6]
+
+
+class TestHousekeeping:
+    """latest_checkpoint corruption-skipping and keep-last-N pruning."""
+
+    @pytest.fixture()
+    def ckpt_dir(self, split, tmp_path):
+        model = TargAD(tiny_config())
+        model.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                  checkpoint_dir=tmp_path)  # default keep=3 leaves three
+        return tmp_path
+
+    def test_latest_skips_truncated_archive(self, ckpt_dir):
+        paths = list_checkpoints(ckpt_dir)
+        newest = paths[-1]
+        newest.write_bytes(newest.read_bytes()[:40])
+        chosen = latest_checkpoint(ckpt_dir)
+        assert chosen == paths[-2]
+        load_checkpoint(chosen)  # the fallback must actually be readable
+
+    def test_latest_skips_garbage_archive(self, ckpt_dir):
+        paths = list_checkpoints(ckpt_dir)
+        paths[-1].write_bytes(b"not an npz archive at all")
+        assert latest_checkpoint(ckpt_dir) == paths[-2]
+
+    def test_latest_without_skip_returns_newest_blindly(self, ckpt_dir):
+        paths = list_checkpoints(ckpt_dir)
+        paths[-1].write_bytes(b"garbage")
+        assert latest_checkpoint(ckpt_dir, skip_corrupt=False) == paths[-1]
+
+    def test_latest_none_when_everything_corrupt(self, ckpt_dir):
+        for path in list_checkpoints(ckpt_dir):
+            path.write_bytes(b"garbage")
+        assert latest_checkpoint(ckpt_dir) is None
+
+    def test_latest_none_for_empty_or_missing_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None
+
+    def test_prune_keeps_newest_n(self, ckpt_dir):
+        before = list_checkpoints(ckpt_dir)
+        assert len(before) > 2
+        removed = prune_checkpoints(ckpt_dir, keep=2)
+        remaining = list_checkpoints(ckpt_dir)
+        assert remaining == before[-2:]
+        assert sorted(removed) == before[:-2]
+
+    def test_prune_disabled_below_one(self, ckpt_dir):
+        before = list_checkpoints(ckpt_dir)
+        assert prune_checkpoints(ckpt_dir, keep=0) == []
+        assert list_checkpoints(ckpt_dir) == before
+
+    def test_prune_noop_when_under_budget(self, ckpt_dir):
+        before = list_checkpoints(ckpt_dir)
+        assert prune_checkpoints(ckpt_dir, keep=len(before) + 5) == []
+        assert list_checkpoints(ckpt_dir) == before
+
+    def test_resume_recovers_from_corrupt_newest(self, split, ckpt_dir):
+        # The real payoff: fit(resume=True) quietly falls back to the
+        # newest *readable* checkpoint instead of dying on the torn one.
+        paths = list_checkpoints(ckpt_dir)
+        paths[-1].write_bytes(paths[-1].read_bytes()[:64])
+        resumed = TargAD(tiny_config())
+        resumed.fit(split.X_unlabeled, split.X_labeled, split.y_labeled,
+                    checkpoint_dir=ckpt_dir, resume=True)
+        assert len(resumed.loss_history) == resumed.config.clf_epochs
 
 
 class TestResume:

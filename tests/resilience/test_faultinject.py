@@ -102,3 +102,74 @@ class TestCorruptRows:
     def test_bad_fraction_rejected(self):
         with pytest.raises(ValueError):
             corrupt_rows(np.ones((2, 2)), 1.5, np.random.default_rng(0))
+
+
+class TestSwapFaultPlan:
+    def test_unknown_phase_rejected(self):
+        from repro.resilience import SwapFaultPlan
+
+        with pytest.raises(ValueError, match="unknown swap phase"):
+            SwapFaultPlan(fail_phases=("warp",))
+
+    def test_dict_round_trip(self):
+        from repro.resilience import SwapFaultPlan
+
+        plan = SwapFaultPlan(fail_phases=("refit", "flip"), on_cycle=(2,))
+        assert SwapFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        from repro.resilience import SwapFaultPlan
+
+        with pytest.raises(ValueError):
+            SwapFaultPlan.from_dict({"fail_phases": ["refit"], "oops": 1})
+
+    def test_describe_mentions_phases(self):
+        from repro.resilience import SwapFaultPlan
+
+        assert "refit" in SwapFaultPlan(fail_phases=("refit",)).describe()
+
+
+class TestSwapFaultInjector:
+    def test_fires_only_on_configured_cycle(self):
+        from repro.resilience import SwapFaultInjector, SwapFaultPlan
+
+        injector = SwapFaultInjector(
+            SwapFaultPlan(fail_phases=("refit",), on_cycle=(2,))
+        )
+        injector.begin_cycle()
+        injector.fire("refit")  # cycle 1: no fault
+        injector.begin_cycle()
+        with pytest.raises(InjectedFault, match="refit"):
+            injector.fire("refit")
+        assert injector.fired == [(2, "refit")]
+
+    def test_every_cycle_when_unpinned(self):
+        from repro.resilience import SwapFaultInjector, SwapFaultPlan
+
+        injector = SwapFaultInjector(SwapFaultPlan(fail_phases=("flip",)))
+        for _ in range(3):
+            injector.begin_cycle()
+            injector.fire("stage")  # other phases never fault
+            with pytest.raises(InjectedFault):
+                injector.fire("flip")
+        assert len(injector.fired) == 3
+
+    def test_unknown_phase_rejected_at_fire(self):
+        from repro.resilience import SwapFaultInjector, SwapFaultPlan
+
+        injector = SwapFaultInjector(SwapFaultPlan(fail_phases=("flip",)))
+        injector.begin_cycle()
+        with pytest.raises(ValueError):
+            injector.fire("warp")
+
+    def test_telemetry_counts_swap_faults(self):
+        from repro.resilience import SwapFaultInjector, SwapFaultPlan
+
+        registry = TelemetryRegistry()
+        injector = SwapFaultInjector(
+            SwapFaultPlan(fail_phases=("validate",)), telemetry=registry
+        )
+        injector.begin_cycle()
+        with pytest.raises(InjectedFault):
+            injector.fire("validate")
+        assert registry.counters["resilience.fault.swap"] == 1

@@ -149,3 +149,166 @@ class TestChaosEndToEnd:
         batch = pipe.process(split.X_test)
         assert not batch.degraded
         assert breaker.state == "closed"
+
+
+class TestSwapChaos:
+    """Swap-phase fault plans: every injected fault must leave the old
+    generation serving correctly — no dropped batches, breaker closed."""
+
+    def _manager(self, model, split, injector, registry=None, **policy_kwargs):
+        from repro.lifecycle import DriftPolicy, LifecycleManager
+
+        pipe = ScoringPipeline(model, policy="f1", drift_threshold=0.3,
+                               telemetry=registry)
+        pipe.calibrate(split.X_val, split.y_val_binary,
+                       X_reference=split.X_unlabeled)
+        defaults = dict(confirm_checks=2, cooldown_batches=4,
+                        refit_epochs=2, min_auprc_ratio=0.3)
+        defaults.update(policy_kwargs)
+        return LifecycleManager(
+            pipe, split.X_unlabeled, split.X_labeled, split.y_labeled,
+            split.X_val, split.y_val_binary,
+            policy=DriftPolicy(**defaults),
+            fault_injector=injector, telemetry=registry, seed=0,
+        )
+
+    @pytest.mark.parametrize("phase", [
+        "assemble", "label", "refit", "validate", "stage", "push", "flip",
+    ])
+    def test_every_swap_phase_fault_leaves_old_generation_serving(
+        self, fitted, phase
+    ):
+        from repro.resilience import SwapFaultInjector, SwapFaultPlan
+
+        model, split = fitted
+        injector = SwapFaultInjector(SwapFaultPlan(fail_phases=(phase,)))
+        manager = self._manager(model, split, injector)
+        before = manager.pipeline.process(split.X_test[:80])
+
+        for i in range(2):
+            batch = manager.process(split.X_test[:60] + 6.0)
+            assert np.isfinite(batch.scores[batch.scored]).all()
+
+        assert injector.fired == [(1, phase)]
+        assert manager.pipeline.generation == 0
+        rollbacks = [e for e in manager.history if e.kind == "rollback"]
+        assert len(rollbacks) == 1
+        # Manager-side phases are recorded verbatim; pipeline-side phases
+        # (stage/push/flip) surface as the manager's "swap" step wrapped
+        # in a SwapError.
+        if phase in ("assemble", "label", "refit", "validate"):
+            assert rollbacks[0].details["phase"] == phase
+            assert rollbacks[0].details["error"] == "InjectedFault"
+        else:
+            assert rollbacks[0].details["phase"] == "swap"
+            assert rollbacks[0].details["error"] == "SwapError"
+        # The old generation still serves, bitwise unchanged.
+        after = manager.pipeline.process(split.X_test[:80])
+        np.testing.assert_array_equal(after.scores, before.scores)
+        np.testing.assert_array_equal(after.routing, before.routing)
+        assert manager.pipeline.circuit_breaker.state == "closed"
+
+    def test_crash_during_refit_then_checkpoint_recovery(self, fitted, tmp_path):
+        """A refit crash leaves torn checkpoints; recovery resumes from
+        the newest readable one and the recovered model hot-swaps in."""
+        from repro.resilience import latest_checkpoint, list_checkpoints
+
+        model, split = fitted
+        config = TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                              clf_epochs=20)
+
+        class KillAt:
+            def __init__(self, epoch):
+                self.epoch = epoch
+
+            def __call__(self, epoch, _model):
+                if epoch == self.epoch:
+                    raise KeyboardInterrupt("simulated crash mid-refit")
+
+        candidate = TargAD(config)
+        with pytest.raises(KeyboardInterrupt):
+            candidate.incremental_fit(
+                split.X_unlabeled, split.X_labeled, split.y_labeled,
+                donor=model, epochs=6, checkpoint_dir=tmp_path,
+                epoch_callback=KillAt(4),
+            )
+        # The crash also tore the newest checkpoint (corrupt candidate).
+        paths = list_checkpoints(tmp_path)
+        assert paths
+        paths[-1].write_bytes(paths[-1].read_bytes()[:50])
+        assert latest_checkpoint(tmp_path) != paths[-1]
+
+        recovered = TargAD(config)
+        recovered.incremental_fit(
+            split.X_unlabeled, split.X_labeled, split.y_labeled,
+            donor=model, epochs=6, checkpoint_dir=tmp_path, resume=True,
+        )
+        pipe = ScoringPipeline(model, policy="f1", monitor_drift=False)
+        pipe.calibrate(split.X_val, split.y_val_binary)
+        pipe.swap_model(recovered, split.X_val, split.y_val_binary)
+        assert pipe.generation == 1
+        batch = pipe.process(split.X_test[:80])
+        assert np.isfinite(batch.scores[batch.scored]).all()
+
+    def test_fault_mid_swap_with_inflight_daemon_batches(self, fitted):
+        """Chaos at the flip while a daemon is serving concurrent traffic:
+        every in-flight batch is answered, the old spec keeps serving."""
+        import threading
+
+        from repro.resilience import SwapError
+
+        model, split = fitted
+        config = TargADConfig(random_state=0, k=2, ae_lr=3e-3, ae_epochs=15,
+                              clf_epochs=20)
+        candidate = TargAD(config)
+        candidate.incremental_fit(
+            split.X_unlabeled + 0.2, split.X_labeled, split.y_labeled,
+            donor=model, epochs=2,
+        )
+        registry = TelemetryRegistry()
+        pipe = ScoringPipeline(model, policy="f1", daemon=True,
+                               daemon_workers=2, monitor_drift=False,
+                               telemetry=registry)
+        pipe.calibrate(split.X_val, split.y_val_binary)
+        X = split.X_test[:96]
+        try:
+            before = pipe.process(X)  # starts the daemon
+            assert pipe._daemon is not None and pipe._daemon.alive
+
+            results, errors = [], []
+            stop = threading.Event()
+
+            def hammer():
+                try:
+                    while not stop.is_set():
+                        results.append(pipe.process(X))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+
+                def fire(phase):
+                    if phase == "flip":
+                        raise RuntimeError("chaos mid-swap")
+
+                with pytest.raises(SwapError, match="during flip"):
+                    pipe.swap_model(candidate, split.X_val,
+                                    split.y_val_binary, fault_points=fire)
+            finally:
+                stop.set()
+                thread.join(60.0)
+
+            assert not errors
+            assert results  # traffic flowed throughout the failed swap
+            for batch in results:
+                assert np.isfinite(batch.scores[batch.scored]).all()
+            assert pipe.generation == 0 and pipe.model is model
+            after = pipe.process(X)
+            np.testing.assert_array_equal(after.scores, before.scores)
+            np.testing.assert_array_equal(after.routing, before.routing)
+            assert registry.counters.get("resilience.breaker.trips", 0) == 0
+            assert pipe.circuit_breaker.state == "closed"
+        finally:
+            pipe.close()

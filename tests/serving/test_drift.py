@@ -61,3 +61,74 @@ class TestDriftMonitor:
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             DriftMonitor(threshold=0.0)
+
+
+class TestRobustness:
+    """Degenerate references and hostile batches must not raise or
+    manufacture spurious drift."""
+
+    def test_constant_feature_no_spurious_drift(self, rng):
+        reference = rng.normal(0, 1, size=(500, 3))
+        reference[:, 1] = 7.0  # constant column (e.g. a dead sensor)
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        batch = rng.normal(0, 1, size=(200, 3))
+        batch[:, 1] = 7.0
+        report = monitor.check(batch)
+        assert 1 not in report.drifted_features
+        assert report.statistics[1] == pytest.approx(0.0)
+
+    def test_constant_feature_tolerates_float_noise(self, rng):
+        reference = rng.normal(0, 1, size=(500, 2))
+        reference[:, 0] = 3.0
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        batch = rng.normal(0, 1, size=(200, 2))
+        batch[:, 0] = 3.0 + 1e-13  # numerically identical, bit-different
+        report = monitor.check(batch)
+        assert report.statistics[0] == pytest.approx(0.0)
+
+    def test_constant_feature_still_detects_a_real_move(self, rng):
+        reference = rng.normal(0, 1, size=(500, 2))
+        reference[:, 0] = 3.0
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        batch = rng.normal(0, 1, size=(200, 2))
+        batch[:, 0] = 4.5  # the dead sensor came back different
+        report = monitor.check(batch)
+        assert report.statistics[0] == pytest.approx(1.0)
+        assert 0 in report.drifted_features
+
+    def test_nan_rows_do_not_raise_or_drift(self, rng):
+        reference = rng.normal(0, 1, size=(500, 3))
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        batch = rng.normal(0, 1, size=(200, 3))
+        batch[:50, 0] = np.nan
+        batch[10:20, 2] = np.inf
+        report = monitor.check(batch)  # must not raise
+        assert not report.drifted
+        assert report.skipped_features == []
+
+    def test_all_nan_feature_skipped_not_drifted(self, rng):
+        reference = rng.normal(0, 1, size=(500, 3))
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        batch = rng.normal(0, 1, size=(100, 3))
+        batch[:, 1] = np.nan
+        report = monitor.check(batch)
+        assert report.skipped_features == [1]
+        assert report.statistics[1] == pytest.approx(0.0)
+        assert 1 not in report.drifted_features
+
+    def test_entirely_nonfinite_batch_skips_everything(self, rng):
+        reference = rng.normal(0, 1, size=(300, 2))
+        monitor = DriftMonitor(threshold=0.15).fit(reference)
+        report = monitor.check(np.full((50, 2), np.nan))
+        assert not report.drifted
+        assert report.skipped_features == [0, 1]
+        assert report.to_dict()["n_skipped"] == 2
+
+    def test_report_to_dict_round_trip_fields(self, rng):
+        reference = rng.normal(0, 1, size=(400, 3))
+        batch = rng.normal(0, 1, size=(200, 3))
+        batch[:, 0] += 2.0
+        d = DriftMonitor(threshold=0.15).fit(reference).check(batch).to_dict()
+        assert d["drifted"] is True
+        assert d["drifted_features"] == [0]
+        assert d["max_ks"] > 0.15 and d["threshold"] == pytest.approx(0.15)

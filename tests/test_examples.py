@@ -22,6 +22,7 @@ CASES = [
     ("bring_your_own_csv.py", "inferred schema"),
     ("chaos_demo.py", "half-open"),
     ("taxonomy_demo.py", "Cross-family taxonomy robustness"),
+    ("lifecycle_demo.py", "Recovery report"),
 ]
 
 

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.experiments",
+    "repro.lifecycle",
     "repro.obs",
     "repro.resilience",
     "repro.serving",
