@@ -8,6 +8,7 @@
 #   scripts/ci.sh taxonomy # anomaly-taxonomy lane (-m taxonomy injector/sweep tests)
 #   scripts/ci.sh shard    # multi-process sharding tests (2-worker pools)
 #   scripts/ci.sh daemon   # serving daemon + shm ring suites + replay smoke
+#   scripts/ci.sh executor # executor conformance suite (2-worker pools)
 #   scripts/ci.sh lifecycle # drift-triggered refit + hot-swap suites + CLI smoke
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
@@ -66,6 +67,19 @@ run_daemon() {
         tests/serving/test_ring_properties.py \
         tests/serving/test_daemon_soak.py
     python scripts/bench_replay.py --smoke --out /tmp/bench_replay_smoke.json
+}
+
+run_executor() {
+    # The execution-layer lane: the conformance suite holds every
+    # executor (inline / sharded / daemon / striped daemon) to one
+    # contract — bitwise parity with inline incl. post-swap, infra
+    # faults demoting down the chain without touching the breaker,
+    # model faults propagating into it, update_spec visibility,
+    # idempotent close — with real 2-worker pools, plus the zero-copy
+    # result-read regressions the daemon path depends on.
+    echo '== executor lane: conformance across execution paths =='
+    python -m pytest -x -q tests/serving/test_executor_conformance.py \
+        tests/serving/test_zero_copy.py
 }
 
 run_lifecycle() {
@@ -141,9 +155,25 @@ if replay and floor is not None:
         print(f"WARNING: {message}", file=sys.stderr)
     else:
         print(f"bench check: replay daemon {best}x >= floor {floor}x")
+    striped_floor = baseline.get("replay_striped_daemon_speedup_min")
+    best_striped = replay.get("striped_speedup_best")
+    if striped_floor is not None and best_striped is not None:
+        if best_striped < striped_floor:
+            message = (
+                f"traffic-replay regression: striped daemon at "
+                f"{best_striped}x vs plain daemon, baseline floor "
+                f"{striped_floor}x (non-gating)"
+            )
+            print(f"::warning title=bench regression::{message}")
+            print(f"WARNING: {message}", file=sys.stderr)
+        else:
+            print(f"bench check: striped daemon {best_striped}x >= "
+                  f"floor {striped_floor}x")
     for row in replay.get("results", ()):
-        for mode in ("single", "daemon"):
-            d = row.get(mode, {})
+        for mode in ("single", "daemon", "striped"):
+            d = row.get(mode)
+            if d is None:
+                continue
             if not d.get("latency_p99_ms"):
                 message = (
                     f"traffic-replay row {row.get('workload')}/{mode} "
@@ -161,8 +191,9 @@ case "$lane" in
     taxonomy) run_taxonomy ;;
     shard) run_shard ;;
     daemon) run_daemon ;;
+    executor) run_executor ;;
     lifecycle) run_lifecycle ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|bench|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|executor|lifecycle|bench|all]" >&2; exit 2 ;;
 esac

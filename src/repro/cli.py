@@ -9,8 +9,13 @@ Subcommands::
     repro telemetry --dataset NAME [...]        # profile fit+serve, dashboard
     repro resilience --model PATH --dataset NAME [...]  # chaos replay
     repro taxonomy  [--grid smoke|full] [...]   # cross-family robustness sweep
-    repro serve-bench --dataset NAME [...]      # daemon latency-under-load replay
+    repro serve-bench --dataset NAME [...]      # executor latency-under-load replay
     repro lifecycle --dataset NAME [...]        # drift-triggered refit + hot-swap replay
+
+Serving commands select the execution path with the same ``executor=``
+presets as :class:`repro.serving.ScoringPipeline` (``inline``,
+``sharded``, ``daemon``, ``striped_daemon``) plus the striping /
+adaptive micro-batching knobs, rather than raw constructor flags.
 
 Every command is deterministic under ``--seed``.
 """
@@ -308,13 +313,34 @@ def cmd_serve_bench(args) -> int:
 
     from repro.obs import TelemetryRegistry
 
-    scoring_spec = build_scoring_spec(model, args.strategy)
     registry = TelemetryRegistry()
-    with ServingDaemon(scoring_spec, n_workers=args.workers,
-                       telemetry=registry) as daemon:
-        daemon.score(X_pool[: min(64, len(X_pool))])
-        result = replay_daemon(spec, schedule, X_pool, daemon)
-        slo = daemon.slo_snapshot()
+    if args.executor == "striped_daemon":
+        from repro.serving.executor import StripedDaemonExecutor
+
+        executor = StripedDaemonExecutor(
+            lambda: build_scoring_spec(model, args.strategy),
+            n_workers=args.workers, stripe_min_rows=args.stripe_min_rows,
+            adaptive_batch=args.adaptive_batch,
+            min_batch_rows=args.min_batch_rows, telemetry=registry,
+        )
+        try:
+            # Warm with a striping-sized batch so every worker compiles
+            # its plan before the clock starts.
+            executor.score(X_pool[: min(2 * args.stripe_min_rows, len(X_pool))])
+            result = replay_daemon(spec, schedule, X_pool, executor,
+                                   mode="striped_daemon")
+            slo = executor.daemon.slo_snapshot()
+        finally:
+            executor.close()
+    else:
+        scoring_spec = build_scoring_spec(model, args.strategy)
+        with ServingDaemon(scoring_spec, n_workers=args.workers,
+                           adaptive_batch=args.adaptive_batch,
+                           min_batch_rows=args.min_batch_rows,
+                           telemetry=registry) as daemon:
+            daemon.score(X_pool[: min(64, len(X_pool))])
+            result = replay_daemon(spec, schedule, X_pool, daemon)
+            slo = daemon.slo_snapshot()
     print("  " + result.summary())
     speedup = (result.rows_per_sec / single.rows_per_sec
                if single.rows_per_sec else 0.0)
@@ -327,6 +353,7 @@ def cmd_serve_bench(args) -> int:
     if args.json:
         payload = {
             "workload": spec.name,
+            "executor": args.executor,
             "single": single.to_dict(),
             "daemon": result.to_dict(),
             "daemon_speedup_vs_single": round(speedup, 2),
@@ -359,7 +386,8 @@ def cmd_lifecycle(args) -> int:
 
     registry = TelemetryRegistry()
     pipe = ScoringPipeline(model, policy="f1", telemetry=registry,
-                           drift_threshold=args.drift_threshold)
+                           drift_threshold=args.drift_threshold,
+                           executor=args.executor)
     pipe.calibrate(split.X_val, split.y_val_binary,
                    X_reference=split.X_unlabeled)
 
@@ -416,6 +444,7 @@ def cmd_lifecycle(args) -> int:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
         print(f"Lifecycle results written to {args.json}")
+    pipe.close()  # tears down any daemon/shard workers the preset built
     return 0
 
 
@@ -522,7 +551,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_srv = sub.add_parser(
         "serve-bench",
-        help="replay open-loop traffic against the serving daemon",
+        help="replay open-loop traffic against a daemon executor "
+        "(ScoringPipeline executor= presets 'daemon'/'striped_daemon')",
     )
     _add_split_args(p_srv)
     p_srv.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
@@ -534,8 +564,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of requests to replay")
     p_srv.add_argument("--batch-mix", default="16:0.5,64:0.35,256:0.15",
                        help="rows:weight pairs, comma-separated")
+    p_srv.add_argument("--executor", default="daemon",
+                       choices=["daemon", "striped_daemon"],
+                       help="execution path to replay against: the plain "
+                       "always-on daemon, or the striped executor that "
+                       "splits large batches across idle workers "
+                       "(matches ScoringPipeline's executor= presets)")
     p_srv.add_argument("--workers", type=int, default=1,
-                       help="daemon worker processes")
+                       help="daemon worker processes (striping needs >= 2)")
+    p_srv.add_argument("--stripe-min-rows", type=int, default=1024,
+                       help="smallest batch the striped executor splits")
+    p_srv.add_argument("--adaptive-batch", action="store_true",
+                       help="tune the coalescing ceiling from queue depth "
+                       "instead of a fixed max batch")
+    p_srv.add_argument("--min-batch-rows", type=int, default=64,
+                       help="adaptive micro-batching floor (rows)")
     p_srv.add_argument("--json", help="write the replay results as JSON")
     p_srv.set_defaults(func=cmd_serve_bench)
 
@@ -546,6 +589,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_split_args(p_lc)
     p_lc.add_argument("--k", type=int, default=None, help="clusters (default: elbow)")
     p_lc.add_argument("--alpha", type=float, default=0.05)
+    p_lc.add_argument("--executor", default="inline",
+                      choices=["inline", "sharded", "daemon", "striped_daemon"],
+                      help="ScoringPipeline executor= preset the drift "
+                      "scenario serves through (hot swaps push the new "
+                      "generation to whichever path is live)")
     p_lc.add_argument("--shift", type=float, default=4.0,
                       help="covariate shift applied to half the features")
     p_lc.add_argument("--batch-rows", type=int, default=64,

@@ -67,7 +67,11 @@ class DriftPolicy:
         observations are ignored (the fresh monitor needs traffic, and a
         rejected candidate should not be retried instantly).
     label_budget:
-        Oracle queries per refit cycle.
+        Oracle queries per refit cycle. Budget a cycle could not spend
+        (fewer queryable recent rows than the allowance) is not lost:
+        it carries over into the next cycle's budget, so a quiet cycle
+        amortizes into a bigger query after more drifted traffic has
+        accumulated (counter ``lifecycle.labels_carried``).
     label_strategy:
         Ranking used to spend the budget ("uncertainty" / "score" /
         "candidate", see :mod:`repro.core.active`).
@@ -215,6 +219,7 @@ class LifecycleManager:
         self._y_val = np.asarray(y_val, dtype=np.int64).ravel()
 
         self._recent: Optional[np.ndarray] = None
+        self._label_carry = 0
         self._streak = 0
         self._cooldown = 0
         self._cycle = 0
@@ -369,6 +374,7 @@ class LifecycleManager:
             "candidate_auprc": float(cand_auprc),
             "labels_queried": int(n_queried),
             "labels_found": int(n_found),
+            "labels_carried": int(self._label_carry),
             "refit_seconds": float(seconds),
             "detection_to_swap_seconds": float(detection_to_swap),
         }
@@ -410,14 +416,23 @@ class LifecycleManager:
         return np.vstack(parts)
 
     def _query_labels(self) -> tuple:
-        """Spend the label budget on the recent (drifted) traffic."""
-        budget = self.policy.label_budget
-        if self.oracle is None or budget == 0 or self._recent is None or not len(self._recent):
+        """Spend the label budget (plus any carry) on the recent traffic.
+
+        The effective budget is ``policy.label_budget`` plus whatever
+        earlier cycles could not spend; the unspent remainder of *this*
+        cycle becomes the next cycle's carry.
+        """
+        budget = self.policy.label_budget + self._label_carry
+        if self.oracle is None or budget == 0:
+            return 0, 0
+        if self._recent is None or not len(self._recent):
+            self._carry_budget(budget)
             return 0, 0
         ranking = rank_for_labeling(
             self.pipeline.model, self._recent, self.policy.label_strategy
         )
         top = ranking[:budget]
+        self._carry_budget(budget - len(top))
         answers = np.asarray(self.oracle(self._recent[top]), dtype=np.int64)
         if answers.shape != (len(top),):
             raise ValueError("oracle must return one label per queried row")
@@ -431,6 +446,14 @@ class LifecycleManager:
                 [self._y_labeled, answers[confirmed] - 1]
             )
         return int(len(top)), n_found
+
+    def _carry_budget(self, unspent: int) -> None:
+        """Roll unspent label budget into the next cycle."""
+        unspent = max(int(unspent), 0)
+        self._label_carry = unspent
+        if unspent:
+            self.telemetry.increment("lifecycle.labels_carried", unspent)
+        self.telemetry.set_gauge("lifecycle.label_carry", float(unspent))
 
     def _validation_gate(self, candidate: TargAD) -> tuple:
         """AUPRC gate on the held-out slice; raises :class:`RefitRejected`."""

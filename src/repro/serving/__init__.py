@@ -16,23 +16,43 @@ are sanitized (bad rows quarantined, marked :data:`ROUTE_QUARANTINED` in
 the routing), and the primary scorer is guarded by a circuit breaker
 with a reconstruction-error fallback for degraded operation.
 
-Large batches can additionally be sharded row-wise across a process
-pool (:mod:`repro.serving.sharding`): a picklable
-:class:`~repro.serving.sharding.ScoringSpec` snapshot of the fitted
-model is shipped to each worker, shards are merged deterministically in
-input order, and pool failures degrade to single-process scoring.
+Execution runs through the unified executor layer
+(:mod:`repro.serving.executor`): a
+:class:`~repro.serving.executor.FallbackChain` of
+:class:`~repro.serving.executor.Executor` adapters — always-on daemon
+(optionally striping large batches across its idle workers), per-batch
+shard pool, inline — where infrastructure failures demote a batch down
+the chain and model faults propagate to the circuit breaker uniformly.
 
-For always-on deployments, :class:`~repro.serving.daemon.ServingDaemon`
-keeps that spec *resident* in a pool of long-lived workers and moves
-rows and results through :class:`~repro.serving.shm_ring.ShmRing`
-shared-memory ring buffers (zero pickling on the hot path), coalescing
+The underlying engines: :mod:`repro.serving.sharding` ships a picklable
+:class:`~repro.serving.sharding.ScoringSpec` snapshot of the fitted
+model to a process pool and merges contiguous row shards
+deterministically in input order;
+:class:`~repro.serving.daemon.ServingDaemon` keeps that spec *resident*
+in long-lived workers and moves rows and results through
+:class:`~repro.serving.shm_ring.ShmRing` shared-memory ring buffers
+(zero pickling on the hot path, zero-copy result reads), coalescing
 concurrent small requests into fused scoring calls. The replay harness
-(:mod:`repro.serving.replay`) measures its latency under open-loop load.
+(:mod:`repro.serving.replay`) measures latency under open-loop load.
 """
 
 from repro.serving.daemon import DaemonUnavailable, ServingDaemon
 from repro.serving.drift import DriftMonitor, DriftReport
-from repro.serving.pipeline import ROUTE_QUARANTINED, AlertBatch, ScoringPipeline
+from repro.serving.errors import ExecutorUnavailable
+from repro.serving.executor import (
+    DaemonExecutor,
+    Executor,
+    FallbackChain,
+    InlineExecutor,
+    ShardedExecutor,
+    StripedDaemonExecutor,
+)
+from repro.serving.pipeline import (
+    EXECUTOR_PRESETS,
+    ROUTE_QUARANTINED,
+    AlertBatch,
+    ScoringPipeline,
+)
 from repro.serving.sharding import (
     ScoringSpec,
     ShardedScorer,
@@ -44,16 +64,24 @@ from repro.serving.shm_ring import ShmRing
 
 __all__ = [
     "AlertBatch",
+    "DaemonExecutor",
     "DaemonUnavailable",
     "DriftMonitor",
     "DriftReport",
+    "EXECUTOR_PRESETS",
+    "Executor",
+    "ExecutorUnavailable",
+    "FallbackChain",
+    "InlineExecutor",
     "ROUTE_QUARANTINED",
     "ScoringPipeline",
     "ScoringSpec",
     "ServingDaemon",
-    "ShardedScorer",
+    "ShardedExecutor",
     "ShardPoolUnavailable",
     "ShardResult",
+    "ShardedScorer",
     "ShmRing",
+    "StripedDaemonExecutor",
     "build_scoring_spec",
 ]

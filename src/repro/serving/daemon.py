@@ -55,6 +55,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.obs import ensure_telemetry
+from repro.serving.errors import ExecutorUnavailable
 from repro.serving.shm_ring import (
     KIND_DATA,
     KIND_ERROR,
@@ -81,7 +82,7 @@ _POLL_SECONDS = 0.05
 _SLO_WINDOW = 1024
 
 
-class DaemonUnavailable(RuntimeError):
+class DaemonUnavailable(ExecutorUnavailable):
     """The daemon cannot serve: shared memory missing, workers dead, or
     the daemon closed. An infrastructure signal — callers fall back to
     single-process scoring and keep the circuit breaker out of it."""
@@ -91,10 +92,14 @@ class _Request:
     """One submitted batch: rows in, completion event + results out."""
 
     __slots__ = ("X", "event", "scores", "routing", "error",
-                 "t_submit", "t_done")
+                 "t_submit", "t_done", "coalesce")
 
-    def __init__(self, X: np.ndarray):
+    def __init__(self, X: np.ndarray, coalesce: bool = True):
         self.X = X
+        #: ``False`` pins this request to its own dispatch — the striped
+        #: executor relies on it to spread one batch across idle workers
+        #: instead of having the dispatcher fuse the stripes back together.
+        self.coalesce = coalesce
         self.event = threading.Event()
         self.scores: Optional[np.ndarray] = None
         self.routing: Optional[np.ndarray] = None
@@ -228,6 +233,17 @@ class ServingDaemon:
         Micro-batching ceiling: the dispatcher coalesces queued requests
         until the fused batch would exceed this many rows. A single
         larger request still dispatches alone.
+    adaptive_batch:
+        Tune the coalescing ceiling per dispatch from the admission
+        queue instead of always fusing up to ``max_batch_rows``: the
+        effective ceiling is the rows currently queued divided by the
+        idle workers (clamped to ``[min_batch_rows, max_batch_rows]``),
+        so a deep queue fuses aggressively while a multi-worker daemon
+        under moderate load spreads work across workers instead of
+        piling everything onto the first idle one. The live ceiling is
+        published as the ``serve.daemon.batch_ceiling`` gauge.
+    min_batch_rows:
+        Adaptive-mode floor for the coalescing ceiling.
     start_method:
         Multiprocessing start method (``None`` prefers ``"fork"``).
     telemetry:
@@ -241,6 +257,8 @@ class ServingDaemon:
         n_workers: int = 1,
         ring_bytes: int = 8 << 20,
         max_batch_rows: int = 8192,
+        adaptive_batch: bool = False,
+        min_batch_rows: int = 64,
         start_method: Optional[str] = None,
         telemetry=None,
     ):
@@ -248,16 +266,24 @@ class ServingDaemon:
             raise ValueError("n_workers must be >= 1")
         if max_batch_rows < 1:
             raise ValueError("max_batch_rows must be >= 1")
+        if not 1 <= min_batch_rows <= max_batch_rows:
+            raise ValueError(
+                "min_batch_rows must be in [1, max_batch_rows]; got "
+                f"{min_batch_rows} with max_batch_rows={max_batch_rows}"
+            )
         self.spec = spec
         self.n_workers = int(n_workers)
         self.ring_bytes = int(ring_bytes)
         self.max_batch_rows = int(max_batch_rows)
-        self.start_method = start_method
+        self.adaptive_batch = bool(adaptive_batch)
+        self.min_batch_rows = int(min_batch_rows)
         self.telemetry = ensure_telemetry(telemetry)
+        self.start_method = start_method
         self._n_cols = int(spec.layers[0][1].shape[0])
         self._lock = threading.Lock()
         self._work_cv = threading.Condition(self._lock)
         self._pending: Deque[_Request] = deque()
+        self._pending_rows = 0  # incremental sum(len(r.X) for r in _pending)
         self._slots: List[_WorkerSlot] = []
         self._threads: List[threading.Thread] = []
         self._next_dispatch = 0
@@ -423,6 +449,7 @@ class ServingDaemon:
             self._closing = True
             pending = list(self._pending)
             self._pending.clear()
+            self._pending_rows = 0
             inflight = [d for slot in self._slots for d in slot.inflight]
             self._work_cv.notify_all()
         for dispatch in inflight:
@@ -467,8 +494,13 @@ class ServingDaemon:
         self.close()
 
     # -- client side ----------------------------------------------------
-    def submit(self, X: np.ndarray) -> _Request:
-        """Enqueue one batch; returns a handle with ``result(timeout)``."""
+    def submit(self, X: np.ndarray, coalesce: bool = True) -> _Request:
+        """Enqueue one batch; returns a handle with ``result(timeout)``.
+
+        ``coalesce=False`` pins the request to its own dispatch — the
+        dispatcher never fuses it with neighbours. Striped executors use
+        this to spread one batch's slices across idle workers.
+        """
         if not self._started or self._closing:
             raise DaemonUnavailable("daemon is not running")
         X = np.ascontiguousarray(X, dtype=np.float64)
@@ -476,11 +508,12 @@ class ServingDaemon:
             raise ValueError(
                 f"daemon expects (n, {self._n_cols}) batches; got {X.shape}"
             )
-        request = _Request(X)
+        request = _Request(X, coalesce=coalesce)
         with self._lock:
             if self._closing:
                 raise DaemonUnavailable("daemon is closing")
             self._pending.append(request)
+            self._pending_rows += len(X)
             if self.telemetry.enabled:
                 self.telemetry.increment("serve.daemon.requests")
                 self.telemetry.increment("serve.daemon.rows", len(X))
@@ -504,6 +537,26 @@ class ServingDaemon:
                 return slot
         return None
 
+    def _effective_ceiling(self) -> int:
+        """Coalescing ceiling for the next dispatch (caller holds the lock).
+
+        Fixed ``max_batch_rows`` unless ``adaptive_batch`` is on, in
+        which case the queued rows are spread over the currently idle
+        workers: ``ceil(pending_rows / idle)`` clamped to
+        ``[min_batch_rows, max_batch_rows]``. Deep single-worker queues
+        therefore still fuse up to the maximum, while a multi-worker
+        daemon under moderate load hands each idle worker a share
+        instead of fusing the whole queue into one dispatch.
+        """
+        if not self.adaptive_batch:
+            return self.max_batch_rows
+        n_idle = sum(1 for slot in self._slots if not slot.busy)
+        target = -(-self._pending_rows // max(n_idle, 1))  # ceil division
+        ceiling = max(self.min_batch_rows, min(self.max_batch_rows, target))
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge("serve.daemon.batch_ceiling", float(ceiling))
+        return ceiling
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
@@ -514,14 +567,19 @@ class ServingDaemon:
                 if self._closing:
                     return
                 slot = self._idle_slot()
+                ceiling = self._effective_ceiling()
                 requests = [self._pending.popleft()]
                 rows = len(requests[0].X)
-                while self._pending and (
-                    rows + len(self._pending[0].X) <= self.max_batch_rows
+                while (
+                    requests[0].coalesce
+                    and self._pending
+                    and self._pending[0].coalesce
+                    and rows + len(self._pending[0].X) <= ceiling
                 ):
                     request = self._pending.popleft()
                     rows += len(request.X)
                     requests.append(request)
+                self._pending_rows -= rows
                 dispatch = _Dispatch(self._next_dispatch, requests)
                 self._next_dispatch += 1
                 slot.busy = True
@@ -569,7 +627,12 @@ class ServingDaemon:
                     return
                 continue
             try:
-                kind, payload = ring.read(timeout=_POLL_SECONDS)
+                # Zero-copy result read: the frame is parsed directly
+                # from the ring's exported memoryview inside the
+                # read_view block; only the final per-request arrays are
+                # copied out before the frame slot is recycled.
+                with ring.read_view(timeout=_POLL_SECONDS) as (kind, payload):
+                    self._complete(slot, kind, payload)
             except RingEmpty:
                 if self._closing:
                     return
@@ -589,7 +652,6 @@ class ServingDaemon:
                 if generation is None:
                     return
                 continue
-            self._complete(slot, kind, payload)
 
     def _await_update(self, slot: _WorkerSlot, generation: int) -> Optional[int]:
         """Wait out an in-progress spec update on ``slot``.
@@ -608,7 +670,16 @@ class ServingDaemon:
                 return None
             return slot.generation
 
-    def _complete(self, slot: _WorkerSlot, kind: int, payload: bytes) -> None:
+    def _complete(self, slot: _WorkerSlot, kind: int, payload) -> None:
+        """Parse one result frame and finish its dispatch's requests.
+
+        ``payload`` is normally a :class:`memoryview` directly into the
+        response ring (no intermediate copy — the zero-copy result
+        path); only when the frame wraps the physical end of the ring is
+        it a copied ``bytes``. Either way the per-request score/routing
+        arrays handed to waiters are materialized here, because the ring
+        slot is recycled the moment the caller's ``read_view`` exits.
+        """
         dispatch_id, n_rows = _RES_HEADER.unpack_from(payload)
         with self._lock:
             dispatch = slot.inflight.popleft() if slot.inflight else None
@@ -618,6 +689,12 @@ class ServingDaemon:
             # Protocol desync — should be impossible on an SPSC ring.
             self.telemetry.increment("serve.daemon.desyncs")
             return
+        if self.telemetry.enabled:
+            self.telemetry.increment(
+                "serve.daemon.zero_copy_reads"
+                if isinstance(payload, memoryview)
+                else "serve.daemon.copied_reads"
+            )
         if kind == KIND_ERROR:
             try:
                 error = pickle.loads(payload[_RES_HEADER.size:])
@@ -638,7 +715,9 @@ class ServingDaemon:
             parts = list(zip(np.split(scores, dispatch.splits),
                              np.split(routing, dispatch.splits)))
         for request, (s, r) in zip(dispatch.requests, parts):
-            request.finish(scores=s, routing=r)
+            # Copy out of the ring-backed buffer before the frame slot
+            # is recycled; these arrays are the caller's to keep.
+            request.finish(scores=s.copy(), routing=r.copy())
         if self.telemetry.enabled:
             self._record_latencies(dispatch)
 

@@ -15,6 +15,16 @@ trips and batches are scored by the degraded
 :class:`~repro.resilience.fallback.ReconstructionFallback` until a
 half-open probe succeeds. Degraded results are annotated as such; the
 queue never silently mixes primary and fallback scores.
+
+Execution is delegated to a
+:class:`~repro.serving.executor.FallbackChain` of
+:class:`~repro.serving.executor.Executor` adapters (daemon → sharded →
+inline). The chain owns per-path eligibility, infrastructure-failure
+demotion, and the spec-push/rollback surface for model hot-swaps, so
+this module contains no executor-type-specific branches: ``process``
+scores through ``chain.score`` and ``swap_model`` pushes and rolls back
+through ``chain.push_spec`` / ``chain.reset`` regardless of which
+execution paths are configured.
 """
 
 from __future__ import annotations
@@ -35,17 +45,22 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.errors import SwapError
 from repro.resilience.fallback import ReconstructionFallback
 from repro.resilience.sanitize import expected_width, sanitize_batch
-from repro.serving.daemon import DaemonUnavailable, ServingDaemon
+from repro.serving.daemon import ServingDaemon
 from repro.serving.drift import DriftMonitor, DriftReport
-from repro.serving.sharding import (
-    ScoringSpec,
-    ShardedScorer,
-    ShardPoolUnavailable,
-    build_scoring_spec,
+from repro.serving.executor import (
+    DaemonExecutor,
+    FallbackChain,
+    InlineExecutor,
+    ShardedExecutor,
+    StripedDaemonExecutor,
 )
+from repro.serving.sharding import ScoringSpec, build_scoring_spec
 
 #: Routing code for rows that were quarantined before scoring.
 ROUTE_QUARANTINED = -1
+
+#: Named chain presets accepted by the ``executor=`` knob.
+EXECUTOR_PRESETS = ("inline", "sharded", "daemon", "striped_daemon")
 
 
 @dataclass
@@ -139,10 +154,20 @@ class ScoringPipeline:
         ``serve.*`` series — per-batch process latency, alert/deferred
         counts, and a drift-event counter — plus the ``resilience.*``
         series (quarantine counts, scoring faults, breaker transitions,
-        degraded batches). With sharding enabled it also records the
-        per-shard ``serve.shard`` timer, the ``serve.shards`` counter,
-        and the ``serve.plan_cache.*`` hit/miss/invalidation deltas
-        observed around each batch. ``None`` = no-op.
+        degraded batches). Executors additionally record their own
+        series (``serve.shard``/``serve.shards``, ``serve.daemon.*``,
+        ``serve.executor.demotions``) and the pipeline mirrors the
+        ``serve.plan_cache.*`` hit/miss/invalidation deltas observed
+        around each batch. ``None`` = no-op.
+    executor:
+        Named chain preset, the front door to the execution layer:
+        ``"inline"`` (single-process only), ``"sharded"`` (per-batch
+        shard pool, ``shard_workers`` or 2), ``"daemon"`` (always-on
+        worker daemon), or ``"striped_daemon"`` (daemon with large
+        batches striped across idle workers). ``None`` (default) derives
+        the chain from the ``daemon``/``shard_workers`` knobs below.
+        Whatever the preset, the chain always ends in the inline
+        executor, so scoring survives any infrastructure failure.
     shard_workers:
         Number of worker processes for row-sharded scoring; ``0``
         (default) keeps scoring single-process. Batches with at least
@@ -150,8 +175,8 @@ class ScoringPipeline:
         shards scored in parallel (see :mod:`repro.serving.sharding`)
         and merged in input order — output is identical to the
         single-process path. If the pool cannot be created or breaks
-        down, sharding is disabled for the pipeline's lifetime and the
-        batch is rescored single-process (never counted as a scorer
+        down, its executor disables itself for the pipeline's lifetime
+        and the batch demotes down the chain (never counted as a scorer
         fault by the circuit breaker).
     min_shard_rows:
         Smallest batch worth sharding; below it the per-shard IPC cost
@@ -167,15 +192,26 @@ class ScoringPipeline:
         pre-started instance is used as-is (and then *not* closed by
         :meth:`close` — the caller owns its lifecycle, e.g. when several
         pipelines share one daemon). When the daemon cannot start
-        (shared memory unavailable) the pipeline falls back to the
-        single-process/sharded path for its lifetime; a transiently
-        unavailable daemon (worker crash mid-respawn) falls back for
-        that batch only. Neither counts as a scorer fault to the circuit
-        breaker — worker *model* faults do, exactly like sharded faults.
+        (shared memory unavailable) its executor disables itself and the
+        chain serves without it; a transiently unavailable daemon
+        (worker crash mid-respawn) demotes that batch only. Neither
+        counts as a scorer fault to the circuit breaker — worker *model*
+        faults do, exactly like sharded faults.
     daemon_workers:
-        Worker processes for a ``daemon=True`` auto-built daemon.
+        Worker processes for an auto-built daemon.
     daemon_batch_rows:
         Micro-batching ceiling for the auto-built daemon.
+    adaptive_batch:
+        Tune the daemon's coalescing ceiling per dispatch from its
+        admission queue (rows queued / idle workers, clamped to
+        ``[daemon_min_batch_rows, daemon_batch_rows]``) instead of
+        always fusing up to the fixed ceiling.
+    daemon_min_batch_rows:
+        Adaptive-mode floor for the coalescing ceiling.
+    stripe_min_rows:
+        ``executor="striped_daemon"`` only: smallest batch worth
+        splitting across idle daemon workers; smaller batches take the
+        plain daemon path.
     """
 
     def __init__(
@@ -190,12 +226,16 @@ class ScoringPipeline:
         circuit_breaker: Optional[CircuitBreaker] = None,
         fallback: Optional[ReconstructionFallback] = None,
         telemetry=None,
+        executor: Optional[str] = None,
         shard_workers: int = 0,
         min_shard_rows: int = 8192,
         shard_start_method: Optional[str] = None,
         daemon=None,
         daemon_workers: int = 1,
         daemon_batch_rows: int = 8192,
+        adaptive_batch: bool = False,
+        daemon_min_batch_rows: int = 64,
+        stripe_min_rows: int = 1024,
     ):
         if policy not in ("f1", "recall", "budget"):
             raise ValueError('policy must be "f1", "recall", or "budget"')
@@ -223,26 +263,26 @@ class ScoringPipeline:
             else CircuitBreaker(telemetry=self.telemetry, name="serve")
         )
         self.fallback = fallback
+        if executor is not None and executor not in EXECUTOR_PRESETS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_PRESETS}; got {executor!r}"
+            )
         if shard_workers < 0:
             raise ValueError("shard_workers must be >= 0")
         if min_shard_rows < 1:
             raise ValueError("min_shard_rows must be >= 1")
+        if daemon_workers < 1:
+            raise ValueError("daemon_workers must be >= 1")
+        self.executor = executor
         self.shard_workers = int(shard_workers)
         self.min_shard_rows = int(min_shard_rows)
         self.shard_start_method = shard_start_method
-        self._sharder: Optional[ShardedScorer] = None
-        self._sharding_disabled = False
-        self._last_n_shards = 0
-        if daemon_workers < 1:
-            raise ValueError("daemon_workers must be >= 1")
         self.daemon_workers = int(daemon_workers)
         self.daemon_batch_rows = int(daemon_batch_rows)
-        self._daemon: Optional[ServingDaemon] = None
-        self._daemon_owned = False
-        self._daemon_enabled = bool(daemon)
-        self._daemon_disabled = False
-        if isinstance(daemon, ServingDaemon):
-            self._daemon = daemon
+        self.adaptive_batch = bool(adaptive_batch)
+        self.daemon_min_batch_rows = int(daemon_min_batch_rows)
+        self.stripe_min_rows = int(stripe_min_rows)
+        self.chain = self._build_chain(daemon, executor)
         #: Model-generation counter; bumped by each successful hot swap.
         self.generation = 0
         # Serializes process() against swap_model(): a batch always sees
@@ -250,6 +290,143 @@ class ScoringPipeline:
         # generation. Re-entrant so the swap can call helpers that also
         # take it.
         self._swap_lock = threading.RLock()
+
+    # -- execution chain --------------------------------------------------
+    def _spec_factory(self) -> ScoringSpec:
+        """Spec for worker executors, always from the *current* model."""
+        return build_scoring_spec(self.model, self.strategy)
+
+    def _build_chain(self, daemon, preset: Optional[str]) -> FallbackChain:
+        """Assemble the executor chain: daemon → sharded → inline.
+
+        With ``preset=None`` the chain is derived from the legacy
+        ``daemon``/``shard_workers`` knobs; a named preset pins the top
+        of the chain explicitly (``"sharded"`` defaults to two workers
+        when ``shard_workers`` was left at 0). The inline executor is
+        always the terminal member.
+        """
+        want_daemon = bool(daemon) or preset in ("daemon", "striped_daemon")
+        shard_workers = self.shard_workers
+        if preset == "sharded" and shard_workers == 0:
+            shard_workers = self.shard_workers = 2
+        if preset == "inline":
+            want_daemon = False
+            shard_workers = 0
+        executors = []
+        if want_daemon:
+            daemon_cls = (
+                StripedDaemonExecutor
+                if preset == "striped_daemon"
+                else DaemonExecutor
+            )
+            kwargs = dict(
+                daemon=daemon if isinstance(daemon, ServingDaemon) else None,
+                n_workers=self.daemon_workers,
+                batch_rows=self.daemon_batch_rows,
+                adaptive_batch=self.adaptive_batch,
+                min_batch_rows=self.daemon_min_batch_rows,
+                telemetry=self.telemetry,
+            )
+            if daemon_cls is StripedDaemonExecutor:
+                kwargs["stripe_min_rows"] = self.stripe_min_rows
+            executors.append(daemon_cls(self._spec_factory, **kwargs))
+        if shard_workers > 0:
+            executors.append(
+                ShardedExecutor(
+                    self._spec_factory,
+                    shard_workers,
+                    min_rows=self.min_shard_rows,
+                    start_method=self.shard_start_method,
+                    telemetry=self.telemetry,
+                )
+            )
+        executors.append(InlineExecutor(lambda: self.model, self.strategy))
+        return FallbackChain(executors, telemetry=self.telemetry)
+
+    # -- executor-internals compatibility surface -------------------------
+    # Long-standing private attributes, kept as properties over the chain
+    # so operational tooling (and the serving test-suite) that pokes at
+    # daemon/sharder internals keeps working after the executor refactor.
+    @property
+    def _daemon_exec(self) -> Optional[DaemonExecutor]:
+        return self.chain.find(DaemonExecutor)
+
+    @property
+    def _shard_exec(self) -> Optional[ShardedExecutor]:
+        return self.chain.find(ShardedExecutor)
+
+    @property
+    def _daemon(self) -> Optional[ServingDaemon]:
+        ex = self._daemon_exec
+        return ex.daemon if ex is not None else None
+
+    @_daemon.setter
+    def _daemon(self, value: Optional[ServingDaemon]) -> None:
+        ex = self._daemon_exec
+        if ex is None:
+            ex = DaemonExecutor(
+                self._spec_factory,
+                daemon=value,
+                n_workers=self.daemon_workers,
+                batch_rows=self.daemon_batch_rows,
+                telemetry=self.telemetry,
+            )
+            self.chain.executors.insert(0, ex)
+            return
+        if ex._owned and ex._daemon is not None and ex._daemon is not value:
+            ex._daemon.close()
+        ex._daemon = value
+        ex._owned = False
+
+    @property
+    def _daemon_owned(self) -> bool:
+        ex = self._daemon_exec
+        return ex is not None and ex._owned
+
+    @_daemon_owned.setter
+    def _daemon_owned(self, value: bool) -> None:
+        ex = self._daemon_exec
+        if ex is not None:
+            ex._owned = bool(value)
+
+    @property
+    def _daemon_enabled(self) -> bool:
+        return self._daemon_exec is not None
+
+    @property
+    def _daemon_disabled(self) -> bool:
+        ex = self._daemon_exec
+        return ex is not None and not ex.alive
+
+    @property
+    def _sharder(self):
+        ex = self._shard_exec
+        return ex._sharder if ex is not None else None
+
+    @_sharder.setter
+    def _sharder(self, value) -> None:
+        ex = self._shard_exec
+        if ex is None:
+            ex = ShardedExecutor(
+                self._spec_factory,
+                getattr(value, "n_workers", 1) or 1,
+                min_rows=self.min_shard_rows,
+                start_method=self.shard_start_method,
+                telemetry=self.telemetry,
+            )
+            self.chain.executors.insert(len(self.chain.executors) - 1, ex)
+        elif ex._sharder is not None and ex._sharder is not value:
+            ex._sharder.close()
+        ex._sharder = value
+
+    @property
+    def _sharding_disabled(self) -> bool:
+        ex = self._shard_exec
+        return ex is not None and not ex.alive
+
+    @property
+    def _last_n_shards(self) -> int:
+        return int(self.chain.last_tags.get("n_shards", 0))
 
     def calibrate(
         self,
@@ -328,22 +505,23 @@ class ScoringPipeline:
            score the validation split with the candidate, re-apply the
            threshold policy, fit a fresh drift monitor on
            ``X_reference``/``X_val``, calibrate a fresh reconstruction
-           fallback at the candidate's alert fraction, and — when a
-           daemon or shard pool is live — build the candidate's
+           fallback at the candidate's alert fraction, and — when any
+           executor has a live worker surface — build the candidate's
            :class:`~repro.serving.sharding.ScoringSpec`.
         2. **Flip** (under the swap lock, so no batch ever sees a
-           half-swapped pipeline): push the new spec into the daemon's
-           resident workers (rolling respawn, zero dropped requests) and
-           the shard pool (lazy rebuild), then swap the model /
-           threshold / monitor / fallback pointers and bump
+           half-swapped pipeline): push the new spec through the
+           executor chain into every live worker surface (the daemon's
+           rolling respawn, the shard pool's lazy rebuild), then swap
+           the model / threshold / monitor / fallback pointers and bump
            ``generation``. The retired network's cached inference plan
            is evicted.
 
         Any failure — staging, the spec push, or the flip itself —
-        restores the previous generation completely (workers included)
-        and raises :class:`~repro.resilience.errors.SwapError`; the
-        circuit breaker is never involved, because a swap failure is a
-        control-plane problem, not a scoring fault.
+        restores the previous generation completely (workers included,
+        via the chain's uniform ``reset``) and raises
+        :class:`~repro.resilience.errors.SwapError`; the circuit breaker
+        is never involved, because a swap failure is a control-plane
+        problem, not a scoring fault.
 
         ``fault_points`` is the chaos hook: a callable invoked with the
         phase names ``"stage"``, ``"push"``, ``"flip"`` (see
@@ -371,20 +549,10 @@ class ScoringPipeline:
             phase = "push"
             try:
                 fire("push")
-                daemon_live = (
-                    self._daemon is not None
-                    and not self._daemon_disabled
-                    and self._daemon.alive
+                self.chain.push_spec(
+                    staged.spec,
+                    lambda: build_scoring_spec(staged.model, self.strategy),
                 )
-                spec = staged.spec
-                if (daemon_live or self._sharder is not None) and spec is None:
-                    # A worker surface appeared between staging and the
-                    # flip (lazy daemon/pool start on a concurrent batch).
-                    spec = build_scoring_spec(staged.model, self.strategy)
-                if daemon_live:
-                    self._daemon.update_spec(spec)
-                if self._sharder is not None:
-                    self._sharder.update_spec(spec)
                 phase = "flip"
                 fire("flip")
                 self.model = staged.model
@@ -394,7 +562,7 @@ class ScoringPipeline:
                 self.generation += 1
             except Exception as exc:
                 (self.model, self.threshold_, self._monitor, self.fallback) = old_state
-                self._rollback_workers()
+                self.chain.reset()
                 self._record_swap_failure(phase, exc)
                 raise SwapError(
                     f"swap failed during {phase}; previous generation restored: {exc}"
@@ -437,40 +605,12 @@ class ScoringPipeline:
         alert_fraction = float(np.mean(scores >= threshold))
         fallback = ReconstructionFallback(model).calibrate(X_val, alert_fraction)
         spec = None
-        needs_spec = (
-            self._daemon is not None
-            and not self._daemon_disabled
-            and self._daemon.alive
-        ) or self._sharder is not None
-        if needs_spec:
+        if self.chain.needs_spec():
             spec = build_scoring_spec(model, self.strategy)
         return _StagedGeneration(
             model=model, threshold=float(threshold), monitor=monitor,
             fallback=fallback, spec=spec,
         )
-
-    def _rollback_workers(self) -> None:
-        """Put daemon/shard workers back on the current (old) model.
-
-        An owned daemon and the shard pool are simply closed — their
-        lazy-(re)build paths reconstruct them from ``self.model``, which
-        the caller has already restored. A caller-owned daemon cannot be
-        rebuilt here, so its spec is re-pushed; if even that fails the
-        daemon is disabled and the pipeline serves single-process.
-        """
-        if self._sharder is not None:
-            self._sharder.close()
-            self._sharder = None
-        if self._daemon is None:
-            return
-        if self._daemon_owned:
-            self._daemon.close()
-            self._daemon = None
-            return
-        try:
-            self._daemon.update_spec(build_scoring_spec(self.model, self.strategy))
-        except Exception as exc:
-            self._disable_daemon(exc)
 
     def _record_swap_failure(self, phase: str, exc: Exception) -> None:
         self.telemetry.increment("serve.swap.failed")
@@ -509,7 +649,7 @@ class ScoringPipeline:
         scores = np.full(n_total, np.nan, dtype=np.float64)
         routing = np.full(n_total, ROUTE_QUARANTINED, dtype=np.int64)
         degraded = False
-        self._last_n_shards = 0
+        self.chain.begin_batch()
         cache_before = plan_cache_stats() if self.telemetry.enabled else None
         if len(sanitized.kept):
             clean_scores, clean_routing, degraded = self._score_with_guardrails(
@@ -550,16 +690,17 @@ class ScoringPipeline:
     def _score_with_guardrails(
         self, X: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, bool]:
-        """Score sanitized rows via the primary if the breaker allows it.
+        """Score sanitized rows via the executor chain if the breaker allows.
 
-        Returns ``(scores, routing, degraded)``. A primary fault — an
-        exception or non-finite scores — is reported to the breaker and
-        the batch falls through to the degraded scorer.
+        Returns ``(scores, routing, degraded)``. The chain handles
+        infrastructure demotion internally (never a breaker event); a
+        model fault — an exception or non-finite scores — is reported to
+        the breaker and the batch falls through to the degraded scorer.
         """
         breaker = self.circuit_breaker
         if breaker.allow():
             try:
-                raw_scores, raw_routing = self._primary_score(X)
+                raw_scores, raw_routing = self.chain.score(X)
                 scores = np.asarray(raw_scores, dtype=np.float64)
                 if scores.shape != (len(X),) or not np.all(np.isfinite(scores)):
                     raise RuntimeError(
@@ -579,138 +720,13 @@ class ScoringPipeline:
             return scores, routing, False
         return self._degraded_scores(X)
 
-    def _primary_score(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Primary scorer: sharded across the worker pool when eligible.
-
-        Eligible = ``shard_workers > 0``, sharding not disabled by an
-        earlier pool failure, and the batch has at least
-        ``min_shard_rows`` rows. Pool-infrastructure failures disable
-        sharding and fall through to the single-process path (one
-        telemetry event, no breaker involvement); model faults raised
-        *inside* a worker propagate to the caller's guardrails exactly
-        like single-process faults.
-        """
-        self._last_n_shards = 0
-        if self._daemon_enabled and not self._daemon_disabled:
-            try:
-                daemon = self._ensure_daemon()
-            except DaemonUnavailable as exc:
-                self._disable_daemon(exc)
-            else:
-                try:
-                    return daemon.score(X)
-                except DaemonUnavailable as exc:
-                    # Transient (worker died mid-respawn): rescore this
-                    # batch in-process; a dead daemon stays disabled.
-                    self.telemetry.increment("serve.daemon.fallbacks")
-                    self.telemetry.record_event(
-                        "serve.daemon.fallback",
-                        error=type(exc).__name__,
-                        detail=str(exc)[:200],
-                    )
-                    if not daemon.alive:
-                        self._disable_daemon(exc)
-        if (
-            self.shard_workers > 0
-            and not self._sharding_disabled
-            and len(X) >= self.min_shard_rows
-        ):
-            try:
-                sharder = self._ensure_sharder()
-                result = sharder.score(X)
-            except ShardPoolUnavailable as exc:
-                self._disable_sharding(exc)
-            else:
-                self._last_n_shards = result.n_shards
-                if self.telemetry.enabled:
-                    self.telemetry.increment("serve.shards", result.n_shards)
-                    for seconds in result.shard_seconds:
-                        self.telemetry.observe("serve.shard", seconds)
-                return result.scores, result.routing
-        # score_batch runs the classifier once on the compiled
-        # graph-free path and yields scores + routing together —
-        # no Tensor objects are constructed at serve time.
-        return self.model.score_batch(X, strategy=self.strategy)
-
-    def _ensure_sharder(self) -> ShardedScorer:
-        if self._sharder is None:
-            try:
-                spec = build_scoring_spec(self.model, self.strategy)
-            except Exception as exc:
-                # Spec extraction failed (e.g. strategy cannot calibrate):
-                # the single-process path keeps its lazier semantics, so
-                # treat this as "sharding unavailable", not a model fault.
-                raise ShardPoolUnavailable(
-                    f"cannot build scoring spec: {exc}"
-                ) from exc
-            self._sharder = ShardedScorer(
-                spec, self.shard_workers, start_method=self.shard_start_method
-            )
-        return self._sharder
-
-    def _disable_sharding(self, exc: Exception) -> None:
-        self._sharding_disabled = True
-        if self._sharder is not None:
-            self._sharder.close()
-            self._sharder = None
-        # A pool that broke *mid-batch* had already scored some shards;
-        # those rows are about to be scored again on the single-process
-        # rescore path. Record the aborted shards so the serve.shards
-        # ledger explains the double-scoring instead of hiding it.
-        aborted = getattr(exc, "n_completed_shards", 0)
-        if aborted:
-            self.telemetry.increment("serve.shards.aborted", aborted)
-        self.telemetry.increment("serve.sharding_disabled")
-        self.telemetry.record_event(
-            "serve.sharding_disabled",
-            error=type(exc).__name__,
-            detail=str(exc)[:200],
-            n_aborted_shards=int(aborted),
-        )
-
-    # -- daemon management ------------------------------------------------
-    def _ensure_daemon(self) -> ServingDaemon:
-        """Build/start the opt-in serving daemon on first use."""
-        if self._daemon is None:
-            try:
-                spec = build_scoring_spec(self.model, self.strategy)
-            except Exception as exc:
-                # Same reasoning as _ensure_sharder: a spec that cannot be
-                # extracted is "daemon unavailable", not a model fault.
-                raise DaemonUnavailable(
-                    f"cannot build scoring spec: {exc}"
-                ) from exc
-            self._daemon = ServingDaemon(
-                spec,
-                n_workers=self.daemon_workers,
-                max_batch_rows=self.daemon_batch_rows,
-                telemetry=self.telemetry,
-            )
-            self._daemon_owned = True
-        if not self._daemon.alive:
-            self._daemon.start()
-        return self._daemon
-
-    def _disable_daemon(self, exc: Exception) -> None:
-        self._daemon_disabled = True
-        if self._daemon is not None and self._daemon_owned:
-            self._daemon.close()
-            self._daemon = None
-        self.telemetry.increment("serve.daemon.disabled")
-        self.telemetry.record_event(
-            "serve.daemon.disabled",
-            error=type(exc).__name__,
-            detail=str(exc)[:200],
-        )
-
     def close(self) -> None:
-        """Release the shard pool and any owned daemon. Idempotent."""
-        if self._sharder is not None:
-            self._sharder.close()
-            self._sharder = None
-        if self._daemon is not None and self._daemon_owned:
-            self._daemon.close()
-            self._daemon = None
+        """Release every executor's worker resources. Idempotent.
+
+        Caller-owned daemons are left running — their executor never
+        assumed their lifecycle.
+        """
+        self.chain.close()
 
     def _degraded_scores(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray, bool]:
         """Score via the reconstruction fallback while the primary is out.
@@ -776,11 +792,15 @@ class ScoringPipeline:
             n_alerts=batch.n_alerts,
             n_deferred=len(batch.deferred),
             n_quarantined=int(len(batch.quarantined)),
-            n_shards=int(self._last_n_shards),
+            executor=self.chain.last_executor or "none",
+            n_shards=int(self.chain.last_tags.get("n_shards", 0)),
             degraded=batch.degraded,
             latency_ms=seconds * 1e3,
             drifted=drifted,
         )
+        n_stripes = int(self.chain.last_tags.get("n_stripes", 0))
+        if n_stripes:
+            event_fields["n_stripes"] = n_stripes
         if drifted:
             event_fields["drift"] = batch.drift.to_dict()
         self.telemetry.record_event("serve.batch", **event_fields)

@@ -42,9 +42,10 @@ import numpy as np
 from repro.core.scoring import route_from_logits, softmax, target_anomaly_score
 from repro.nn.layers import Activation, Dense, Sequential
 from repro.nn.train import forward_in_batches
+from repro.serving.errors import ExecutorUnavailable
 
 
-class ShardPoolUnavailable(RuntimeError):
+class ShardPoolUnavailable(ExecutorUnavailable):
     """The shard worker pool cannot be created or has broken down.
 
     Signals an *infrastructure* problem (start method, pickling, dead

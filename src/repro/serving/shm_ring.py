@@ -45,11 +45,12 @@ registration dedupes into the creator's entry and the creator's single
 
 from __future__ import annotations
 
+import contextlib
 import os
 import struct
 import time
 import weakref
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 _U64 = struct.Struct("<Q")
 _HEADER = struct.Struct("<IIII")  # magic, seq, length, kind
@@ -271,6 +272,73 @@ class ShmRing:
                 raise RingEmpty(f"ring {self.name} empty for {timeout:.3f}s")
             spins += 1
             time.sleep(0 if spins < _BACKOFF_FAST else _BACKOFF_SLEEP)
+
+    # -- zero-copy read side --------------------------------------------
+    def _peek_header(self, read: int) -> Tuple[int, int]:
+        """Validate the frame header at ``read``; returns (kind, length)."""
+        header = self._get(read, HEADER_BYTES)
+        magic, seq, length, kind = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise RingCorruption(
+                f"ring {self.name}: bad frame magic 0x{magic:08x} at {read}"
+            )
+        if length > self.capacity - HEADER_BYTES:
+            raise RingCorruption(
+                f"ring {self.name}: frame length {length} exceeds capacity"
+            )
+        if seq != self._expected_seq & 0xFFFFFFFF:
+            raise RingCorruption(
+                f"ring {self.name}: sequence gap (expected "
+                f"{self._expected_seq & 0xFFFFFFFF}, got {seq})"
+            )
+        return kind, length
+
+    @contextlib.contextmanager
+    def read_view(self, timeout: Optional[float] = None) -> Iterator[Tuple[int, object]]:
+        """Zero-copy blocking read: yield ``(kind, payload)`` without
+        copying the payload out of the ring first.
+
+        When the frame lies contiguously in the data region (the common
+        case — frames only wrap when a write straddles the physical end
+        of the region), ``payload`` is a :class:`memoryview` directly
+        into the shared-memory segment; when the frame wraps it falls
+        back to the copied-``bytes`` path. Consumption is published only
+        when the ``with`` block exits cleanly, so the writer cannot
+        overwrite the viewed bytes while the caller is parsing them —
+        which also means the caller MUST copy out anything it keeps
+        beyond the block.
+
+        Raises :class:`RingEmpty` on timeout, :class:`RingClosed` once
+        closed and drained, :class:`RingCorruption` on framing damage.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        spins = 0
+        while True:
+            read = self._load(_READ_OFFSET)
+            if self._load(_WRITE_OFFSET) != read:
+                break
+            if self.closed:
+                raise RingClosed(f"ring {self.name} is closed and drained")
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise RingEmpty(f"ring {self.name} empty for {timeout:.3f}s")
+            spins += 1
+            time.sleep(0 if spins < _BACKOFF_FAST else _BACKOFF_SLEEP)
+        kind, length = self._peek_header(read)
+        pos = (read + HEADER_BYTES) % self.capacity
+        view: Optional[memoryview] = None
+        if pos + length <= self.capacity:
+            view = self._data[pos:pos + length]
+            payload: object = view
+        else:  # wrapped frame: fall back to the copying path
+            payload = self._get(read + HEADER_BYTES, length)
+        try:
+            yield kind, payload
+        finally:
+            if view is not None:
+                view.release()
+        # Publish consumption only after the caller is done with the view.
+        self._store(_READ_OFFSET, read + HEADER_BYTES + length)
+        self._expected_seq += 1
 
     # -- lifecycle ------------------------------------------------------
     def release(self) -> None:

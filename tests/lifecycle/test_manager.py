@@ -126,6 +126,38 @@ class TestLabelQuery:
         swap = [e for e in manager.history if e.kind == "swap"][0]
         assert swap.details["labels_queried"] == 0
 
+    def test_unspent_budget_carries_to_next_cycle(self, split, model):
+        calls = []
+
+        def oracle(rows):
+            calls.append(len(rows))
+            return np.ones(len(rows), dtype=np.int64)
+
+        telemetry = TelemetryRegistry()
+        manager = make_manager(
+            split, model, oracle=oracle, telemetry=telemetry,
+            policy=DriftPolicy(confirm_checks=2, cooldown_batches=0,
+                               label_budget=200, refit_epochs=2,
+                               min_auprc_ratio=0.3),
+        )
+        for i in range(2):
+            manager.process(split.X_test[i * 60:(i + 1) * 60] + 6.0)
+        # The recent pool (~120 rows) is smaller than the 200-row budget,
+        # so the remainder rolls over instead of being forfeited.
+        assert len(calls) == 1 and calls[0] < 200
+        carried = 200 - calls[0]
+        assert manager._label_carry == carried
+        assert telemetry.counters["lifecycle.labels_carried"] == carried
+        assert telemetry.gauges["lifecycle.label_carry"] == float(carried)
+        swap = [e for e in manager.history if e.kind == "swap"][0]
+        assert swap.details["labels_carried"] == carried
+
+        manager.refit_now()
+        # Amortized budget = base 200 + carried; still pool-bounded, and
+        # the new remainder reflects the enlarged budget.
+        assert len(calls) == 2
+        assert manager._label_carry == 200 + carried - calls[1]
+
 
 class TestGateAndRollback:
     def test_impossible_gate_rolls_back(self, split, model):

@@ -1,0 +1,104 @@
+"""Zero-copy result reads: ring ``read_view`` semantics and daemon wiring.
+
+The daemon's result path borrows the payload bytes straight out of the
+ring's shared-memory segment via :meth:`ShmRing.read_view` instead of
+copying them into a ``bytes`` object first. These tests pin the three
+properties that make that safe: the yielded view aliases ring memory
+and dies at block exit, the frame is consumed only on *clean* exit (an
+exception leaves it readable), and wrapped frames transparently fall
+back to a copied ``bytes`` payload. The daemon-level test asserts the
+hot path actually takes the zero-copy branch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TargAD, TargADConfig
+from repro.obs import TelemetryRegistry
+from repro.serving.daemon import ServingDaemon
+from repro.serving.sharding import build_scoring_spec
+from repro.serving.shm_ring import (
+    HEADER_BYTES,
+    KIND_RESULT,
+    RingEmpty,
+    ShmRing,
+)
+
+
+class TestReadView:
+    def test_view_aliases_ring_memory_and_dies_on_exit(self):
+        with ShmRing.create(256) as ring:
+            payload = bytes(range(64))
+            assert ring.try_write(payload, KIND_RESULT)
+            with ring.read_view() as (kind, view):
+                assert kind == KIND_RESULT
+                assert isinstance(view, memoryview)
+                assert view.obj is ring._data.obj  # borrowed, not copied
+                assert bytes(view) == payload
+            with pytest.raises(ValueError):
+                bytes(view)  # released at block exit
+
+    def test_clean_exit_consumes_frame(self):
+        with ShmRing.create(256) as ring:
+            ring.try_write(b"first", KIND_RESULT)
+            ring.try_write(b"second", KIND_RESULT)
+            with ring.read_view() as (_, view):
+                assert bytes(view) == b"first"
+            with ring.read_view() as (_, view):
+                assert bytes(view) == b"second"
+            assert ring.pending() == 0
+
+    def test_exception_leaves_frame_unconsumed(self):
+        with ShmRing.create(256) as ring:
+            ring.try_write(b"keep me", KIND_RESULT)
+            pending = ring.pending()  # bytes, not frames
+            with pytest.raises(RuntimeError, match="reader bailed"):
+                with ring.read_view() as (_, view):
+                    raise RuntimeError("reader bailed")
+            assert ring.pending() == pending  # read counter not published
+            # The same frame is served again, seq accounting intact.
+            with ring.read_view() as (kind, view):
+                assert kind == KIND_RESULT
+                assert bytes(view) == b"keep me"
+            assert ring.pending() == 0
+
+    def test_wrapped_frame_falls_back_to_copied_bytes(self):
+        with ShmRing.create(64) as ring:
+            # First frame fills the front of the ring, then is drained so
+            # the next write's payload must wrap past the end.
+            assert ring.try_write(bytes(16), KIND_RESULT)
+            with ring.read_view() as (_, view):
+                assert isinstance(view, memoryview)
+            payload = bytes(range(24))
+            assert ring.try_write(payload, KIND_RESULT)
+            assert 64 - ((HEADER_BYTES + 16 + 7 & ~7) + HEADER_BYTES) < 24
+            with ring.read_view() as (kind, view):
+                assert kind == KIND_RESULT
+                assert isinstance(view, bytes)  # wrap -> copy fallback
+                assert view == payload
+
+    def test_empty_ring_times_out(self):
+        with ShmRing.create(128) as ring:
+            with pytest.raises(RingEmpty):
+                with ring.read_view(timeout=0.05):
+                    pass
+
+
+class TestDaemonZeroCopy:
+    def test_result_path_is_zero_copy(self, tiny_split):
+        model = TargAD(TargADConfig(random_state=0, k=2, ae_lr=3e-3,
+                                    ae_epochs=10, clf_epochs=12))
+        model.fit(tiny_split.X_unlabeled, tiny_split.X_labeled,
+                  tiny_split.y_labeled)
+        telemetry = TelemetryRegistry()
+        spec = build_scoring_spec(model, "ed")
+        with ServingDaemon(spec, telemetry=telemetry).start() as daemon:
+            for _ in range(3):
+                scores, routing = daemon.score(tiny_split.X_test)
+                assert scores.flags.owndata  # caller owns its arrays
+        # Small result frames never wrap the 8 MB ring, so every read
+        # must take the borrowed-memoryview branch.
+        assert telemetry.counters["serve.daemon.zero_copy_reads"] >= 3
+        assert "serve.daemon.copied_reads" not in telemetry.counters
+        exp_s, _ = model.score_batch(tiny_split.X_test, strategy="ed")
+        np.testing.assert_array_equal(scores, exp_s)
