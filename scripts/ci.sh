@@ -10,6 +10,7 @@
 #   scripts/ci.sh daemon   # serving daemon + shm ring suites + replay smoke
 #   scripts/ci.sh executor # executor conformance suite (2-worker pools)
 #   scripts/ci.sh lifecycle # drift-triggered refit + hot-swap suites + CLI smoke
+#   scripts/ci.sh backend  # backend conformance + parity under numpy AND tiled
 #   scripts/ci.sh bench    # inference throughput benchmark (non-gating)
 #
 # The tier-1 gate is the canonical `PYTHONPATH=src python -m pytest -x -q`
@@ -98,6 +99,21 @@ run_lifecycle() {
         --refit-epochs 2 --json /tmp/lifecycle_smoke.json
 }
 
+run_backend() {
+    # The execution-backend lane: the registry-parametrized conformance
+    # suite (compiled-vs-graph parity under every registered backend at
+    # its published parity_atol), the tiled kernel unit tests (sparse
+    # gather path, verification fallbacks, plan/scratch caching), the
+    # fused-kernel dispatch suite, the backend-keyed plan cache, and the
+    # end-to-end parity suite — which runs TargAD scoring under
+    # use_backend("tiled") as well as the default.
+    echo '== backend lane: conformance under numpy + tiled =='
+    python -m pytest -x -q tests/backend \
+        tests/nn/test_backend_conformance.py \
+        tests/nn/test_fused_kernels.py tests/nn/test_plan_cache.py \
+        tests/test_inference_parity.py
+}
+
 run_bench() {
     # Non-gating: records graph vs compiled inference throughput in
     # BENCH_inference.json for trend tracking; never fails the build.
@@ -138,6 +154,23 @@ for workload in ("autoencoder_fallback", "classifier_head"):
         print(f"WARNING: {message}", file=sys.stderr)
     else:
         print(f"bench check: {workload} {got}x >= floor {floor}x")
+
+# Tiled-backend rows: the sparse-aware kernel's best win over the
+# reference backend on the SQB one-hot workloads must stay above its
+# recorded floor (non-gating, like everything in this lane).
+tiled_floor = baseline.get("tiled_vs_numpy_speedup_min")
+tiled_best = payload.get("tiled_speedup_vs_numpy_max")
+if tiled_floor is not None and tiled_best is not None:
+    if tiled_best < tiled_floor:
+        message = (
+            f"tiled backend regression: best tiled-vs-numpy speedup "
+            f"{tiled_best}x, baseline floor {tiled_floor}x (non-gating)"
+        )
+        print(f"::warning title=bench regression::{message}")
+        print(f"WARNING: {message}", file=sys.stderr)
+    else:
+        print(f"bench check: tiled-vs-numpy {tiled_best}x >= "
+              f"floor {tiled_floor}x")
 
 # Latency-under-load rows from bench_replay.py: the daemon's best
 # throughput speedup over the single-process baseline must stay above
@@ -193,7 +226,8 @@ case "$lane" in
     daemon) run_daemon ;;
     executor) run_executor ;;
     lifecycle) run_lifecycle ;;
+    backend) run_backend ;;
     bench) run_bench ;;
     all)   run_tier1; run_fast ;;
-    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|executor|lifecycle|bench|all]" >&2; exit 2 ;;
+    *)     echo "usage: scripts/ci.sh [tier1|fast|chaos|taxonomy|shard|daemon|executor|lifecycle|backend|bench|all]" >&2; exit 2 ;;
 esac

@@ -142,14 +142,30 @@ def index_add(target, index, values):
     return _registry._ACTIVE.index_add(target, index, values)
 
 
+class BackendKernelError(RuntimeError):
+    """A backend kernel raised during dispatch; names the backend at fault."""
+
+
 def fused_dense_act(x, weight, bias, activation, out):
     """One fused ``act(x @ weight + bias)`` step into ``out``.
 
     Serving-plan kernel (see :meth:`NumpyBackend.fused_dense_act`); a
     backend opts out by exposing the attribute as ``None``, in which
-    case the compiled plan falls back to the unfused op sequence.
+    case the compiled plan falls back to the unfused op sequence. A
+    kernel that raises is rewrapped as :class:`BackendKernelError`
+    naming the backend, so serving-path failures point at the kernel
+    implementation rather than at the compiled plan.
     """
-    return _registry._ACTIVE.fused_dense_act(x, weight, bias, activation, out)
+    backend = _registry._ACTIVE
+    try:
+        return backend.fused_dense_act(x, weight, bias, activation, out)
+    except Exception as exc:
+        name = getattr(backend, "name", type(backend).__name__)
+        raise BackendKernelError(
+            f"fused_dense_act kernel of backend {name!r} failed "
+            f"(x {getattr(x, 'shape', '?')} @ weight "
+            f"{getattr(weight, 'shape', '?')}, activation={activation!r}): {exc}"
+        ) from exc
 
 
 def supports_fused_dense_act() -> bool:

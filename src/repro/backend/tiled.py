@@ -1,0 +1,343 @@
+"""Cache-blocked, sparsity-aware tiled execution backend.
+
+:class:`TiledBackend` extends the reference numpy backend with two
+serving-oriented execution strategies:
+
+- **Row-tiled threading.** ``matmul`` and the dense fallback of
+  ``fused_dense_act`` partition the batch into row tiles and drive the
+  tiles through a process-wide worker threadpool. Row partitioning never
+  changes a per-row dot product, so the threaded paths stay bitwise
+  identical to the reference backend. The pool is created lazily (safe
+  across ``fork``-based worker pools), sized from ``REPRO_TILED_THREADS``
+  or the CPU count, and skipped entirely on single-core hosts or small
+  batches — threading assumes BLAS itself is pinned to one thread, which
+  is how the serving benchmarks run.
+
+- **Sparse-aware fused first layer.** Batches in the SQB one-hot regime
+  are mostly-zero over the categorical column blocks. The fused kernel
+  detects contiguous runs of low-density columns, greedily segments each
+  run so the expected nonzeros per row per segment is at most one, and
+  replaces the matmul over those columns with one weight-row gather per
+  segment (``W[s + argmax(nz)] * value``). The remaining dense columns go
+  through a narrow matmul. A per-call count identity makes the shortcut
+  airtight: the nonzeros per row over the sparse region must equal the
+  number of segments holding a nonzero for that row — true iff every
+  segment has at most one nonzero per row, in which case gather == GEMM
+  mathematically. Any batch failing the check falls back to the dense
+  path, so structure detection and the per-weight plan cache can only
+  ever cost performance, never correctness.
+
+The sparse path accumulates per-segment partial sums in a different
+order than a dense GEMM, so results agree with the reference backend to
+``parity_atol`` (1e-9 in float64) rather than bitwise; the dense paths
+remain bitwise. Scratch buffers are preallocated per thread and reused
+across calls, preserving the compiled-plan destination-write contract
+(``out`` is written, never reallocated).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.numpy_backend import (
+    FUSE_TILE_ROWS,
+    INPLACE_ACTIVATIONS,
+    NumpyBackend,
+)
+
+#: A column counts as sparse when fewer than this fraction of batch rows
+#: are nonzero in it. One-hot blocks sit far below (1/cardinality); dense
+#: numeric features sit near 1.0.
+COL_DENSITY = 0.5
+
+#: Minimum contiguous sparse-column run worth gathering; shorter runs are
+#: cheaper inside the dense matmul.
+MIN_RUN = 8
+
+#: Minimum batch rows before structure detection can amortise; smaller
+#: batches go straight to the dense kernel.
+SPARSE_MIN_ROWS = 256
+
+#: A weight whose batches previously looked dense is re-probed every this
+#: many calls, so a workload drifting into the one-hot regime is found.
+DENSE_RECHECK_EVERY = 128
+
+#: Environment override for the worker-thread count (0/1 disables).
+THREADS_ENV = "REPRO_TILED_THREADS"
+
+
+def _segment(dens: np.ndarray, sparse_col: np.ndarray) -> List[Tuple[int, int]]:
+    """Greedy density segmentation of contiguous sparse-column runs.
+
+    Cuts each run so the cumulative column density inside a segment stays
+    at most 1.0 — i.e. each segment is expected to hold at most one
+    nonzero per row, which is exactly the one-hot-block shape. Segments
+    shorter than :data:`MIN_RUN` are dropped back to the dense matmul.
+    """
+    edges = np.flatnonzero(np.diff(sparse_col.astype(np.int8), prepend=0, append=0))
+    segs: List[Tuple[int, int]] = []
+    for i in range(0, len(edges), 2):
+        s, e = int(edges[i]), int(edges[i + 1])
+        if e - s < MIN_RUN:
+            continue
+        cut, acc = s, 0.0
+        for j in range(s, e):
+            if acc + dens[j] > 1.0 + 1e-12 and j > cut:
+                if j - cut >= MIN_RUN:
+                    segs.append((cut, j))
+                cut, acc = j, 0.0
+            acc += dens[j]
+        if e - cut >= MIN_RUN:
+            segs.append((cut, e))
+    return segs
+
+
+class _Plan:
+    """Input-structure plan for one (weight, shape) serving site."""
+
+    __slots__ = ("segs", "dcols", "lo", "hi", "gap")
+
+    def __init__(self, segs, dcols, lo, hi, gap):
+        self.segs = segs  # tuple of (start, end) sparse segments
+        self.dcols = dcols  # dense column indices (matmul path)
+        self.lo = lo  # first sparse column
+        self.hi = hi  # one past the last sparse column
+        self.gap = gap  # dense columns inside [lo, hi)
+
+
+class _PlanEntry:
+    """Cache slot: a plan, or ``None`` meaning "decided dense"."""
+
+    __slots__ = ("plan", "calls")
+
+    def __init__(self, plan: Optional[_Plan]):
+        self.plan = plan
+        self.calls = 0
+
+
+class TiledBackend(NumpyBackend):
+    """Numpy backend with threaded row tiles and a sparse fused kernel."""
+
+    name = "tiled"
+
+    #: Tolerance contract versus the reference backend: the sparse fused
+    #: path reorders partial-sum accumulation, so compiled-vs-graph
+    #: parity holds to this atol (dense paths remain bitwise).
+    parity_atol = 1e-9
+
+    def __init__(self, n_threads: Optional[int] = None):
+        self._n_threads = n_threads
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._plans: dict = {}
+        self._tl = threading.local()
+        self.sparse_min_rows = SPARSE_MIN_ROWS
+        #: Calls served by the sparse gather path / by any fused call.
+        self.sparse_hits = 0
+        self.fused_calls = 0
+
+    # -- worker threadpool ------------------------------------------------
+    def _thread_count(self) -> int:
+        if self._n_threads is not None:
+            return max(1, int(self._n_threads))
+        env = os.environ.get(THREADS_ENV)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                pass
+        return os.cpu_count() or 1
+
+    def _get_pool(self) -> Optional[ThreadPoolExecutor]:
+        """Lazily-built process-wide tile pool (``None`` on 1 thread)."""
+        n = self._thread_count()
+        if n <= 1:
+            return None
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=n, thread_name_prefix="repro-tiled"
+                    )
+        return self._pool
+
+    # -- threaded row-tiled matmul ---------------------------------------
+    def matmul(self, a, b, out: Optional[np.ndarray] = None) -> np.ndarray:
+        pool = self._get_pool()
+        if (
+            pool is None
+            or getattr(a, "ndim", 0) != 2
+            or getattr(b, "ndim", 0) != 2
+            or a.shape[0] < 2 * FUSE_TILE_ROWS
+        ):
+            return np.matmul(a, b, out=out)
+        if out is None:
+            out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+
+        def run_tile(start: int) -> None:
+            stop = start + FUSE_TILE_ROWS
+            np.matmul(a[start:stop], b, out=out[start:stop])
+
+        list(pool.map(run_tile, range(0, a.shape[0], FUSE_TILE_ROWS)))
+        return out
+
+    # -- fused Dense+activation ------------------------------------------
+    def fused_dense_act(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        activation: Optional[str],
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """``act(x @ weight + bias)`` with a sparse-aware first-layer path.
+
+        Tries the segment-gather kernel when the batch looks like the
+        one-hot regime; otherwise (or whenever the per-call verification
+        fails) runs the dense row-tiled kernel, threaded across the tile
+        pool when one exists.
+        """
+        self.fused_calls += 1
+        if self._sparse_eligible(x, weight, out):
+            kernel = INPLACE_ACTIVATIONS[activation] if activation is not None else None
+            result = self._sparse_path(x, weight, bias, kernel, out)
+            if result is not None:
+                self.sparse_hits += 1
+                return result
+        return self._dense_fused(x, weight, bias, activation, out)
+
+    def _dense_fused(self, x, weight, bias, activation, out) -> np.ndarray:
+        pool = self._get_pool()
+        n = x.shape[0]
+        if pool is None or n <= 2 * FUSE_TILE_ROWS:
+            return NumpyBackend.fused_dense_act(self, x, weight, bias, activation, out)
+        kernel = INPLACE_ACTIVATIONS[activation] if activation is not None else None
+
+        def run_tile(start: int) -> None:
+            stop = start + FUSE_TILE_ROWS
+            tile = out[start:stop]
+            np.matmul(x[start:stop], weight, out=tile)
+            if bias is not None:
+                tile += bias
+            if kernel is not None:
+                kernel(tile)
+
+        list(pool.map(run_tile, range(0, n, FUSE_TILE_ROWS)))
+        return out
+
+    # -- sparse path ------------------------------------------------------
+    def _sparse_eligible(self, x, weight, out) -> bool:
+        return (
+            isinstance(x, np.ndarray)
+            and x.ndim == 2
+            and x.flags.c_contiguous
+            and x.dtype.kind == "f"
+            and x.shape[0] >= self.sparse_min_rows
+            and x.shape[1] >= 4 * MIN_RUN
+            and getattr(weight, "ndim", 0) == 2
+            and x.dtype == weight.dtype == out.dtype
+        )
+
+    def _sparse_path(self, x, weight, bias, kernel, out) -> Optional[np.ndarray]:
+        """Run the gather kernel, or return ``None`` to use the dense path.
+
+        The plan cache is keyed by weight identity and shapes; a stale or
+        recycled entry is harmless because the plan only proposes segment
+        boundaries — the count verification inside :meth:`_apply_plan`
+        re-proves the one-nonzero-per-segment property on every batch.
+        """
+        key = (id(weight), x.shape[1], weight.shape[1], x.dtype.char)
+        entry = self._plans.get(key)
+        if entry is not None and entry.plan is None:
+            entry.calls += 1
+            if entry.calls % DENSE_RECHECK_EVERY:
+                return None
+            entry = None  # periodic re-probe of a dense-decided site
+        nz = np.not_equal(x, 0)
+        if entry is None:
+            plan = self._detect(nz)
+            if len(self._plans) > 64:
+                self._plans.clear()
+            self._plans[key] = entry = _PlanEntry(plan)
+            if plan is None:
+                return None
+        result = self._apply_plan(entry.plan, nz, x, weight, bias, kernel, out)
+        if result is None:
+            # The batch no longer matches the cached structure: re-detect
+            # once, retry if the segmentation changed, else decide dense.
+            plan = self._detect(nz)
+            if plan is not None and plan.segs != entry.plan.segs:
+                result = self._apply_plan(plan, nz, x, weight, bias, kernel, out)
+            entry.plan = plan if result is not None else None
+            entry.calls = 0
+        return result
+
+    def _detect(self, nz: np.ndarray) -> Optional[_Plan]:
+        n, d = nz.shape
+        dens = nz.sum(axis=0) / n
+        segs = _segment(dens, dens < COL_DENSITY)
+        if not segs:
+            return None
+        covered = np.zeros(d, dtype=bool)
+        for s, e in segs:
+            covered[s:e] = True
+        if int(covered.sum()) * 2 < d:
+            return None  # too few gatherable columns to beat the GEMM
+        lo, hi = segs[0][0], segs[-1][1]
+        gap = np.flatnonzero(~covered[lo:hi]) + lo
+        dcols = np.flatnonzero(~covered)
+        return _Plan(tuple(segs), dcols, lo, hi, gap)
+
+    def _apply_plan(
+        self, plan, nz, x, weight, bias, kernel, out
+    ) -> Optional[np.ndarray]:
+        n, d = x.shape
+        # Count identity: nonzeros per row over the sparse region ...
+        cnt = nz[:, plan.lo : plan.hi].sum(axis=1)
+        if plan.gap.size:
+            cnt -= nz[:, plan.gap].sum(axis=1)
+        # ... must equal the number of segments holding a nonzero, which
+        # is true iff every segment has <= 1 nonzero per row.
+        flat = x.ravel()  # view: eligibility requires C-contiguity
+        base = np.arange(n) * d
+        found = np.zeros(n, dtype=cnt.dtype)
+        gathers = []
+        for s, e in plan.segs:
+            fwd = nz[:, s:e].argmax(axis=1)
+            vals = flat.take(base + (s + fwd))
+            found += vals != 0.0
+            gathers.append((s + fwd, vals))
+        if not np.array_equal(cnt, found):
+            return None
+        # Verified: narrow GEMM over the dense columns (also initialises
+        # ``out`` when there are none), then one gather per segment.
+        np.matmul(x[:, plan.dcols], weight[plan.dcols], out=out)
+        scratch = self._scratch(n, weight.shape[1], out.dtype)
+        for rows, vals in gathers:
+            np.take(weight, rows, axis=0, out=scratch, mode="clip")
+            if not np.all(vals == 1.0):
+                scratch *= vals[:, None]
+            out += scratch
+        if bias is not None:
+            out += bias
+        if kernel is not None:
+            kernel(out)
+        return out
+
+    def _scratch(self, n: int, h: int, dtype: np.dtype) -> np.ndarray:
+        """Per-thread (rows, h) scratch, grown as needed, reused across calls."""
+        bufs = getattr(self._tl, "bufs", None)
+        if bufs is None:
+            bufs = self._tl.bufs = {}
+        key = (h, dtype.char)
+        buf = bufs.get(key)
+        if buf is None or buf.shape[0] < n:
+            if len(bufs) > 8:
+                bufs.clear()
+            buf = bufs[key] = np.empty((n, h), dtype=dtype)
+        return buf[:n]

@@ -69,6 +69,7 @@ import numpy as np
 
 from repro.backend import ops as B
 from repro.backend.numpy_backend import INPLACE_ACTIVATIONS
+from repro.backend.registry import active_backend
 from repro.backend.policy import DtypeLike, resolve_dtype
 from repro.nn.layers import Activation, Dense, Module, Sequential
 from repro.nn.regularization import Dropout
@@ -496,10 +497,13 @@ def cached_inference(
     The fast path for repeated serving calls against frozen weights: a
     cache hit is two tuple comparisons — no tree walk, no buffer
     allocation. The key is the tuple of parameter-array ``id()``\\ s
-    plus the dtype and fused flag; optimizers rebind ``param.data`` on
-    every step, so any weight update changes the key and forces a
-    recompile (the regression suite pins this). Plans are cached
-    per-thread because they own mutable scratch buffers.
+    plus the dtype, fused flag, and the active backend's name —
+    different backends compile to different fused kernels, so switching
+    backends mid-process recompiles rather than replaying another
+    backend's plan (the regression suite pins this). Optimizers rebind
+    ``param.data`` on every step, so any weight update also changes the
+    key and forces a recompile. Plans are cached per-thread because
+    they own mutable scratch buffers.
 
     Raises :class:`NotCompilableError` exactly like
     :func:`compile_inference` (e.g. training-mode dropout), leaving any
@@ -508,7 +512,7 @@ def cached_inference(
     resolved = resolve_dtype(dtype)
     if fused is None:
         fused = fused_kernels_enabled()
-    key = (resolved.str, bool(fused))
+    key = (resolved.str, bool(fused), getattr(active_backend(), "name", "numpy"))
     try:
         bucket = _PLAN_CACHE.modules.setdefault(module, {})
     except TypeError:  # unhashable/non-weakrefable module: compile fresh

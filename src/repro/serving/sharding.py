@@ -73,7 +73,10 @@ class ScoringSpec:
     entries (float64 arrays; ``bias`` may be ``None``) interleaved with
     ``("act", name)`` entries, in execution order. ``strategy`` is the
     already-calibrated OOD strategy object (plain picklable floats
-    inside), so workers never need calibration data.
+    inside), so workers never need calibration data. ``backend`` names
+    the execution backend the spec was built under; workers activate it
+    by name around scoring, so a parent running ``use_backend("tiled")``
+    gets tiled kernels in every worker process too.
     """
 
     layers: List[tuple]
@@ -81,6 +84,7 @@ class ScoringSpec:
     k: int
     strategy: object
     batch_size: int = 4096
+    backend: str = "numpy"
 
     def build_network(self) -> Sequential:
         """Reconstruct the module tree; weights are rebound, not copied."""
@@ -103,12 +107,17 @@ class ScoringSpec:
         """Score rows exactly like ``TargAD.score_batch`` does.
 
         Same forward path (compiled, cached), same softmax / Eq. 9 /
-        tri-class routing functions — float64-identical to the parent.
+        tri-class routing functions — float64-identical to the parent
+        when the spec's backend matches (the backend's published
+        ``parity_atol`` otherwise bounds the difference).
         """
-        logits = forward_in_batches(network, X, batch_size=self.batch_size)
-        probs = softmax(logits)
-        scores = target_anomaly_score(probs, self.m)
-        routing = route_from_logits(logits, probs, self.m, self.k, self.strategy)
+        from repro.backend import use_backend
+
+        with use_backend(self.backend):
+            logits = forward_in_batches(network, X, batch_size=self.batch_size)
+            probs = softmax(logits)
+            scores = target_anomaly_score(probs, self.m)
+            routing = route_from_logits(logits, probs, self.m, self.k, self.strategy)
         return scores, routing
 
 
@@ -123,6 +132,7 @@ def build_scoring_spec(model, strategy: str = "ed") -> ScoringSpec:
     unavailable", since the single-process path defers that failure
     until an anomalous row actually appears.
     """
+    from repro.backend import active_backend
     from repro.nn.inference import NotCompilableError, _collect
 
     model._check_fitted()
@@ -141,7 +151,13 @@ def build_scoring_spec(model, strategy: str = "ed") -> ScoringSpec:
                 f"module {type(leaf).__name__} cannot be serialized into a "
                 "scoring spec"
             )
-    return ScoringSpec(layers=layers, m=model.m_, k=model.k_, strategy=fitted)
+    return ScoringSpec(
+        layers=layers,
+        m=model.m_,
+        k=model.k_,
+        strategy=fitted,
+        backend=getattr(active_backend(), "name", "numpy"),
+    )
 
 
 # -- worker side --------------------------------------------------------

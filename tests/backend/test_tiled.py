@@ -1,0 +1,252 @@
+"""TiledBackend kernel unit tests: sparse gather path, fallbacks, caching.
+
+The kernel's safety story is that the per-call count verification makes
+every shortcut correctness-neutral: any batch that does not prove the
+one-nonzero-per-segment property falls back to the dense kernel, and
+the plan cache only ever proposes segment boundaries that the next
+batch must re-prove. These tests pin the verified-correct cases (exact
+results), the must-fall-back cases, and the buffer/caching contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.tiled import (
+    COL_DENSITY,
+    MIN_RUN,
+    SPARSE_MIN_ROWS,
+    TiledBackend,
+    _segment,
+)
+
+N_DENSE = 12
+BLOCKS = (50, 30)
+D = N_DENSE + sum(BLOCKS)
+H = 16
+
+
+def make_batch(rng, rows, value=1.0, missing_every=0, zipf=False):
+    X = np.zeros((rows, D))
+    X[:, :N_DENSE] = rng.normal(size=(rows, N_DENSE))
+    off = N_DENSE
+    for b in BLOCKS:
+        if zipf:
+            p = (1.0 / np.arange(1, b + 1)) ** 1.2
+            idx = rng.choice(b, size=rows, p=p / p.sum())
+        else:
+            idx = rng.integers(0, b, size=rows)
+        X[np.arange(rows), off + idx] = value
+        off += b
+    if missing_every:
+        X[::missing_every, N_DENSE:] = 0.0
+    return X
+
+
+@pytest.fixture
+def backend():
+    b = TiledBackend(n_threads=1)
+    b.sparse_min_rows = 64  # small batches keep the tests fast
+    return b
+
+
+def reference(X, W, bias, activation=None):
+    out = np.empty((len(X), W.shape[1]))
+    NumpyBackend().fused_dense_act(X, W, bias, activation, out)
+    return out
+
+
+def run(backend, X, W, bias, activation=None):
+    out = np.empty((len(X), W.shape[1]))
+    returned = backend.fused_dense_act(X, W, bias, activation, out)
+    assert returned is out  # destination-write contract
+    return out
+
+
+def test_onehot_batch_is_exact_and_takes_sparse_path(backend):
+    rng = np.random.default_rng(0)
+    X = make_batch(rng, 256)
+    W = rng.normal(size=(D, H))
+    bias = rng.normal(size=H)
+    got = run(backend, X, W, bias, "relu")
+    np.testing.assert_allclose(got, reference(X, W, bias, "relu"), atol=1e-9)
+    assert backend.sparse_hits == 1
+
+
+def test_missing_categories_handled(backend):
+    """Rows with no category set stay exact on the sparse path.
+
+    Zipf-skewed categories (the SQB regime): the heavy head column keeps
+    the greedy cut on the block boundary even when some rows are empty.
+    """
+    rng = np.random.default_rng(1)
+    X = make_batch(rng, 256, missing_every=7, zipf=True)
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_allclose(got, X @ W, atol=1e-9)
+    assert backend.sparse_hits == 1
+
+
+def test_missing_categories_uniform_is_exact_regardless_of_path(backend):
+    """Uniform categories + missing rows may defeat the greedy cut; the
+    count verification must then force the (exact) dense fallback."""
+    rng = np.random.default_rng(1)
+    X = make_batch(rng, 256, missing_every=7)
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_allclose(got, X @ W, atol=1e-9)
+
+
+def test_scaled_category_values_handled(backend):
+    """Non-1.0 nonzeros exercise the value-scaling branch."""
+    rng = np.random.default_rng(2)
+    X = make_batch(rng, 256, value=0.37)
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_allclose(got, X @ W, atol=1e-9)
+    assert backend.sparse_hits == 1
+
+
+def test_multi_nonzero_rows_fall_back_correctly(backend):
+    """Two nonzeros inside one segment must not produce a wrong answer."""
+    rng = np.random.default_rng(3)
+    X = make_batch(rng, 256)
+    # Poison many rows so the greedy segmentation cannot separate them.
+    cols = rng.integers(N_DENSE, N_DENSE + BLOCKS[0], size=(200, 2))
+    X[np.arange(200)[:, None], cols] = 1.0
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_allclose(got, X @ W, atol=1e-9)
+
+
+def test_dense_random_input_falls_back(backend):
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(256, D))
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_array_equal(got, reference(X, W, None))
+    assert backend.sparse_hits == 0
+
+
+def test_small_batches_skip_detection(backend):
+    rng = np.random.default_rng(5)
+    X = make_batch(rng, backend.sparse_min_rows - 1)
+    W = rng.normal(size=(D, H))
+    got = run(backend, X, W, None)
+    np.testing.assert_array_equal(got, reference(X, W, None))
+    assert backend.sparse_hits == 0
+
+
+def test_non_contiguous_input_falls_back(backend):
+    rng = np.random.default_rng(6)
+    wide = make_batch(rng, 256)
+    X = np.concatenate([wide, wide], axis=1)[:, :D]  # C-contiguous
+    X_view = np.asfortranarray(X)  # not C-contiguous: ineligible
+    W = rng.normal(size=(D, H))
+    got = run(backend, X_view, W, None)
+    np.testing.assert_array_equal(got, reference(X, W, None))
+    assert backend.sparse_hits == 0
+
+
+def test_float32_batches_supported(backend):
+    rng = np.random.default_rng(7)
+    X = make_batch(rng, 256).astype(np.float32)
+    W = rng.normal(size=(D, H)).astype(np.float32)
+    bias = rng.normal(size=H).astype(np.float32)
+    out = np.empty((256, H), dtype=np.float32)
+    backend.fused_dense_act(X, W, bias, "relu", out)
+    expected = np.maximum(X @ W + bias, 0.0)
+    np.testing.assert_allclose(out, expected, atol=1e-4)
+    assert backend.sparse_hits == 1
+
+
+def test_structure_plan_is_cached_per_weight(backend):
+    rng = np.random.default_rng(8)
+    X = make_batch(rng, 256)
+    W = rng.normal(size=(D, H))
+    run(backend, X, W, None)
+    assert len(backend._plans) == 1
+    (entry,) = backend._plans.values()
+    run(backend, make_batch(rng, 256), W, None)
+    assert backend._plans and next(iter(backend._plans.values())) is entry
+    assert backend.sparse_hits == 2
+
+
+def test_dense_decision_is_cached_and_reprobed(backend):
+    """A dense workload stops paying detection after the first call."""
+    rng = np.random.default_rng(9)
+    X = rng.normal(size=(256, D))
+    W = rng.normal(size=(D, H))
+    run(backend, X, W, None)
+    (entry,) = backend._plans.values()
+    assert entry.plan is None
+    run(backend, X, W, None)
+    assert entry.calls == 1  # skipped detection, counted toward re-probe
+
+
+def test_structure_change_falls_back_then_recovers(backend):
+    """A batch that breaks the cached plan is still exact, via fallback."""
+    rng = np.random.default_rng(10)
+    X = make_batch(rng, 256)
+    W = rng.normal(size=(D, H))
+    run(backend, X, W, None)
+    assert backend.sparse_hits == 1
+    X_dense = rng.normal(size=(256, D))
+    got = run(backend, X_dense, W, None)
+    np.testing.assert_array_equal(got, reference(X_dense, W, None))
+    assert backend.sparse_hits == 1  # fell back, no wrong answer
+
+
+def test_scratch_is_reused_and_never_aliases_out(backend):
+    rng = np.random.default_rng(11)
+    X = make_batch(rng, 256)
+    W = rng.normal(size=(D, H))
+    out1 = np.empty((256, H))
+    backend.fused_dense_act(X, W, None, None, out1)
+    scratch = backend._tl.bufs[(H, np.dtype(np.float64).char)]
+    assert not np.shares_memory(scratch, out1)
+    out2 = np.empty((256, H))
+    backend.fused_dense_act(X, W, None, None, out2)
+    assert backend._tl.bufs[(H, np.dtype(np.float64).char)] is scratch
+
+
+def test_segment_splits_runs_at_density_boundaries():
+    """Greedy cuts keep each segment's density sum at most one."""
+    dens = np.zeros(100)
+    dens[:10] = 0.9  # dense prefix
+    dens[10:] = 1.0 / 45.0  # two adjacent one-hot blocks worth of mass
+    segs = _segment(dens, dens < COL_DENSITY)
+    assert segs
+    for s, e in segs:
+        assert e - s >= MIN_RUN
+        assert dens[s:e].sum() <= 1.0 + 1e-9
+    # Segments tile [10, 100) without overlap.
+    assert segs[0][0] == 10
+    assert segs[-1][1] == 100
+    for (_, e1), (s2, _) in zip(segs, segs[1:]):
+        assert e1 == s2
+
+
+def test_default_sparse_min_rows_gate():
+    assert TiledBackend().sparse_min_rows == SPARSE_MIN_ROWS
+
+
+def test_threaded_matmul_and_fused_are_bitwise():
+    backend = TiledBackend(n_threads=2)
+    rng = np.random.default_rng(12)
+    a = rng.normal(size=(1200, D))
+    b = rng.normal(size=(D, H))
+    np.testing.assert_array_equal(backend.matmul(a, b), a @ b)
+    out = np.empty((1200, H))
+    backend.fused_dense_act(a, b, None, "tanh", out)
+    np.testing.assert_array_equal(out, reference(a, b, None, "tanh"))
+
+
+def test_thread_count_env_override(monkeypatch):
+    from repro.backend import tiled
+
+    monkeypatch.setenv(tiled.THREADS_ENV, "3")
+    assert TiledBackend()._thread_count() == 3
+    monkeypatch.setenv(tiled.THREADS_ENV, "not-a-number")
+    assert TiledBackend()._thread_count() >= 1
+    assert TiledBackend(n_threads=5)._thread_count() == 5

@@ -127,6 +127,43 @@ def test_backend_without_fused_kernel_compiles_unfused():
         np.testing.assert_array_equal(plan(X), reference)
 
 
+class _RaisingBackend(NumpyBackend):
+    """A backend whose fused kernel always fails."""
+
+    name = "raising-test"
+
+    def fused_dense_act(self, x, weight, bias, activation, out):
+        raise ValueError("kernel exploded")
+
+
+def test_raising_fused_kernel_surfaces_backend_kernel_error():
+    """A kernel failure must name the backend, not look like a plan bug."""
+    from repro.backend.ops import BackendKernelError
+
+    if _RaisingBackend.name not in backend_names():
+        register_backend(_RaisingBackend.name, _RaisingBackend())
+    X = np.ones((4, 3))
+    W = np.ones((3, 2))
+    out = np.empty((4, 2))
+    with use_backend(_RaisingBackend.name):
+        with pytest.raises(BackendKernelError, match="raising-test") as info:
+            B.fused_dense_act(X, W, None, "relu", out)
+    assert isinstance(info.value.__cause__, ValueError)
+    assert "relu" in str(info.value)
+
+
+def test_opted_out_backend_is_bitwise_identical_to_default_unfused():
+    """The opt-out stub's plans replay the unfused sequence bit-for-bit."""
+    rng = np.random.default_rng(21)
+    model = mlp([7, 9, 4], activation="relu", rng=rng)
+    X = rng.normal(size=(33, 7))
+    reference = compile_inference(model, fused=False)(X)
+    if _UnfusedBackend.name not in backend_names():
+        register_backend(_UnfusedBackend.name, _UnfusedBackend())
+    with use_backend(_UnfusedBackend.name):
+        np.testing.assert_array_equal(compile_inference(model)(X), reference)
+
+
 def test_fused_dense_act_kernel_direct():
     """The backend op itself: matmul + bias + activation into ``out``."""
     rng = np.random.default_rng(13)
